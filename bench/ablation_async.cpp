@@ -1,0 +1,90 @@
+// Ablation A13: asynchronous operation with stale marginal utilities.
+// The paper's synchronous-rounds assumption relaxed: per-pair message
+// delays, feasibility drift of the averaging update, the anti-entropy
+// remedy, and the structural immunity of pairwise gossip.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "sim/async_protocol.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::vector<std::vector<std::size_t>> random_delay(std::size_t n,
+                                                   std::size_t max_d,
+                                                   std::uint64_t seed) {
+  fap::util::Rng rng(seed);
+  std::vector<std::vector<std::size_t>> delay(
+      n, std::vector<std::size_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        delay[i][j] = rng.uniform_index(max_d + 1);
+      }
+    }
+  }
+  return delay;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A13",
+                      "asynchrony: stale marginal utilities");
+
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const net::Topology ring = net::make_ring(4, 1.0);
+  const std::vector<double> start{0.8, 0.1, 0.1, 0.0};
+
+  util::Table table({"scheme", "max delay", "anti-entropy", "final cost",
+                     "max |sum x - 1|", "final |sum x - 1|"},
+                    6);
+  for (const std::size_t max_delay : {0u, 2u, 4u, 8u}) {
+    sim::AsyncConfig config;
+    config.alpha = 0.2;
+    config.rounds = 800;
+    if (max_delay > 0) {
+      config.delay = random_delay(4, max_delay, 42);
+    }
+
+    const sim::AsyncResult averaging =
+        sim::run_async_averaging(model, start, config);
+    table.add_row({std::string("averaging (Section 5.2)"),
+                   static_cast<long long>(max_delay), std::string("no"),
+                   averaging.cost, averaging.max_feasibility_drift,
+                   averaging.final_feasibility_drift});
+
+    sim::AsyncConfig corrected = config;
+    corrected.correction_interval = 10;
+    const sim::AsyncResult fixed =
+        sim::run_async_averaging(model, start, corrected);
+    table.add_row({std::string("averaging + anti-entropy"),
+                   static_cast<long long>(max_delay), std::string("/10"),
+                   fixed.cost, fixed.max_feasibility_drift,
+                   fixed.final_feasibility_drift});
+
+    sim::AsyncConfig gossip_config = config;
+    gossip_config.alpha = max_delay > 0 ? 0.05 : 0.2;  // delay-matched gain
+    gossip_config.rounds = 4000;
+    const sim::AsyncResult gossip =
+        sim::run_async_gossip(model, ring, start, gossip_config);
+    table.add_row({std::string("gossip (pairwise transfers)"),
+                   static_cast<long long>(max_delay),
+                   std::string("not needed"), gossip.cost,
+                   gossip.max_feasibility_drift,
+                   gossip.final_feasibility_drift});
+  }
+  std::cout << bench::render(table) << '\n';
+  std::cout
+      << "Averaging with heterogeneous staleness leaks file mass (nodes\n"
+         "subtract different averages, so Σ Δx ≠ 0); periodic anti-entropy\n"
+         "renormalization bounds the leak. Gossip moves mass in pairwise\n"
+         "transfers and cannot drift regardless of staleness — it only\n"
+         "needs its gain matched to the delay.\n";
+  return 0;
+}

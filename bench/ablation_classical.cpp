@@ -1,0 +1,103 @@
+// Ablation A11: the classical integral FAP lineage the paper's Section 3
+// surveys, run head to head with this library's machinery.
+//
+//  (a) Chu-style exact multi-file integral placement: brute enumeration vs
+//      branch-and-bound (pruning power and reach).
+//  (b) Casey's variable-copy-count model: optimal copies vs update traffic
+//      and storage cost, exact vs add/drop/swap local search.
+#include <iostream>
+
+#include "baselines/branch_and_bound.hpp"
+#include "baselines/casey.hpp"
+#include "baselines/integral.hpp"
+#include "bench_common.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fap::core::MultiFileProblem random_multi(std::uint64_t seed,
+                                         std::size_t nodes,
+                                         std::size_t files) {
+  fap::util::Rng rng(seed);
+  const fap::net::Topology topology =
+      fap::net::make_random_metric(nodes, 2, rng);
+  fap::core::MultiFileProblem problem{
+      fap::net::all_pairs_shortest_paths(topology), {}, {}, 1.0,
+      fap::queueing::DelayModel()};
+  double total = 0.0;
+  for (std::size_t f = 0; f < files; ++f) {
+    std::vector<double> lambda(nodes, 0.0);
+    for (double& rate : lambda) {
+      rate = rng.uniform(0.01, 0.06);
+      total += rate;
+    }
+    problem.per_file_lambda.push_back(std::move(lambda));
+  }
+  problem.mu.assign(nodes, total * 1.5);
+  return problem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A11",
+                      "classical integral searches: Chu B&B and Casey");
+
+  std::cout << "-- (a) exact multi-file integral placement --\n";
+  util::Table bnb_table({"nodes", "files", "search space", "tree explored",
+                         "pruned", "optimal cost"},
+                        4);
+  for (const auto& [nodes, files] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {5, 4}, {8, 6}, {10, 8}, {12, 10}}) {
+    const core::MultiFileModel model(
+        random_multi(nodes * 17 + files, nodes, files));
+    const baselines::BranchAndBoundResult result =
+        baselines::best_integral_multi_bnb(model);
+    double space = 1.0;
+    for (std::size_t f = 0; f < files; ++f) {
+      space *= static_cast<double>(nodes);
+    }
+    bnb_table.add_row({static_cast<long long>(nodes),
+                       static_cast<long long>(files), space,
+                       static_cast<long long>(result.stats.nodes_explored),
+                       static_cast<long long>(result.stats.pruned),
+                       result.best.cost});
+  }
+  std::cout << bench::render(bnb_table)
+            << "(the admissible contention-free bound visits a vanishing "
+               "fraction of N^M)\n\n";
+
+  std::cout << "-- (b) Casey: optimal copy count vs update share --\n";
+  const net::Topology ring = net::make_ring(8, 1.0);
+  const net::CostMatrix comm = net::all_pairs_shortest_paths(ring);
+  util::Table casey_table({"update:query ratio", "storage cost",
+                           "optimal copies", "optimal cost",
+                           "local-search copies", "local-search cost"},
+                          4);
+  for (const double ratio : {0.0, 0.1, 0.3, 1.0, 3.0}) {
+    for (const double storage : {0.1, 1.0}) {
+      baselines::CaseyProblem problem{comm, std::vector<double>(8, 1.0),
+                                      std::vector<double>(8, ratio),
+                                      storage};
+      const baselines::CaseyResult exact = baselines::casey_optimal(problem);
+      const baselines::CaseyResult local =
+          baselines::casey_local_search(problem);
+      casey_table.add_row({ratio, storage,
+                           static_cast<long long>(exact.copies), exact.cost,
+                           static_cast<long long>(local.copies),
+                           local.cost});
+    }
+  }
+  std::cout << bench::render(casey_table)
+            << "(read-mostly workloads replicate widely; update-heavy or "
+               "storage-expensive\nsettings collapse toward one copy — the "
+               "classical tension the paper's\nfragmented single-copy model "
+               "sidesteps)\n";
+  return 0;
+}

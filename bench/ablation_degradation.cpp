@@ -1,0 +1,86 @@
+// Ablation A9: graceful degradation under node failure (Section 4's first
+// argument for fragmentation). A running system loses one node; measured
+// availability and surviving-traffic delay for the fragmented optimum vs
+// the best integral placement.
+#include <iostream>
+
+#include "baselines/integral.hpp"
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "sim/des.hpp"
+#include "sim/des_system.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Outcome {
+  double availability = 0.0;
+  double survivor_cost = 0.0;  ///< per served access, post-failure
+};
+
+Outcome measure_failure(const fap::core::SingleFileModel& model,
+                        const std::vector<double>& x, std::size_t victim) {
+  fap::sim::DesConfig config = fap::sim::des_config_for(model, x);
+  config.seed = 2718;
+  fap::sim::DesSystem system(config);
+  system.advance_until(300.0);
+  system.set_node_failed(victim, true);
+  system.reset_window();
+  system.advance_until(system.now() + 20000.0);
+  Outcome outcome;
+  outcome.availability = system.window().availability();
+  outcome.survivor_cost = system.window().measured_cost(model.problem().k);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A9",
+                      "graceful degradation: fragmented vs integral");
+
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+
+  core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.epsilon = 1e-5;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult fragmented =
+      allocator.run({0.8, 0.1, 0.1, 0.0});
+  const baselines::IntegralResult integral =
+      baselines::best_integral_single(model);
+  const std::size_t victim = integral.hosts.front();
+
+  util::Table table({"allocation", "failed node", "availability",
+                     "survivor cost/access"},
+                    4);
+  const Outcome frag = measure_failure(model, fragmented.x, victim);
+  const Outcome intg = measure_failure(model, integral.x, victim);
+  table.add_row({std::string("fragmented optimum (0.25 each)"),
+                 static_cast<long long>(victim), frag.availability,
+                 frag.survivor_cost});
+  table.add_row({std::string("integral placement (whole file)"),
+                 static_cast<long long>(victim), intg.availability,
+                 intg.survivor_cost});
+  std::cout << bench::render(table) << '\n';
+
+  // Availability under each possible single failure, fragmented case.
+  util::Table sweep({"failed node", "availability (fragmented)",
+                     "availability (integral @ node 0)"},
+                    4);
+  std::vector<double> integral_at_zero{1.0, 0.0, 0.0, 0.0};
+  for (std::size_t node = 0; node < 4; ++node) {
+    sweep.add_row(
+        {static_cast<long long>(node),
+         measure_failure(model, fragmented.x, node).availability,
+         measure_failure(model, integral_at_zero, node).availability});
+  }
+  std::cout << bench::render(sweep) << '\n';
+  std::cout << "Fragmentation keeps ~75% of accesses servable under any\n"
+               "single failure; whole-file placement is all-or-nothing —\n"
+               "Section 4(a), measured.\n";
+  return 0;
+}

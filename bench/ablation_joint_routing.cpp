@@ -1,0 +1,72 @@
+// Ablation A12: joint allocation + routing (Section 8.2's integration of
+// FAP with "the classic routing problem"). A dumbbell network with a
+// single bridge; congestion sensitivity γ swept. The coupled optimizer
+// consolidates the file on the heavy-demand side, draining the bridge —
+// which the decoupled (γ-blind) allocation leaves congested.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/joint_routing.hpp"
+#include "net/topology.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fap::net::Topology dumbbell() {
+  fap::net::Topology topology(6);
+  topology.add_edge(0, 1, 1.0);
+  topology.add_edge(0, 2, 1.0);
+  topology.add_edge(1, 2, 1.0);
+  topology.add_edge(3, 4, 1.0);
+  topology.add_edge(3, 5, 1.0);
+  topology.add_edge(4, 5, 1.0);
+  topology.add_edge(2, 3, 1.0);  // the bridge (edge index 6)
+  return topology;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A12",
+                      "joint file allocation and congestion-aware routing");
+
+  core::JointRoutingProblem problem{dumbbell(),
+                                    core::Workload{{0.2, 0.2, 0.2,
+                                                    0.1, 0.1, 0.1}},
+                                    std::vector<double>(6, 1.5),
+                                    /*k=*/0.2,
+                                    fap::queueing::DelayModel(),
+                                    /*congestion=*/0.0};
+  core::JointRoutingOptions options;
+  options.allocator.alpha = 0.3;
+  options.allocator.epsilon = 1e-6;
+  options.allocator.max_iterations = 100000;
+  options.max_outer_iterations = 300;
+  options.tol = 1e-5;
+
+  util::Table table({"gamma", "outer iters", "cluster-A share",
+                     "cluster-B share", "bridge flow", "final cost"},
+                    4);
+  for (const double gamma : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    problem.congestion_factor = gamma;
+    const core::JointRoutingOptimizer optimizer(problem, options);
+    const core::JointRoutingResult result =
+        optimizer.run(std::vector<double>(6, 1.0 / 6.0));
+    const double share_a = result.x[0] + result.x[1] + result.x[2];
+    const double share_b = result.x[3] + result.x[4] + result.x[5];
+    const std::vector<double> flow = optimizer.link_flows(
+        optimizer.effective_topology(result.link_flow), result.x);
+    table.add_row({gamma, static_cast<long long>(result.outer_iterations),
+                   share_a, share_b, flow[6], result.cost});
+  }
+  std::cout << bench::render(table) << '\n';
+  std::cout
+      << "As γ grows, the optimizer consolidates the file on the heavy\n"
+         "cluster's side of the bridge: the minority cluster's share falls\n"
+         "to zero and the bridge flow drops to only B's outbound accesses.\n"
+         "Final costs are computed under the congestion-adjusted routes, so\n"
+         "they are comparable only within a row's γ.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation A6: neighbors-only (gossip) communication vs the Section 5.1
+// broadcast — the Section 8.2 research question: can a marginal-utility
+// algorithm keep feasibility, monotonicity and rapid convergence while
+// each node talks only to its neighbors? Measured: iterations and total
+// point-to-point messages to converge, across topologies of different
+// diameters.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/neighbor_allocator.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A6",
+                      "broadcast vs neighbors-only communication");
+
+  util::Table table({"topology", "N", "|E|", "scheme", "iterations",
+                     "msgs/iter", "total msgs", "final cost"},
+                    4);
+
+  struct Case {
+    std::string name;
+    net::Topology topology;
+  };
+  const std::size_t n = 12;
+  std::vector<Case> cases;
+  cases.push_back({"ring (diam 6)", net::make_ring(n, 1.0)});
+  cases.push_back({"grid 3x4", net::make_grid(3, 4, 1.0)});
+  cases.push_back({"star", net::make_star(n, 1.0)});
+  cases.push_back({"complete", net::make_complete(n, 1.0)});
+
+  for (const Case& c : cases) {
+    const core::SingleFileModel model(core::make_problem(
+        c.topology, core::Workload::uniform(n, 1.0), /*mu=*/1.5, /*k=*/1.0));
+    std::vector<double> start(n, 0.0);
+    start[0] = 1.0;
+
+    core::AllocatorOptions broadcast;
+    broadcast.alpha = 0.3;
+    broadcast.epsilon = 1e-3;
+    broadcast.max_iterations = 100000;
+    const auto broadcast_run =
+        core::ResourceDirectedAllocator(model, broadcast).run(start);
+    const std::size_t broadcast_msgs_per_iter = n * (n - 1);
+    // +1 round: the exchange that detects termination.
+    const std::size_t broadcast_rounds = broadcast_run.iterations + 1;
+
+    core::NeighborAllocatorOptions gossip;
+    gossip.alpha = 0.1;
+    gossip.epsilon = 1e-3;
+    gossip.max_iterations = 200000;
+    const core::NeighborAllocator neighbor(model, c.topology, gossip);
+    const auto gossip_run = neighbor.run(start);
+    const std::size_t gossip_rounds = gossip_run.iterations + 1;
+
+    table.add_row({c.name, static_cast<long long>(n),
+                   static_cast<long long>(c.topology.edge_count()),
+                   std::string("broadcast"),
+                   static_cast<long long>(broadcast_run.iterations),
+                   static_cast<long long>(broadcast_msgs_per_iter),
+                   static_cast<long long>(broadcast_rounds *
+                                          broadcast_msgs_per_iter),
+                   broadcast_run.cost});
+    table.add_row({c.name, static_cast<long long>(n),
+                   static_cast<long long>(c.topology.edge_count()),
+                   std::string("neighbors-only"),
+                   static_cast<long long>(gossip_run.iterations),
+                   static_cast<long long>(neighbor.messages_per_iteration()),
+                   static_cast<long long>(gossip_rounds *
+                                          neighbor.messages_per_iteration()),
+                   gossip_run.cost});
+  }
+  std::cout << bench::render(table) << '\n';
+  std::cout
+      << "Gossip preserves feasibility and monotonicity (tests pin this),\n"
+         "converges to the same optimum when the optimum is interior, needs\n"
+         "more iterations as graph diameter grows, and pays 2|E| instead of\n"
+         "N(N-1) messages per iteration — on sparse graphs the total message\n"
+         "bill can be competitive despite the extra iterations.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation A2: first- vs second-derivative algorithm (Section 8.2). The
+// second-derivative variant is claimed to be (a) resilient to rescaling
+// the problem (link costs, service rates) and (b) tolerant to the choice
+// of the step-size parameter. Both claims are measured here.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/newton_allocator.hpp"
+#include "core/single_file.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fap::core::SingleFileProblem scaled_problem(double cost_scale) {
+  fap::core::SingleFileProblem problem = fap::core::make_paper_ring_problem();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      problem.comm.set_cost(i, j, problem.comm.cost(i, j) * cost_scale);
+    }
+  }
+  problem.k *= cost_scale;
+  return problem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A2",
+                      "first- vs second-derivative algorithm");
+
+  const std::vector<double> start{0.8, 0.1, 0.1, 0.0};
+
+  // (a) Scale resilience: same fixed step, problem costs scaled by
+  // 0.01x .. 100x. ε scales with the problem (it is a marginal-utility
+  // spread).
+  std::cout << "-- scale resilience (fixed step, costs scaled) --\n";
+  util::Table scale_table(
+      {"cost scale", "first-order iters", "second-order iters"}, 4);
+  for (const double scale : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const core::SingleFileModel model(scaled_problem(scale));
+
+    core::AllocatorOptions first;
+    first.alpha = 0.3;
+    first.epsilon = 1e-3 * scale;
+    first.max_iterations = 200000;
+    const auto first_result =
+        core::ResourceDirectedAllocator(model, first).run(start);
+
+    core::NewtonAllocatorOptions second;
+    second.alpha = 0.5;
+    second.epsilon = 1e-3 * scale;
+    second.max_iterations = 200000;
+    const auto second_result =
+        core::NewtonAllocator(model, second).run(start);
+
+    scale_table.add_row(
+        {scale,
+         static_cast<long long>(first_result.converged
+                                    ? first_result.iterations
+                                    : -1),
+         static_cast<long long>(second_result.converged
+                                    ? second_result.iterations
+                                    : -1)});
+  }
+  std::cout << bench::render(scale_table)
+            << "(second-order column is flat; first-order varies by orders "
+               "of magnitude)\n\n";
+
+  // (b) Step-size tolerance on the unscaled problem.
+  std::cout << "-- step-size tolerance --\n";
+  util::Table alpha_table(
+      {"alpha", "first-order iters", "second-order iters"}, 4);
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  for (const double alpha : {0.05, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+    core::AllocatorOptions first;
+    first.alpha = alpha;
+    first.epsilon = 1e-3;
+    first.max_iterations = 50000;
+    const auto first_result =
+        core::ResourceDirectedAllocator(model, first).run(start);
+
+    core::NewtonAllocatorOptions second;
+    second.alpha = alpha;
+    second.epsilon = 1e-3;
+    second.max_iterations = 50000;
+    const auto second_result =
+        core::NewtonAllocator(model, second).run(start);
+
+    alpha_table.add_row(
+        {alpha,
+         static_cast<long long>(
+             first_result.converged ? first_result.iterations : -1),
+         static_cast<long long>(
+             second_result.converged ? second_result.iterations : -1)});
+  }
+  std::cout << bench::render(alpha_table)
+            << "(-1 = did not converge within the cap)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation A7: volume-dependent transfer costs (Section 8.2's pass-by-
+// value model). Sweeping the volume factor v shows the optimum migrating
+// from "concentrate at the cheapest node" (linear comm, k small) to broad
+// fragmentation — volume penalties alone justify fragmenting.
+#include <algorithm>
+#include <iostream>
+
+#include "baselines/projected_gradient.hpp"
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "core/volume_model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A7",
+                      "volume-dependent transfer costs (pass-by-value)");
+
+  // Asymmetric workload, weak delay term: the Section 4 model wants to
+  // concentrate; the volume term resists.
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.lambda = {0.5, 0.25, 0.15, 0.1};
+  problem.k = 0.1;
+
+  util::Table table({"volume factor v", "optimal max x_i",
+                     "optimal cost", "cost at concentration",
+                     "fragmentation gain %", "algo iterations"},
+                    4);
+  for (const double v : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const core::VolumeTransferModel model(problem, /*base_volume=*/1.0, v);
+
+    core::AllocatorOptions options;
+    options.step_rule = core::StepRule::kDynamic;  // v-independent tuning
+    options.epsilon = 1e-6;
+    options.max_iterations = 200000;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    const core::AllocationResult result =
+        allocator.run(core::uniform_allocation(model));
+
+    std::vector<double> concentrated(4, 0.0);
+    concentrated[0] = 1.0;  // the cheapest node for this workload
+    const double concentrated_cost = model.cost(concentrated);
+
+    table.add_row(
+        {v, *std::max_element(result.x.begin(), result.x.end()),
+         result.cost, concentrated_cost,
+         100.0 * (1.0 - result.cost / concentrated_cost),
+         static_cast<long long>(result.iterations)});
+  }
+  std::cout << bench::render(table) << '\n';
+  std::cout << "As v grows the optimal allocation spreads (max x_i falls\n"
+               "toward 1/N) and the gain over whole-file shipping grows —\n"
+               "the Section 8.2 intuition, quantified.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A10: record-popularity skew. How far does record-granular
+// packing stay from the fractional Eq. 1 optimum as the Zipf exponent and
+// the record count vary? (The Section 4 uniform-records assumption,
+// relaxed and stress-tested.)
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "fs/fragment_map.hpp"
+#include "fs/popularity.hpp"
+#include "fs/weighted_assignment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Ablation A10",
+                      "record packing vs fractional optimum under Zipf skew");
+
+  // Homogeneous ring: the optimal shares are 0.25 each, so a head record
+  // heavier than 25% makes the packing problem genuinely infeasible to
+  // solve exactly — the interesting regime.
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+
+  std::cout << "-- skew sweep (2000 records) --\n";
+  util::Table skew_table({"zipf s", "head record share %",
+                          "fractional cost", "packed cost", "gap %",
+                          "naive even-split cost"},
+                         4);
+  for (const double s : {0.0, 0.5, 0.9, 1.1, 1.3, 1.6, 2.0}) {
+    const std::vector<double> popularity = fs::zipf_popularity(2000, s);
+    const fs::WeightedPlacement placement =
+        fs::optimize_record_placement(model, popularity, options);
+    const fs::FragmentMap naive =
+        fs::FragmentMap::from_allocation(2000, {0.25, 0.25, 0.25, 0.25});
+    const double naive_cost =
+        model.cost(fs::node_access_shares(naive, popularity));
+    skew_table.add_row(
+        {s, 100.0 * popularity.front(), placement.fractional_cost,
+         placement.achieved_cost,
+         100.0 * (placement.achieved_cost / placement.fractional_cost - 1.0),
+         naive_cost});
+  }
+  std::cout << bench::render(skew_table) << '\n';
+
+  std::cout << "-- granularity sweep (zipf s = 1.1) --\n";
+  util::Table size_table({"records", "fractional cost", "packed cost",
+                          "gap %"},
+                         6);
+  for (const std::size_t records : {20u, 100u, 500u, 2000u, 10000u}) {
+    const fs::WeightedPlacement placement = fs::optimize_record_placement(
+        model, fs::zipf_popularity(records, 1.1), options);
+    size_table.add_row(
+        {static_cast<long long>(records), placement.fractional_cost,
+         placement.achieved_cost,
+         100.0 *
+             (placement.achieved_cost / placement.fractional_cost - 1.0)});
+  }
+  std::cout << bench::render(size_table) << '\n';
+  std::cout << "More records => finer granularity => the packed cost "
+               "approaches the\nfractional bound (the Section 8.1 remark, "
+               "under skew). Only at extreme\nskew does the indivisible hot "
+               "head keep a residual gap.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench accepts `--csv`: tables are then emitted as CSV (for
+// plotting) instead of aligned ASCII. Invoke as `bench_binary --csv`.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "util/table.hpp"
+
+namespace fap::bench {
+
+namespace detail {
+inline bool& csv_mode() {
+  static bool mode = false;
+  return mode;
+}
+}  // namespace detail
+
+/// Parses bench command-line flags (currently `--csv`).
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      detail::csv_mode() = true;
+    }
+  }
+}
+
+/// Renders a table per the selected output mode.
+inline std::string render(const util::Table& table) {
+  return detail::csv_mode() ? table.to_csv() : table.to_string();
+}
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& description) {
+  if (detail::csv_mode()) {
+    std::cout << "# " << experiment_id << " — " << description << "\n";
+    return;
+  }
+  std::cout << "==========================================================\n"
+            << experiment_id << " — " << description << "\n"
+            << "Reproduction of Kurose & Simha, \"A Microeconomic Approach\n"
+            << "to Optimal File Allocation\", ICDCS 1986.\n"
+            << "==========================================================\n";
+}
+
+/// Extracts the cost series from a trace.
+inline std::vector<double> cost_series(
+    const std::vector<core::IterationRecord>& trace) {
+  std::vector<double> series;
+  series.reserve(trace.size());
+  for (const core::IterationRecord& rec : trace) {
+    series.push_back(rec.cost);
+  }
+  return series;
+}
+
+}  // namespace fap::bench

@@ -1,0 +1,88 @@
+// Figure 3: convergence profiles — cost of the current file allocation as
+// a function of the iteration number, for four step sizes.
+//
+// Setup (Section 6): four-node ring, unit link costs, μ = 1.5, k = 1,
+// λ = 1 split evenly, ε = 0.001, starting allocation (0.8, 0.1, 0.1, 0.0).
+// Paper: 4 iterations for α = 0.67, 10 for α = 0.30, 20 for α = 0.19 and
+// 51 for α = 0.08; all converge to (0.25, 0.25, 0.25, 0.25); the rapid
+// convergence phase has roughly the same length for every α.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Figure 3", "convergence profiles for several alpha");
+
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const std::vector<double> start{0.8, 0.1, 0.1, 0.0};
+  const std::vector<double> alphas{0.67, 0.30, 0.19, 0.08};
+  const std::vector<std::size_t> paper_iterations{4, 10, 20, 51};
+
+  std::vector<core::AllocationResult> results;
+  for (const double alpha : alphas) {
+    core::AllocatorOptions options;
+    options.alpha = alpha;
+    options.epsilon = 1e-3;
+    options.record_trace = true;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    results.push_back(allocator.run(start));
+  }
+
+  // The figure's series: cost per iteration for every α.
+  std::size_t longest = 0;
+  for (const auto& result : results) {
+    longest = std::max(longest, result.trace.size());
+  }
+  util::Table series({"iter", "cost a=0.67", "cost a=0.30", "cost a=0.19",
+                      "cost a=0.08"},
+                     6);
+  for (std::size_t t = 0; t < longest; ++t) {
+    std::vector<util::Cell> row{static_cast<long long>(t)};
+    for (const auto& result : results) {
+      const std::size_t idx = std::min(t, result.trace.size() - 1);
+      row.emplace_back(result.trace[idx].cost);
+    }
+    series.add_row(std::move(row));
+  }
+  std::cout << bench::render(series) << '\n';
+
+  util::Table summary({"alpha", "iterations", "paper", "final cost",
+                       "final allocation"},
+                      4);
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    std::string allocation = "(";
+    for (std::size_t i = 0; i < results[a].x.size(); ++i) {
+      allocation += util::format_double(results[a].x[i], 3);
+      allocation += (i + 1 < results[a].x.size() ? ", " : ")");
+    }
+    summary.add_row({alphas[a], static_cast<long long>(results[a].iterations),
+                     static_cast<long long>(paper_iterations[a]),
+                     results[a].cost, allocation});
+  }
+  std::cout << bench::render(summary) << '\n';
+
+  std::cout << util::ascii_chart(bench::cost_series(results[3].trace), 60, 10,
+                                 "cost (alpha = 0.08)")
+            << '\n';
+
+  // The "rapid convergence phase" observation: iterations to get within 5%
+  // of the optimal cost are nearly α-independent.
+  util::Table rapid({"alpha", "iters to within 5% of optimum"}, 2);
+  for (std::size_t a = 0; a < alphas.size(); ++a) {
+    std::size_t within = results[a].trace.size();
+    for (std::size_t t = 0; t < results[a].trace.size(); ++t) {
+      if (results[a].trace[t].cost <= 1.05 * results[a].cost) {
+        within = t;
+        break;
+      }
+    }
+    rapid.add_row({alphas[a], static_cast<long long>(within)});
+  }
+  std::cout << bench::render(rapid);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5: how the choice of α affects convergence time. Iterations to
+// converge (ε = 0.001) on the paper's four-node ring as α is swept.
+//
+// Paper: convergence time blows up as α shrinks, while "there is a
+// relatively large range of α values which result in nearly optimal
+// convergence speeds".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Figure 5", "iterations to converge vs alpha");
+
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const std::vector<double> start{0.8, 0.1, 0.1, 0.0};
+
+  util::Table table({"alpha", "iterations", "converged", "final cost"}, 4);
+  std::vector<double> iteration_series;
+  std::size_t best_iterations = static_cast<std::size_t>(-1);
+  double best_alpha = 0.0;
+  for (double alpha = 0.02; alpha <= 0.90001; alpha += 0.02) {
+    core::AllocatorOptions options;
+    options.alpha = alpha;
+    options.epsilon = 1e-3;
+    options.max_iterations = 20000;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    const core::AllocationResult result = allocator.run(start);
+    table.add_row({alpha, static_cast<long long>(result.iterations),
+                   static_cast<long long>(result.converged ? 1 : 0),
+                   result.cost});
+    iteration_series.push_back(static_cast<double>(result.iterations));
+    if (result.converged && result.iterations < best_iterations) {
+      best_iterations = result.iterations;
+      best_alpha = alpha;
+    }
+  }
+  std::cout << bench::render(table) << '\n';
+  std::cout << util::ascii_chart(iteration_series, 45, 10,
+                                 "iterations (x: alpha 0.02..0.90)")
+            << '\n';
+  std::cout << "fastest alpha in sweep: " << best_alpha << " ("
+            << best_iterations << " iterations)\n";
+
+  // The plateau observation: count how many α values converge within 2x of
+  // the best.
+  std::size_t plateau = 0;
+  for (const double iterations : iteration_series) {
+    if (iterations <= 2.0 * static_cast<double>(best_iterations)) {
+      ++plateau;
+    }
+  }
+  std::cout << "alphas within 2x of fastest: " << plateau << " of "
+            << iteration_series.size() << " (the paper's wide plateau)\n";
+  return 0;
+}

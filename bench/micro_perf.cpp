@@ -1,0 +1,185 @@
+// Microbenchmarks (google-benchmark): gradient evaluation, one algorithm
+// iteration, all-pairs shortest paths, ring weight computation, and DES
+// throughput — the building blocks whose costs determine how cheaply the
+// algorithm can run "in the background" (Section 5.3).
+#include <benchmark/benchmark.h>
+
+#include "baselines/branch_and_bound.hpp"
+#include "core/allocator.hpp"
+#include "core/ring_model.hpp"
+#include "core/single_file.hpp"
+#include "core/trace_export.hpp"
+#include "fs/fragment_map.hpp"
+#include "fs/popularity.hpp"
+#include "fs/weighted_assignment.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fap;
+
+core::SingleFileModel make_model(std::size_t n) {
+  const net::Topology topology = net::make_complete(n, 1.0);
+  return core::SingleFileModel(core::make_problem(
+      topology, core::Workload::uniform(n, 1.0), /*mu=*/1.5, /*k=*/1.0));
+}
+
+void BM_GradientEvaluation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SingleFileModel model = make_model(n);
+  const std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.gradient(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GradientEvaluation)->Arg(4)->Arg(20)->Arg(100)->Arg(1000);
+
+void BM_AllocatorStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SingleFileModel model = make_model(n);
+  core::AllocatorOptions options;
+  options.alpha = 0.3;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  std::vector<double> x(n, 0.0);
+  x[0] = 0.8;
+  x[1] = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.step(x));
+  }
+}
+BENCHMARK(BM_AllocatorStep)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_FullConvergence(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::SingleFileModel model = make_model(n);
+  core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.epsilon = 1e-3;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  std::vector<double> start(n, 0.0);
+  start[0] = 0.8;
+  start[1] = 0.1;
+  start[2] = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.run(start));
+  }
+}
+BENCHMARK(BM_FullConvergence)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_AllPairsShortestPaths(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const net::Topology topology = net::make_random_metric(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::all_pairs_shortest_paths(topology));
+  }
+}
+BENCHMARK(BM_AllPairsShortestPaths)->Arg(20)->Arg(100)->Arg(300);
+
+void BM_RingGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> costs(n, 1.0);
+  core::RingProblem problem{net::VirtualRing(costs),
+                            2.0,
+                            std::vector<double>(n, 1.0 / n),
+                            std::vector<double>(n, 1.5),
+                            1.0,
+                            queueing::DelayModel::mm1(0.95),
+                            0.0};
+  const core::RingModel model(problem);
+  const std::vector<double> x(n, 2.0 / static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.gradient(x));
+  }
+}
+BENCHMARK(BM_RingGradient)->Arg(4)->Arg(20)->Arg(100);
+
+void BM_DesThroughput(benchmark::State& state) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  sim::DesConfig config =
+      sim::des_config_for(model, {0.25, 0.25, 0.25, 0.25});
+  config.measured_accesses = static_cast<std::size_t>(state.range(0));
+  config.warmup_time = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_des(config));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DesThroughput)->Arg(10000)->Arg(100000);
+
+void BM_FragmentMapLookup(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> x(32, 1.0 / 32.0);
+  const fs::FragmentMap map = fs::FragmentMap::from_allocation(records, x);
+  std::size_t record = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.node_of(record));
+    record = (record + 7919) % records;
+  }
+}
+BENCHMARK(BM_FragmentMapLookup)->Arg(10000)->Arg(1000000);
+
+void BM_ZipfPacking(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> popularity = fs::zipf_popularity(records, 1.1);
+  const std::vector<double> targets{0.4, 0.3, 0.2, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs::pack_records(popularity, targets));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records));
+}
+BENCHMARK(BM_ZipfPacking)->Arg(1000)->Arg(50000);
+
+void BM_BranchAndBound(benchmark::State& state) {
+  const auto files = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(11);
+  const net::Topology topology = net::make_random_metric(8, 2, rng);
+  core::MultiFileProblem problem{net::all_pairs_shortest_paths(topology),
+                                 {},
+                                 {},
+                                 1.0,
+                                 queueing::DelayModel()};
+  double total = 0.0;
+  for (std::size_t f = 0; f < files; ++f) {
+    std::vector<double> lambda(8, 0.0);
+    for (double& rate : lambda) {
+      rate = rng.uniform(0.01, 0.05);
+      total += rate;
+    }
+    problem.per_file_lambda.push_back(std::move(lambda));
+  }
+  problem.mu.assign(8, total * 1.5);
+  const core::MultiFileModel model(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::best_integral_multi_bnb(model));
+  }
+}
+BENCHMARK(BM_BranchAndBound)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_TraceJsonExport(benchmark::State& state) {
+  const core::SingleFileModel model = make_model(20);
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-6;
+  options.record_trace = true;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  std::vector<double> start(20, 0.0);
+  start[0] = 1.0;
+  const core::AllocationResult result = allocator.run(start);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::result_to_json(result));
+  }
+}
+BENCHMARK(BM_TraceJsonExport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

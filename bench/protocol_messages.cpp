@@ -1,0 +1,76 @@
+// Experiment A5: communication requirements of the decentralized protocol.
+// Messages and payload per iteration for the broadcast and central-agent
+// schemes (Section 5.1) and the single- vs multi-copy payload growth
+// (Section 7.3), plus an end-to-end count for the Figure 3 run.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "sim/protocol_sim.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Protocol A5",
+                      "message and payload accounting per iteration");
+
+  util::Table table({"N", "bcast p2p msgs", "bcast LAN msgs",
+                     "central p2p msgs", "central LAN msgs",
+                     "bcast payload (single)", "bcast payload (multi)",
+                     "central payload (single)", "central payload (multi)"},
+                    0);
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    sim::ProtocolConfig broadcast;
+    broadcast.scheme = sim::AggregationScheme::kBroadcast;
+    sim::ProtocolConfig broadcast_multi = broadcast;
+    broadcast_multi.needs_full_allocation = true;
+    sim::ProtocolConfig central;
+    central.scheme = sim::AggregationScheme::kCentralAgent;
+    sim::ProtocolConfig central_multi = central;
+    central_multi.needs_full_allocation = true;
+
+    const auto b = sim::round_message_cost(n, broadcast);
+    const auto bm = sim::round_message_cost(n, broadcast_multi);
+    const auto c = sim::round_message_cost(n, central);
+    const auto cm = sim::round_message_cost(n, central_multi);
+    table.add_row({static_cast<long long>(n),
+                   static_cast<long long>(b.point_to_point),
+                   static_cast<long long>(b.broadcast_medium),
+                   static_cast<long long>(c.point_to_point),
+                   static_cast<long long>(c.broadcast_medium),
+                   static_cast<long long>(b.payload_doubles),
+                   static_cast<long long>(bm.payload_doubles),
+                   static_cast<long long>(c.payload_doubles),
+                   static_cast<long long>(cm.payload_doubles)});
+  }
+  std::cout << bench::render(table)
+            << "(on a broadcast medium both schemes cost N transmissions "
+               "per iteration — the paper's Section 5.1 observation)\n\n";
+
+  // End-to-end: total messages for the Figure 3 headline run, both schemes.
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  util::Table run_table({"scheme", "rounds", "p2p msgs", "LAN msgs",
+                         "payload doubles", "final cost"},
+                        4);
+  for (const auto scheme : {sim::AggregationScheme::kBroadcast,
+                            sim::AggregationScheme::kCentralAgent}) {
+    sim::ProtocolConfig config;
+    config.scheme = scheme;
+    config.algorithm.alpha = 0.3;
+    config.algorithm.epsilon = 1e-3;
+    const sim::ProtocolResult result =
+        sim::run_protocol(model, {0.8, 0.1, 0.1, 0.0}, config);
+    run_table.add_row(
+        {std::string(scheme == sim::AggregationScheme::kBroadcast
+                         ? "broadcast"
+                         : "central agent"),
+         static_cast<long long>(result.rounds),
+         static_cast<long long>(result.point_to_point_messages),
+         static_cast<long long>(result.broadcast_medium_messages),
+         static_cast<long long>(result.payload_doubles), result.cost});
+  }
+  std::cout << bench::render(run_table);
+  return 0;
+}

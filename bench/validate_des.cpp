@@ -1,0 +1,104 @@
+// Experiment A4: the analytic cost model (Eq. 1) vs the discrete-event
+// simulator, across allocations on the paper's four-node ring and on the
+// multicopy virtual ring. The paper evaluates everything through the
+// analytic model; this bench substantiates that choice by running the
+// actual queueing system.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/ring_model.hpp"
+#include "core/single_file.hpp"
+#include "sim/des.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  fap::bench::init(argc, argv);
+  using namespace fap;
+  bench::print_header("Validation A4",
+                      "analytic Eq. 1 cost vs discrete-event measurement");
+
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const std::vector<std::vector<double>> allocations{
+      {0.25, 0.25, 0.25, 0.25}, {0.40, 0.30, 0.20, 0.10},
+      {0.80, 0.10, 0.10, 0.00}, {0.00, 0.00, 0.00, 1.00},
+      {0.50, 0.50, 0.00, 0.00}};
+
+  util::Table table({"allocation", "analytic cost", "measured cost",
+                     "error %", "mean sojourn", "mean comm"},
+                    4);
+  for (const auto& x : allocations) {
+    sim::DesConfig config = sim::des_config_for(model, x);
+    config.measured_accesses = 150000;
+    config.seed = 20260705;
+    const sim::DesResult result = sim::run_des(config);
+    const double analytic = model.cost(x);
+    std::string label = "(";
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      label += util::format_double(x[i], 2);
+      label += (i + 1 < x.size() ? "," : ")");
+    }
+    table.add_row({label, analytic, result.measured_cost,
+                   100.0 * std::fabs(result.measured_cost - analytic) /
+                       analytic,
+                   result.sojourn.mean(), result.comm_cost.mean()});
+  }
+  std::cout << bench::render(table) << '\n';
+
+  // Multicopy ring validation (per-access = rate cost / λ_total = 1).
+  const core::RingModel ring{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  util::Table ring_table(
+      {"ring allocation", "analytic (per access)", "measured", "error %"}, 4);
+  for (const auto& x : {std::vector<double>{0.5, 0.5, 0.5, 0.5},
+                        std::vector<double>{0.9, 0.5, 0.35, 0.25},
+                        std::vector<double>{1.0, 0.0, 1.0, 0.0}}) {
+    sim::DesConfig config = sim::des_config_for(ring, x);
+    config.measured_accesses = 150000;
+    config.seed = 4242;
+    const sim::DesResult result = sim::run_des(config);
+    const double analytic = ring.cost(x);
+    std::string label = "(";
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      label += util::format_double(x[i], 2);
+      label += (i + 1 < x.size() ? "," : ")");
+    }
+    ring_table.add_row(
+        {label, analytic, result.measured_cost,
+         100.0 * std::fabs(result.measured_cost - analytic) / analytic});
+  }
+  std::cout << bench::render(ring_table) << '\n';
+
+  // M/G/1 generalization check: deterministic service measured against the
+  // Pollaczek-Khinchine-based model (Section 5.4).
+  core::SingleFileProblem md1_problem = core::make_paper_ring_problem();
+  md1_problem.delay = queueing::DelayModel::md1();
+  const core::SingleFileModel md1_model(std::move(md1_problem));
+  sim::DesConfig config =
+      sim::des_config_for(md1_model, {0.25, 0.25, 0.25, 0.25});
+  config.service = sim::ServiceDistribution::kDeterministic;
+  config.measured_accesses = 150000;
+  const sim::DesResult md1_result = sim::run_des(config);
+  std::cout << "M/D/1 uniform allocation: analytic "
+            << util::format_double(md1_model.cost({0.25, 0.25, 0.25, 0.25}), 4)
+            << " vs measured "
+            << util::format_double(md1_result.measured_cost, 4) << "\n";
+
+  // M/M/c generalization: two servers per node at half the rate — the
+  // Erlang-C model against a real multi-server system.
+  core::SingleFileProblem mmc_problem = core::make_paper_ring_problem();
+  mmc_problem.delay = queueing::DelayModel::mmc(2);
+  mmc_problem.mu.assign(4, 0.75);  // per-server; capacity 1.5 as before
+  const core::SingleFileModel mmc_model(std::move(mmc_problem));
+  sim::DesConfig mmc_config =
+      sim::des_config_for(mmc_model, {0.25, 0.25, 0.25, 0.25});
+  mmc_config.servers_per_node.assign(4, 2);
+  mmc_config.measured_accesses = 150000;
+  const sim::DesResult mmc_result = sim::run_des(mmc_config);
+  std::cout << "M/M/2 (0.75/server) uniform allocation: analytic "
+            << util::format_double(mmc_model.cost({0.25, 0.25, 0.25, 0.25}),
+                                   4)
+            << " vs measured "
+            << util::format_double(mmc_result.measured_cost, 4) << "\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Scenario from Section 8: "One can easily envision a system where the
+// algorithm is run occasionally at night (or whenever the system is
+// lightly loaded) to gradually improve the allocation."
+//
+// A week of operation: the workload drifts every day (a hot region moves
+// around the network); each night the operator runs a *budgeted* number of
+// iterations from the current allocation. Because the algorithm maintains
+// feasibility and monotonicity (Theorems 1-2), every partial nightly run
+// leaves a valid allocation that is strictly better for the day's
+// workload — exactly the property that makes background operation safe.
+#include <iostream>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "fs/directory.hpp"
+#include "fs/fragment_map.hpp"
+#include "net/generators.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+fap::core::Workload workload_for_day(int day) {
+  // The hot site rotates around the 8-node ring through the week.
+  fap::core::Workload workload;
+  workload.lambda.assign(8, 0.03);
+  workload.lambda[static_cast<std::size_t>(day) % 8] = 0.40;
+  return workload;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fap;
+  std::cout << "Nightly background re-optimization over one week\n"
+            << "------------------------------------------------\n";
+
+  const net::Topology ring = net::make_ring(8, 1.0);
+  constexpr std::size_t kRecords = 4096;
+
+  // Start from a uniform allocation on day 0, deployed via the directory.
+  std::vector<double> allocation(8, 1.0 / 8.0);
+  fap::fs::Directory directory(
+      fap::fs::FragmentMap::from_allocation(kRecords, allocation));
+
+  util::Table table({"day", "hot site", "cost before night run",
+                     "cost after night run", "iterations used",
+                     "records migrated", "directory version"},
+                    4);
+  for (int day = 0; day < 7; ++day) {
+    const core::SingleFileModel model(core::make_problem(
+        ring, workload_for_day(day), /*mu=*/1.0, /*k=*/1.0));
+
+    const double cost_before = model.cost(allocation);
+
+    // Nightly budget: at most 12 iterations — the run may stop before
+    // convergence; feasibility + monotonicity make the partial result
+    // deployable anyway.
+    core::AllocatorOptions options;
+    options.alpha = 0.25;
+    options.epsilon = 1e-5;
+    options.max_iterations = 12;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    const core::AllocationResult night = allocator.run(allocation);
+
+    // Deploy: round to record boundaries, count the migration bill, and
+    // swap the new layout into the directory atomically.
+    const fap::fs::FragmentMap layout =
+        fap::fs::FragmentMap::from_allocation(kRecords, night.x);
+    const std::size_t migrated = directory.migration_records(layout);
+    directory.install(layout);
+
+    table.add_row({static_cast<long long>(day),
+                   static_cast<long long>(day % 8), cost_before, night.cost,
+                   static_cast<long long>(night.iterations),
+                   static_cast<long long>(migrated),
+                   static_cast<long long>(directory.version())});
+    allocation = night.x;  // deploy the improved allocation
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "final allocation after the week (hot site was 6 last):\n  ";
+  for (const double xi : allocation) {
+    std::cout << util::format_double(xi, 3) << ' ';
+  }
+  std::cout << "\n\nEvery night's partial run produced a feasible, strictly "
+               "cheaper allocation\n(Theorems 1 and 2), so the system could "
+               "deploy it immediately each morning.\n";
+  return 0;
+}

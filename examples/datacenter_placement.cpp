@@ -1,0 +1,101 @@
+// Scenario: placing a shared catalog file across a 12-site wide-area
+// deployment with heterogeneous link costs, request rates, server speeds
+// and a query/update mix — the kind of workload the paper's introduction
+// motivates.
+//
+// The example compares the decentralized algorithm against the natural
+// heuristics an operator might try (single cheapest site, proportional to
+// demand, best integral placement), then validates the winner by actually
+// running the system in the discrete-event simulator.
+#include <iostream>
+
+#include "baselines/heuristics.hpp"
+#include "baselines/integral.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fap;
+  std::cout << "Datacenter catalog placement across 12 sites\n"
+            << "---------------------------------------------\n";
+
+  // A 12-site metric network: sites link to their 3 nearest peers; link
+  // cost = distance (e.g. normalized RTT-dollars).
+  util::Rng rng(7);
+  const net::Topology wan = net::make_random_metric(12, 3, rng);
+
+  // Workload: three busy sites, the rest light. Updates are rarer but 4x
+  // as expensive to ship (they carry the record payload).
+  core::QueryUpdateWorkload mix;
+  mix.query_rate.assign(12, 0.02);
+  mix.update_rate.assign(12, 0.005);
+  mix.query_rate[2] = 0.20;
+  mix.query_rate[5] = 0.15;
+  mix.query_rate[9] = 0.10;
+  mix.update_rate[2] = 0.04;
+  mix.query_comm_weight = 1.0;
+  mix.update_comm_weight = 4.0;
+
+  core::SingleFileProblem problem =
+      core::make_problem(wan, mix.combined(), /*mu=*/1.2, /*k=*/1.5);
+  problem.comm_weight_rates = mix.comm_weight_rates();
+  // Sites 0-3 run faster hardware.
+  for (std::size_t i = 0; i < 4; ++i) {
+    problem.mu[i] = 2.0;
+  }
+  const core::SingleFileModel model(std::move(problem));
+
+  // Candidate allocations.
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult optimized =
+      allocator.run(core::uniform_allocation(model));
+
+  const std::vector<double> uniform = core::uniform_allocation(model);
+  const std::vector<double> cheapest =
+      baselines::min_comm_cost_allocation(model);
+  const std::vector<double> proportional =
+      baselines::proportional_to_demand_allocation(model);
+  const baselines::IntegralResult integral =
+      baselines::best_integral_single(model);
+
+  auto measure = [&model](const std::vector<double>& x) {
+    sim::DesConfig config = sim::des_config_for(model, x);
+    config.measured_accesses = 120000;
+    config.seed = 1234;
+    return sim::run_des(config).measured_cost;
+  };
+
+  util::Table table({"strategy", "analytic cost", "measured cost (DES)"}, 4);
+  table.add_row({std::string("decentralized algorithm"), optimized.cost,
+                 measure(optimized.x)});
+  table.add_row({std::string("uniform fragmentation"), model.cost(uniform),
+                 measure(uniform)});
+  table.add_row({std::string("single cheapest site"), model.cost(cheapest),
+                 measure(cheapest)});
+  table.add_row({std::string("proportional to demand"),
+                 model.cost(proportional), measure(proportional)});
+  table.add_row({std::string("best integral placement"), integral.cost,
+                 measure(integral.x)});
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "optimized fragmentation (site: fraction, only > 1%):\n";
+  for (std::size_t i = 0; i < optimized.x.size(); ++i) {
+    if (optimized.x[i] > 0.01) {
+      std::cout << "  site " << i << ": "
+                << util::format_double(optimized.x[i], 3)
+                << (i < 4 ? "  [fast hardware]" : "") << '\n';
+    }
+  }
+  std::cout << "\nconverged in " << optimized.iterations
+            << " iterations; deployment granularity: round to records with "
+               "baselines::round_to_records().\n";
+  return 0;
+}

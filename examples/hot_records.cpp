@@ -1,0 +1,95 @@
+// Non-uniform record popularity, end to end — the Section 4 relaxation
+// ("we will assume that the individual records with a file are accessed
+// on a uniform basis (although this can be easily relaxed)").
+//
+// A 2000-record catalog with Zipf-skewed access lives on the paper's
+// four-node ring where node 0 has faster hardware. The pipeline:
+//   1. optimize per-node ACCESS SHARES with the decentralized algorithm
+//      (Eq. 1 is a function of shares, not bytes);
+//   2. pack records so realized shares match the optimum — hot records
+//      spread first;
+//   3. compare against the naive layout (split records evenly by count);
+//   4. validate both in the discrete-event simulator.
+#include <iostream>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "fs/popularity.hpp"
+#include "fs/weighted_assignment.hpp"
+#include "sim/des.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fap;
+  std::cout << "Hot records: Zipf-skewed access over a fragmented file\n"
+            << "------------------------------------------------------\n";
+
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.mu = {3.0, 1.5, 1.5, 1.5};  // node 0: fast hardware
+  const core::SingleFileModel model(std::move(problem));
+
+  const std::size_t kRecords = 2000;
+  const double kZipf = 1.1;
+  const std::vector<double> popularity =
+      fs::zipf_popularity(kRecords, kZipf);
+  std::cout << "hottest record carries "
+            << util::format_double(100.0 * popularity.front(), 1)
+            << "% of all accesses (Zipf s = " << kZipf << ")\n\n";
+
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const fs::WeightedPlacement placement =
+      fs::optimize_record_placement(model, popularity, options);
+
+  // Naive layout: split the records evenly by count.
+  std::vector<double> even_split(4, 0.25);
+  const fs::FragmentMap naive_map =
+      fs::FragmentMap::from_allocation(kRecords, even_split);
+  const std::vector<double> naive_shares =
+      fs::node_access_shares(naive_map, popularity);
+
+  util::Table table({"node", "optimal access share", "achieved share",
+                     "storage fraction", "naive (even split) share"},
+                    4);
+  for (std::size_t node = 0; node < 4; ++node) {
+    table.add_row({static_cast<long long>(node),
+                   placement.target_shares[node],
+                   placement.assignment.achieved_shares[node],
+                   placement.assignment.storage_fractions[node],
+                   naive_shares[node]});
+  }
+  std::cout << table.to_string() << '\n';
+
+  auto measure = [&model](const std::vector<double>& shares) {
+    sim::DesConfig config = sim::des_config_for(model, shares);
+    config.measured_accesses = 120000;
+    config.seed = 271828;
+    return sim::run_des(config).measured_cost;
+  };
+
+  util::Table costs({"layout", "analytic cost", "measured cost (DES)"}, 4);
+  costs.add_row({std::string("optimized record packing"),
+                 placement.achieved_cost,
+                 measure(placement.assignment.achieved_shares)});
+  costs.add_row({std::string("fractional lower bound"),
+                 placement.fractional_cost, std::string("-")});
+  costs.add_row({std::string("naive even record split"),
+                 model.cost(naive_shares), measure(naive_shares)});
+  std::cout << costs.to_string() << '\n';
+
+  std::cout
+      << "With skewed access, an even record split leaves the head of the\n"
+         "Zipf on one node (whoever holds record 0 serves ~"
+      << util::format_double(100.0 * naive_shares[0], 0)
+      << "% of traffic).\nThe optimizer instead allocates *shares* and the "
+         "packer spreads the\nhot head: node 0 stores "
+      << util::format_double(
+             100.0 * placement.assignment.storage_fractions[0], 1)
+      << "% of the bytes yet serves "
+      << util::format_double(
+             100.0 * placement.assignment.achieved_shares[0], 1)
+      << "% of the accesses.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Section 7 end to end: two replicated copies of a file on a virtual ring
+// imposed over an arbitrary physical network.
+//
+// Steps: impose a ring ordering on a 6-node mesh; allocate m = 2 copies
+// with the oscillation-aware multicopy driver; trim to at most one whole
+// copy per node; compare against the best integral placement; validate the
+// deployable allocation in the discrete-event simulator.
+#include <iostream>
+
+#include "baselines/integral.hpp"
+#include "core/multicopy_allocator.hpp"
+#include "core/ring_model.hpp"
+#include "net/generators.hpp"
+#include "net/virtual_ring.hpp"
+#include "sim/des.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fap;
+  std::cout << "Two copies of a file on a virtual ring (Section 7)\n"
+            << "--------------------------------------------------\n";
+
+  // Physical network: a 6-node mesh; the virtual ring visits the nodes in
+  // a fixed order, each hop routed along the least-cost physical path.
+  util::Rng rng(11);
+  const net::Topology mesh = net::make_erdos_renyi(6, 0.6, 0.5, 2.0, rng);
+  const std::vector<net::NodeId> order{0, 2, 4, 1, 5, 3};
+  const net::VirtualRing ring = net::VirtualRing::from_order(mesh, order);
+
+  std::cout << "virtual ring hop costs (least-cost physical routes):\n  ";
+  for (std::size_t p = 0; p < ring.size(); ++p) {
+    std::cout << util::format_double(ring.forward_cost(p), 2) << ' ';
+  }
+  std::cout << "\n\n";
+
+  core::RingProblem problem{ring,
+                            /*copies=*/2.0,
+                            {0.25, 0.10, 0.10, 0.20, 0.05, 0.30},
+                            std::vector<double>(6, 1.6),
+                            /*k=*/1.0,
+                            queueing::DelayModel::mm1(0.95),
+                            /*max_per_node=*/0.0};
+  const core::RingModel model(problem);
+
+  // Oscillation-aware optimization (Section 7.3 modifications).
+  core::MultiCopyOptions options;
+  options.alpha = 0.08;
+  options.decay_interval = 25;
+  options.alpha_decay = 0.5;
+  options.cost_epsilon = 1e-7;
+  options.max_iterations = 4000;
+  options.record_trace = true;
+  const core::MultiCopyAllocator allocator(model, options);
+  const core::MultiCopyResult result =
+      allocator.run(core::uniform_allocation(model));
+
+  std::cout << "run: " << result.iterations << " iterations, "
+            << result.oscillation_count << " cost upticks, final alpha "
+            << result.final_alpha << '\n';
+
+  // Deployable allocation: cap at one whole copy per node (Section 7.2's
+  // post-processing remark).
+  const std::vector<double> deployable =
+      core::trim_to_whole_copy(model, result.best_x);
+
+  const baselines::IntegralResult integral =
+      baselines::best_integral_ring(model);
+
+  util::Table table({"allocation", "cost (rate)", "comm part", "delay part"},
+                    4);
+  auto row = [&](const std::string& name, const std::vector<double>& x) {
+    table.add_row({name, model.cost(x), model.communication_cost(x),
+                   model.delay_cost(x)});
+  };
+  row("uniform (2/6 each)", core::uniform_allocation(model));
+  row("fragmented optimum (best seen)", result.best_x);
+  row("deployable (trimmed to <= 1 copy)", deployable);
+  row("best integral (2 whole copies)", integral.x);
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "fragment map (ring position: fraction of file):\n";
+  for (std::size_t p = 0; p < deployable.size(); ++p) {
+    std::cout << "  position " << p << " (physical node " << order[p]
+              << "): " << util::format_double(deployable[p], 3) << '\n';
+  }
+
+  // Validate with the discrete-event simulator.
+  sim::DesConfig config = sim::des_config_for(model, deployable);
+  config.measured_accesses = 120000;
+  config.seed = 77;
+  const sim::DesResult des = sim::run_des(config);
+  double total_rate = 0.0;
+  for (const double rate : model.problem().lambda) {
+    total_rate += rate;
+  }
+  std::cout << "\nDES validation: measured per-access cost "
+            << util::format_double(des.measured_cost, 4) << " vs analytic "
+            << util::format_double(model.cost(deployable) / total_rate, 4)
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,73 @@
+// The algorithm as a distributed protocol: message-level execution with
+// both aggregation schemes of Section 5.1, showing per-round progress and
+// the communication bill.
+#include <iostream>
+
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "sim/protocol_sim.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fap;
+  std::cout << "Decentralized protocol trace (Section 5.1 schemes)\n"
+            << "--------------------------------------------------\n";
+
+  // A 6-node star: the hub is the natural central agent.
+  const net::Topology star = net::make_star(6, 1.0);
+  core::Workload workload;
+  workload.lambda = {0.05, 0.15, 0.10, 0.25, 0.20, 0.05};
+  const core::SingleFileModel model(
+      core::make_problem(star, workload, /*mu=*/1.3, /*k=*/1.0));
+
+  sim::ProtocolConfig config;
+  config.algorithm.alpha = 0.2;
+  config.algorithm.epsilon = 1e-4;
+  config.algorithm.max_iterations = 10000;
+  config.record_cost_trace = true;
+
+  std::cout << "\n-- broadcast scheme (every node -> every node) --\n";
+  config.scheme = sim::AggregationScheme::kBroadcast;
+  const sim::ProtocolResult broadcast =
+      sim::run_protocol(model, core::uniform_allocation(model), config);
+
+  util::Table trace({"round", "system cost"}, 6);
+  for (std::size_t t = 0; t < broadcast.cost_trace.size(); ++t) {
+    trace.add_row({static_cast<long long>(t + 1), broadcast.cost_trace[t]});
+  }
+  std::cout << trace.to_string();
+
+  std::cout << "\n-- per-run communication bill --\n";
+  config.record_cost_trace = false;
+  config.scheme = sim::AggregationScheme::kCentralAgent;
+  const sim::ProtocolResult central =
+      sim::run_protocol(model, core::uniform_allocation(model), config);
+
+  util::Table bill({"scheme", "rounds", "point-to-point msgs",
+                    "LAN transmissions", "payload (doubles)", "final cost"},
+                   4);
+  bill.add_row({std::string("broadcast"),
+                static_cast<long long>(broadcast.rounds),
+                static_cast<long long>(broadcast.point_to_point_messages),
+                static_cast<long long>(broadcast.broadcast_medium_messages),
+                static_cast<long long>(broadcast.payload_doubles),
+                broadcast.cost});
+  bill.add_row({std::string("central agent (hub)"),
+                static_cast<long long>(central.rounds),
+                static_cast<long long>(central.point_to_point_messages),
+                static_cast<long long>(central.broadcast_medium_messages),
+                static_cast<long long>(central.payload_doubles),
+                central.cost});
+  std::cout << bill.to_string() << '\n';
+
+  std::cout << "Both schemes compute the identical allocation (the paper's\n"
+               "agreement argument); on a broadcast medium their message\n"
+               "counts coincide, on point-to-point links the central agent\n"
+               "is cheaper per round.\n";
+  std::cout << "\nfinal allocation:";
+  for (const double xi : broadcast.x) {
+    std::cout << ' ' << util::format_double(xi, 3);
+  }
+  std::cout << '\n';
+  return 0;
+}

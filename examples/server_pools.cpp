@@ -1,0 +1,74 @@
+// Multi-server nodes (M/M/c) and the economics of pooling.
+//
+// Two deployments of the same total hardware on the paper's four-node
+// ring: four nodes each running ONE fast server of rate 1.5, versus four
+// nodes each running FOUR slow servers of rate 0.375 (same per-node
+// capacity). Classic queueing theory says the pooled-capacity node with
+// one fast server waits less at low load, while many slow servers smooth
+// variance at high utilization — and the optimizer sees all of it through
+// queueing::DelayModel. The example optimizes both, then validates the
+// multi-server prediction in the discrete-event simulator.
+#include <iostream>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "queueing/delay.hpp"
+#include "sim/des.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fap;
+  std::cout << "Server pools: one fast server vs four slow servers\n"
+            << "--------------------------------------------------\n";
+
+  // Deployment A: the paper's setup (one server of rate 1.5 per node).
+  const core::SingleFileModel fast(core::make_paper_ring_problem());
+
+  // Deployment B: four servers of rate 0.375 per node (same capacity).
+  core::SingleFileProblem pooled_problem = core::make_paper_ring_problem();
+  pooled_problem.delay = queueing::DelayModel::mmc(4);
+  pooled_problem.mu.assign(4, 0.375);
+  const core::SingleFileModel pooled(std::move(pooled_problem));
+
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::AllocationResult fast_run =
+      core::ResourceDirectedAllocator(fast, options)
+          .run({0.8, 0.1, 0.1, 0.0});
+  const core::AllocationResult pooled_run =
+      core::ResourceDirectedAllocator(pooled, options)
+          .run({0.8, 0.1, 0.1, 0.0});
+
+  util::Table table({"deployment", "optimal cost", "sojourn at x=1/4",
+                     "iterations"},
+                    4);
+  table.add_row({std::string("1 server x rate 1.5 (M/M/1)"), fast_run.cost,
+                 fast.problem().delay.sojourn(0.25, 1.5),
+                 static_cast<long long>(fast_run.iterations)});
+  table.add_row({std::string("4 servers x rate 0.375 (M/M/4)"),
+                 pooled_run.cost,
+                 pooled.problem().delay.sojourn(0.25, 0.375),
+                 static_cast<long long>(pooled_run.iterations)});
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "One fast server wins at this utilization (ρ = 1/6): most\n"
+               "of the sojourn is service time, and a 4x slower server\n"
+               "quadruples it. Both deployments still fragment uniformly —\n"
+               "the symmetric optimum is a property of the network, not the\n"
+               "queue discipline.\n\n";
+
+  // Validate the M/M/4 model against a running multi-server system.
+  sim::DesConfig config =
+      sim::des_config_for(pooled, {0.25, 0.25, 0.25, 0.25});
+  config.servers_per_node.assign(4, 4);
+  config.measured_accesses = 120000;
+  config.seed = 4444;
+  const sim::DesResult des = sim::run_des(config);
+  std::cout << "DES check (M/M/4 nodes): analytic cost "
+            << util::format_double(pooled.cost({0.25, 0.25, 0.25, 0.25}), 4)
+            << " vs measured "
+            << util::format_double(des.measured_cost, 4) << '\n';
+  return 0;
+}

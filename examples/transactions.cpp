@@ -1,0 +1,84 @@
+// Concurrency control over a fragmented file (Section 8.1 made runnable).
+//
+// Ten records are fragmented 5/5 across two nodes. Two multi-record
+// transactions arrive with different message orderings at the two nodes —
+// the paper's deadlock scenario — and the waits-for detector catches the
+// cycle; aborting the younger transaction resolves it. Then the
+// counterpoint: a read-heavy workload where shared locks let readers
+// proceed in parallel on both fragments, the concurrency benefit that
+// "may well offset any overhead incurred in supporting predicate lock
+// operations".
+#include <iostream>
+
+#include "fs/directory.hpp"
+#include "fs/fragment_map.hpp"
+#include "fs/lock_manager.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace fap;
+  std::cout << "Transactions over a fragmented file (Section 8.1)\n"
+            << "-------------------------------------------------\n";
+
+  // The file: 10 records split 5/5 over nodes A (0) and B (1).
+  const fs::FragmentMap layout =
+      fs::FragmentMap::from_allocation(10, {0.5, 0.5});
+  const fs::Directory directory(layout);
+  std::cout << "record 3 lives at node " << directory.lookup(3)
+            << ", record 7 at node " << directory.lookup(7) << "\n\n";
+
+  // --- The deadlock scenario --------------------------------------------
+  fs::LockManager locks;
+  constexpr fs::TxnId kTxnC = 1;
+  constexpr fs::TxnId kTxnD = 2;
+
+  std::cout << "-- scenario: C and D both update all ten records --\n";
+  std::cout << "node A sees C first: C locks records 0-4\n";
+  for (std::size_t r = 0; r < 5; ++r) {
+    locks.acquire(kTxnC, r, fs::LockMode::kExclusive);
+  }
+  std::cout << "node B sees D first: D locks records 5-9\n";
+  for (std::size_t r = 5; r < 10; ++r) {
+    locks.acquire(kTxnD, r, fs::LockMode::kExclusive);
+  }
+  std::cout << "D's subtransaction reaches node A: waits on C\n";
+  locks.acquire(kTxnD, 0, fs::LockMode::kExclusive);
+  std::cout << "C's subtransaction reaches node B: waits on D\n";
+  locks.acquire(kTxnC, 5, fs::LockMode::kExclusive);
+
+  const std::vector<fs::TxnId> cycle = locks.find_deadlock();
+  std::cout << "\nwaits-for cycle detected between transactions:";
+  for (const fs::TxnId txn : cycle) {
+    std::cout << " T" << txn;
+  }
+  std::cout << "  (\"This would create a deadlock.\")\n";
+
+  std::cout << "resolving: abort T" << kTxnD << " and retry it later\n";
+  locks.release_all(kTxnD);
+  std::cout << "deadlock after abort? "
+            << (locks.find_deadlock().empty() ? "no" : "yes")
+            << "; C now holds record 5: "
+            << (locks.holds(kTxnC, 5) ? "yes" : "no") << "\n\n";
+  locks.release_all(kTxnC);
+
+  // --- The counterpoint: parallel reads ----------------------------------
+  std::cout << "-- scenario: four analytics readers over both fragments --\n";
+  util::Table table({"reader", "records locked", "granted immediately"}, 0);
+  for (fs::TxnId reader = 10; reader < 14; ++reader) {
+    std::size_t granted = 0;
+    for (std::size_t r = 0; r < 10; ++r) {
+      if (locks.acquire(reader, r, fs::LockMode::kShared) ==
+          fs::LockOutcome::kGranted) {
+        ++granted;
+      }
+    }
+    table.add_row({static_cast<long long>(reader), 10LL,
+                   static_cast<long long>(granted)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nAll four readers hold all ten shared locks concurrently —\n"
+               "reads on the two fragments proceed in parallel, the\n"
+               "concurrency upside of fragmentation the paper weighs against\n"
+               "the multi-node locking overhead.\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every figure and ablation of EXPERIMENTS.md.
+#
+#   scripts/reproduce.sh [results_dir]
+#
+# Builds (if needed), runs the full test suite, then every bench binary —
+# once as human-readable text and once as CSV — into results_dir
+# (default: ./results).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RESULTS="${1:-results}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p "$RESULTS"
+for bench in build/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "== $name =="
+  "$bench" | tee "$RESULTS/$name.txt" > /dev/null
+  "$bench" --csv > "$RESULTS/$name.csv" 2>/dev/null || true
+done
+
+echo
+echo "All outputs in $RESULTS/. Compare against EXPERIMENTS.md."

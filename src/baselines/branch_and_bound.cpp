@@ -1,0 +1,173 @@
+#include "baselines/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace fap::baselines {
+
+namespace {
+
+// Depth-first search state shared across the recursion.
+struct Search {
+  const core::MultiFileModel& model;
+  std::size_t node_cap;
+  // Files in search order (descending rate — heavy files first makes the
+  // bound bite early).
+  std::vector<std::size_t> file_order;
+  // standalone[f][i]: cost of file f alone at node i (admissible
+  // ingredient: contention can only add to it).
+  std::vector<std::vector<double>> standalone;
+  // Per-file node order by ascending standalone cost (good incumbents
+  // early).
+  std::vector<std::vector<std::size_t>> node_order;
+  // remaining[d]: Σ over files at depths >= d of their cheapest
+  // standalone cost.
+  std::vector<double> remaining;
+
+  // Mutable DFS state.
+  std::vector<double> arrival;        // a_i of placed files
+  std::vector<std::size_t> count;     // files placed at node i
+  std::vector<std::size_t> assigned;  // host per file (by original index)
+  double partial_cost = 0.0;
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_hosts;
+  BranchAndBoundStats stats;
+
+  double delta_cost(std::size_t file, std::size_t node) const {
+    const auto& problem = model.problem();
+    const double mu = problem.mu[node];
+    const double rate = model.file_rate(file);
+    const double before =
+        count[node] == 0
+            ? 0.0
+            : static_cast<double>(count[node]) *
+                  problem.k * problem.delay.sojourn(arrival[node], mu);
+    const double after = static_cast<double>(count[node] + 1) * problem.k *
+                         problem.delay.sojourn(arrival[node] + rate, mu);
+    return model.access_cost(file, node) + (after - before);
+  }
+
+  void place(std::size_t file, std::size_t node, double delta) {
+    arrival[node] += model.file_rate(file);
+    ++count[node];
+    assigned[file] = node;
+    partial_cost += delta;
+  }
+
+  void unplace(std::size_t file, std::size_t node, double delta) {
+    arrival[node] -= model.file_rate(file);
+    --count[node];
+    partial_cost -= delta;
+  }
+
+  void dfs(std::size_t depth) {
+    FAP_ENSURES(stats.nodes_explored < node_cap,
+                "branch-and-bound exceeded its search budget");
+    ++stats.nodes_explored;
+    if (depth == file_order.size()) {
+      if (partial_cost < best_cost) {
+        best_cost = partial_cost;
+        best_hosts = assigned;
+      }
+      return;
+    }
+    const std::size_t file = file_order[depth];
+    for (const std::size_t node : node_order[file]) {
+      const double delta = delta_cost(file, node);
+      // Admissible bound: exact partial + this move + cheapest standalone
+      // completion of everything deeper.
+      const double bound = partial_cost + delta + remaining[depth + 1];
+      if (bound >= best_cost) {
+        ++stats.pruned;
+        continue;
+      }
+      place(file, node, delta);
+      dfs(depth + 1);
+      unplace(file, node, delta);
+    }
+  }
+};
+
+}  // namespace
+
+BranchAndBoundResult best_integral_multi_bnb(
+    const core::MultiFileModel& model, std::size_t node_cap) {
+  const std::size_t files = model.file_count();
+  const std::size_t nodes = model.node_count();
+  FAP_EXPECTS(files >= 1 && nodes >= 1, "need files and nodes");
+
+  Search search{model,
+                node_cap,
+                {},
+                {},
+                {},
+                {},
+                std::vector<double>(nodes, 0.0),
+                std::vector<std::size_t>(nodes, 0),
+                std::vector<std::size_t>(files, 0),
+                0.0,
+                std::numeric_limits<double>::infinity(),
+                {},
+                {}};
+
+  // Standalone costs and per-file node orders.
+  search.standalone.assign(files, std::vector<double>(nodes, 0.0));
+  search.node_order.assign(files, {});
+  const auto& problem = model.problem();
+  for (std::size_t f = 0; f < files; ++f) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      search.standalone[f][i] =
+          model.access_cost(f, i) +
+          problem.k * problem.delay.sojourn(model.file_rate(f),
+                                            problem.mu[i]);
+    }
+    search.node_order[f].resize(nodes);
+    std::iota(search.node_order[f].begin(), search.node_order[f].end(),
+              std::size_t{0});
+    std::sort(search.node_order[f].begin(), search.node_order[f].end(),
+              [&](std::size_t a, std::size_t b) {
+                return search.standalone[f][a] < search.standalone[f][b];
+              });
+  }
+
+  // File order: heaviest first.
+  search.file_order.resize(files);
+  std::iota(search.file_order.begin(), search.file_order.end(),
+            std::size_t{0});
+  std::sort(search.file_order.begin(), search.file_order.end(),
+            [&model](std::size_t a, std::size_t b) {
+              return model.file_rate(a) > model.file_rate(b);
+            });
+
+  // Suffix sums of cheapest standalone costs.
+  search.remaining.assign(files + 1, 0.0);
+  for (std::size_t d = files; d > 0; --d) {
+    const std::size_t f = search.file_order[d - 1];
+    const double cheapest = search.standalone[f][search.node_order[f][0]];
+    search.remaining[d - 1] = search.remaining[d] + cheapest;
+  }
+
+  search.dfs(0);
+
+  BranchAndBoundResult result;
+  result.stats = search.stats;
+  result.best.hosts = search.best_hosts;
+  result.best.cost = search.best_cost;
+  result.best.x.assign(model.dimension(), 0.0);
+  for (std::size_t f = 0; f < files; ++f) {
+    result.best.x[model.index(f, search.best_hosts[f])] = 1.0;
+  }
+  // Cross-check the incremental bookkeeping against the model.
+  FAP_ENSURES(std::fabs(model.cost(result.best.x) - result.best.cost) <
+                  1e-6 * (1.0 + result.best.cost),
+              "incremental cost accounting diverged from the model");
+  result.best.cost = model.cost(result.best.x);
+  return result;
+}
+
+}  // namespace fap::baselines

@@ -1,0 +1,45 @@
+// Exact integral multi-file placement by branch and bound — the
+// integer-programming lineage the paper situates itself against
+// (Section 3: Chu's 0/1 formulation [8], later shown NP-complete [12]).
+//
+// best_integral_multi (integral.hpp) enumerates all N^M assignments and
+// stalls beyond ~10^6 combinations. This solver searches the same space
+// as a depth-first tree over files with an admissible lower bound:
+//
+//   bound(partial) = exact cost of the files already placed
+//                  + Σ_{f unplaced} min_i standalone_cost(f at i),
+//
+// where standalone_cost ignores queue contention from other files. Both
+// terms only grow as more files are added to a node's queue (T(a) is
+// increasing in a), so the bound never overestimates and pruning is safe
+// — the result provably equals the brute-force optimum (pinned by tests),
+// while solving instances (say, 8 files × 12 nodes ≈ 4·10^8 assignments)
+// that enumeration cannot touch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/integral.hpp"
+#include "core/multi_file.hpp"
+
+namespace fap::baselines {
+
+struct BranchAndBoundStats {
+  std::size_t nodes_explored = 0;  ///< search-tree nodes visited
+  std::size_t pruned = 0;          ///< subtrees cut by the bound
+};
+
+struct BranchAndBoundResult {
+  IntegralResult best;
+  BranchAndBoundStats stats;
+};
+
+/// Exact optimal assignment of every file wholly to one node. `node_cap`
+/// bounds the search effort (tree nodes); the search throws if exceeded
+/// (default is generous — pruning typically visits a tiny fraction of the
+/// space).
+BranchAndBoundResult best_integral_multi_bnb(
+    const core::MultiFileModel& model, std::size_t node_cap = 50000000);
+
+}  // namespace fap::baselines

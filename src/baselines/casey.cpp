@@ -1,0 +1,154 @@
+#include "baselines/casey.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fap::baselines {
+
+namespace {
+
+void validate(const CaseyProblem& problem) {
+  const std::size_t n = problem.comm.node_count();
+  FAP_EXPECTS(problem.query_rate.size() == n, "query rate size mismatch");
+  FAP_EXPECTS(problem.update_rate.size() == n, "update rate size mismatch");
+  FAP_EXPECTS(problem.storage_cost >= 0.0,
+              "storage cost must be non-negative");
+  for (std::size_t j = 0; j < n; ++j) {
+    FAP_EXPECTS(problem.query_rate[j] >= 0.0 &&
+                    problem.update_rate[j] >= 0.0,
+                "rates must be non-negative");
+  }
+}
+
+}  // namespace
+
+double casey_cost(const CaseyProblem& problem,
+                  const std::vector<bool>& hosts) {
+  validate(problem);
+  const std::size_t n = problem.comm.node_count();
+  FAP_EXPECTS(hosts.size() == n, "host vector size mismatch");
+  std::size_t copies = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hosts[i]) {
+      ++copies;
+    }
+  }
+  FAP_EXPECTS(copies >= 1, "at least one copy must exist");
+
+  double cost = problem.storage_cost * static_cast<double>(copies);
+  for (std::size_t j = 0; j < n; ++j) {
+    double nearest = std::numeric_limits<double>::infinity();
+    double all_copies = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (hosts[i]) {
+        nearest = std::min(nearest, problem.comm.cost(j, i));
+        all_copies += problem.comm.cost(j, i);
+      }
+    }
+    cost += problem.query_rate[j] * nearest +
+            problem.update_rate[j] * all_copies;
+  }
+  return cost;
+}
+
+CaseyResult casey_optimal(const CaseyProblem& problem,
+                          std::size_t max_exhaustive_nodes) {
+  validate(problem);
+  const std::size_t n = problem.comm.node_count();
+  FAP_EXPECTS(n <= max_exhaustive_nodes && n < 64,
+              "too many nodes for exhaustive subset search; use "
+              "casey_local_search");
+
+  CaseyResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<bool> hosts(n, false);
+  const std::uint64_t subsets = (std::uint64_t{1} << n);
+  for (std::uint64_t mask = 1; mask < subsets; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts[i] = ((mask >> i) & 1u) != 0;
+    }
+    const double cost = casey_cost(problem, hosts);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.hosts = hosts;
+    }
+  }
+  best.copies = static_cast<std::size_t>(
+      std::count(best.hosts.begin(), best.hosts.end(), true));
+  return best;
+}
+
+CaseyResult casey_local_search(const CaseyProblem& problem) {
+  validate(problem);
+  const std::size_t n = problem.comm.node_count();
+
+  // Best single host as the start.
+  std::vector<bool> hosts(n, false);
+  hosts[0] = true;
+  double cost = casey_cost(problem, hosts);
+  for (std::size_t i = 1; i < n; ++i) {
+    std::vector<bool> candidate(n, false);
+    candidate[i] = true;
+    const double c = casey_cost(problem, candidate);
+    if (c < cost) {
+      cost = c;
+      hosts = candidate;
+    }
+  }
+
+  // Steepest-descent add / drop / swap.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    std::vector<bool> best_move = hosts;
+    double best_cost = cost;
+
+    auto consider = [&](std::vector<bool> candidate) {
+      if (std::none_of(candidate.begin(), candidate.end(),
+                       [](bool h) { return h; })) {
+        return;  // empty host set infeasible
+      }
+      const double c = casey_cost(problem, candidate);
+      if (c < best_cost - 1e-12) {
+        best_cost = c;
+        best_move = std::move(candidate);
+      }
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<bool> toggled = hosts;
+      toggled[i] = !toggled[i];
+      consider(std::move(toggled));  // add or drop
+    }
+    for (std::size_t out = 0; out < n; ++out) {
+      if (!hosts[out]) {
+        continue;
+      }
+      for (std::size_t in = 0; in < n; ++in) {
+        if (hosts[in]) {
+          continue;
+        }
+        std::vector<bool> swapped = hosts;
+        swapped[out] = false;
+        swapped[in] = true;
+        consider(std::move(swapped));
+      }
+    }
+    if (best_cost < cost - 1e-12) {
+      hosts = best_move;
+      cost = best_cost;
+      improved = true;
+    }
+  }
+
+  CaseyResult result;
+  result.hosts = hosts;
+  result.cost = cost;
+  result.copies = static_cast<std::size_t>(
+      std::count(hosts.begin(), hosts.end(), true));
+  return result;
+}
+
+}  // namespace fap::baselines

@@ -1,0 +1,53 @@
+// Casey's classical file allocation model [4] (surveyed in the paper's
+// Section 3): whole copies of a single file at a subset S of nodes, with
+// queries served by the nearest copy, updates applied to every copy, and
+// a storage cost per copy:
+//
+//   cost(S) = Σ_j q_j · min_{i∈S} c_ji          (queries)
+//           + Σ_j u_j · Σ_{i∈S} c_ji            (updates hit all copies)
+//           + σ · |S|                            (storage)
+//
+// Implemented as the classical integral baseline the paper's fragmented
+// algorithm is contrasted with: an exact subset search (2^N - 1
+// candidates, fine to ~20 nodes) plus an add/drop/swap local-search
+// heuristic for larger networks, in the spirit of the heuristic FAP
+// literature ([27], [5]). The comparison bench (ablation_casey) shows the
+// classic query/update tension: more update traffic or dearer storage
+// drives the optimal copy count down.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/shortest_paths.hpp"
+
+namespace fap::baselines {
+
+struct CaseyProblem {
+  net::CostMatrix comm;             ///< c_ji, least-cost routes
+  std::vector<double> query_rate;   ///< q_j per node
+  std::vector<double> update_rate;  ///< u_j per node
+  double storage_cost = 0.0;        ///< σ per copy
+};
+
+struct CaseyResult {
+  std::vector<bool> hosts;  ///< hosts[i]: node i holds a copy
+  std::size_t copies = 0;
+  double cost = 0.0;
+};
+
+/// cost(S) for an explicit host set (at least one host required).
+double casey_cost(const CaseyProblem& problem,
+                  const std::vector<bool>& hosts);
+
+/// Exact optimum by exhaustive subset enumeration; requires
+/// node_count <= max_exhaustive_nodes (default 20 ⇒ ~10^6 subsets).
+CaseyResult casey_optimal(const CaseyProblem& problem,
+                          std::size_t max_exhaustive_nodes = 20);
+
+/// Local search: start from the best single host, then greedily apply the
+/// best improving add / drop / swap until none improves. Always returns a
+/// feasible (non-empty) host set; typically optimal or near-optimal.
+CaseyResult casey_local_search(const CaseyProblem& problem);
+
+}  // namespace fap::baselines

@@ -1,0 +1,101 @@
+#include "baselines/heuristics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace fap::baselines {
+
+std::vector<double> min_comm_cost_allocation(
+    const core::SingleFileModel& model) {
+  const std::vector<double>& costs = model.access_costs();
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(costs.begin(), costs.end()) - costs.begin());
+  std::vector<double> x(model.dimension(), 0.0);
+  x[best] = 1.0;
+  return x;
+}
+
+std::vector<double> proportional_to_demand_allocation(
+    const core::SingleFileModel& model) {
+  const std::vector<double>& lambda = model.problem().lambda;
+  const double total = model.total_rate();
+  std::vector<double> x(lambda.size(), 0.0);
+  for (std::size_t i = 0; i < lambda.size(); ++i) {
+    x[i] = lambda[i] / total;
+  }
+  return x;
+}
+
+std::vector<double> greedy_chunk_allocation(const core::CostModel& model,
+                                            std::size_t chunks) {
+  FAP_EXPECTS(chunks >= 1, "need at least one chunk");
+  std::vector<double> x(model.dimension(), 0.0);
+  for (const core::ConstraintGroup& group : model.constraint_groups()) {
+    const double piece = group.total / static_cast<double>(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      // Tentatively place the piece at the feasibility-preserving position
+      // of least marginal cost. The gradient is evaluated on a feasible
+      // completion: remaining mass spread uniformly. This keeps the model
+      // usable even when it validates feasibility internally.
+      std::vector<double> probe = x;
+      const double remaining =
+          piece * static_cast<double>(chunks - c);
+      for (const std::size_t i : group.indices) {
+        probe[i] += remaining / static_cast<double>(group.indices.size());
+      }
+      const std::vector<double> grad = model.gradient(probe);
+      std::size_t best = group.indices.front();
+      double best_grad = std::numeric_limits<double>::infinity();
+      for (const std::size_t i : group.indices) {
+        if (grad[i] < best_grad) {
+          best_grad = grad[i];
+          best = i;
+        }
+      }
+      x[best] += piece;
+    }
+  }
+  return x;
+}
+
+std::vector<double> round_to_records(const core::CostModel& model,
+                                     const std::vector<double>& x,
+                                     std::size_t records) {
+  FAP_EXPECTS(records >= 1, "need at least one record");
+  model.check_feasible(x);
+  std::vector<double> rounded = x;
+  for (const core::ConstraintGroup& group : model.constraint_groups()) {
+    // Work in units of one record; distribute leftover records to the
+    // largest fractional remainders (largest-remainder / Hamilton method).
+    const double unit = group.total / static_cast<double>(records);
+    std::vector<long long> whole(group.indices.size(), 0);
+    std::vector<double> remainder(group.indices.size(), 0.0);
+    long long assigned = 0;
+    for (std::size_t k = 0; k < group.indices.size(); ++k) {
+      const double in_units = x[group.indices[k]] / unit;
+      whole[k] = static_cast<long long>(std::floor(in_units));
+      remainder[k] = in_units - static_cast<double>(whole[k]);
+      assigned += whole[k];
+    }
+    long long leftover = static_cast<long long>(records) - assigned;
+    std::vector<std::size_t> order(group.indices.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return remainder[a] > remainder[b];
+    });
+    for (std::size_t k = 0; k < order.size() && leftover > 0; ++k, --leftover) {
+      ++whole[order[k]];
+    }
+    FAP_ENSURES(leftover <= 0, "largest-remainder rounding lost records");
+    for (std::size_t k = 0; k < group.indices.size(); ++k) {
+      rounded[group.indices[k]] = static_cast<double>(whole[k]) * unit;
+    }
+  }
+  return rounded;
+}
+
+}  // namespace fap::baselines

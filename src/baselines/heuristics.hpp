@@ -1,0 +1,40 @@
+// Simple allocation heuristics used as comparison points in tests,
+// examples and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/single_file.hpp"
+
+namespace fap::baselines {
+
+/// Concentrates the whole file at the node with the cheapest system-wide
+/// communication cost C_i — the optimal strategy "if communication is the
+/// sole cost" (Section 4).
+std::vector<double> min_comm_cost_allocation(
+    const core::SingleFileModel& model);
+
+/// Allocates fragments proportionally to the locally generated access rate
+/// λ_i — a natural "keep data where it is used" heuristic.
+std::vector<double> proportional_to_demand_allocation(
+    const core::SingleFileModel& model);
+
+/// Greedy chunked allocation: splits each constraint group's total into
+/// `chunks` equal pieces and assigns each piece to the variable with the
+/// smallest marginal cost given everything assigned so far. Converges to
+/// the continuous optimum as chunks grows; a coarse chunk count mimics a
+/// record-granular assignment.
+std::vector<double> greedy_chunk_allocation(const core::CostModel& model,
+                                            std::size_t chunks);
+
+/// Rounds a fractional allocation to multiples of 1/records per group
+/// ("the divisions have to be based on the atomic elements of the file —
+/// records", Section 5.1) using largest-remainder rounding, preserving
+/// each group total exactly.
+std::vector<double> round_to_records(const core::CostModel& model,
+                                     const std::vector<double>& x,
+                                     std::size_t records);
+
+}  // namespace fap::baselines

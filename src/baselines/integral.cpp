@@ -1,0 +1,127 @@
+#include "baselines/integral.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fap::baselines {
+
+IntegralResult best_integral_single(const core::SingleFileModel& model) {
+  const std::size_t n = model.dimension();
+  IntegralResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<double> x(n, 0.0);
+  for (std::size_t host = 0; host < n; ++host) {
+    x.assign(n, 0.0);
+    x[host] = 1.0;
+    const double cost = model.cost(x);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.x = x;
+      best.hosts = {host};
+    }
+  }
+  return best;
+}
+
+IntegralResult best_integral_multi(const core::MultiFileModel& model,
+                                   std::size_t enumeration_cap) {
+  const std::size_t n = model.node_count();
+  const std::size_t m = model.file_count();
+  // Total assignments = n^m; refuse combinatorial blowups.
+  double combinations = 1.0;
+  for (std::size_t f = 0; f < m; ++f) {
+    combinations *= static_cast<double>(n);
+  }
+  FAP_EXPECTS(combinations <= static_cast<double>(enumeration_cap),
+              "n^m exceeds the enumeration cap; use the decentralized "
+              "algorithm or a heuristic instead");
+
+  IntegralResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> hosts(m, 0);
+  std::vector<double> x(model.dimension(), 0.0);
+  for (;;) {
+    x.assign(model.dimension(), 0.0);
+    for (std::size_t f = 0; f < m; ++f) {
+      x[model.index(f, hosts[f])] = 1.0;
+    }
+    const double cost = model.cost(x);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.x = x;
+      best.hosts = hosts;
+    }
+    // Odometer increment over hosts.
+    std::size_t digit = 0;
+    while (digit < m && ++hosts[digit] == n) {
+      hosts[digit] = 0;
+      ++digit;
+    }
+    if (digit == m) {
+      break;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Enumerate size-m subsets of {0..n-1} via lexicographic combination walk.
+template <typename Visitor>
+void for_each_subset(std::size_t n, std::size_t m, Visitor&& visit) {
+  std::vector<std::size_t> subset(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    subset[i] = i;
+  }
+  for (;;) {
+    visit(subset);
+    // Advance to the next combination.
+    std::size_t i = m;
+    while (i > 0) {
+      --i;
+      if (subset[i] != i + n - m) {
+        ++subset[i];
+        for (std::size_t j = i + 1; j < m; ++j) {
+          subset[j] = subset[j - 1] + 1;
+        }
+        i = m + 1;  // sentinel: advanced successfully
+        break;
+      }
+    }
+    if (i != m + 1) {
+      break;  // exhausted
+    }
+  }
+}
+
+}  // namespace
+
+IntegralResult best_integral_ring(const core::RingModel& model) {
+  const double copies = model.problem().copies;
+  const auto m = static_cast<std::size_t>(std::llround(copies));
+  FAP_EXPECTS(std::fabs(copies - static_cast<double>(m)) < 1e-12,
+              "integral placement requires a whole number of copies");
+  const std::size_t n = model.dimension();
+  FAP_EXPECTS(m >= 1 && m <= n, "copy count must be in [1, n]");
+
+  IntegralResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<double> x(n, 0.0);
+  for_each_subset(n, m, [&](const std::vector<std::size_t>& subset) {
+    x.assign(n, 0.0);
+    for (const std::size_t host : subset) {
+      x[host] = 1.0;
+    }
+    const double cost = model.cost(x);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.x = x;
+      best.hosts = subset;
+    }
+  });
+  return best;
+}
+
+}  // namespace fap::baselines

@@ -1,0 +1,39 @@
+// Integral (0/1) allocation baselines, in the tradition of Chu [8]: a file
+// (or copy) must reside wholly at one node. Figure 4 compares the paper's
+// fragmented optimum against the best integral placement and reports a
+// ~25% cost reduction; these exhaustive searches provide that comparison
+// point (and the ground truth for heuristic tests).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/multi_file.hpp"
+#include "core/ring_model.hpp"
+#include "core/single_file.hpp"
+
+namespace fap::baselines {
+
+struct IntegralResult {
+  std::vector<double> x;  ///< allocation in the model's variable layout
+  double cost = 0.0;
+  /// Chosen host node per file/copy.
+  std::vector<std::size_t> hosts;
+};
+
+/// Best whole-file placement for the single-file problem: the node i
+/// minimizing C_i + k·T(λ, μ_i). Exact by enumeration (N candidates).
+IntegralResult best_integral_single(const core::SingleFileModel& model);
+
+/// Best whole-file placement per file for the multi-file problem,
+/// accounting for queue sharing between co-located files. Exact by
+/// enumerating all N^M assignments; requires N^M <= enumeration_cap.
+IntegralResult best_integral_multi(const core::MultiFileModel& model,
+                                   std::size_t enumeration_cap = 2000000);
+
+/// Best placement of m whole copies (m = model.problem().copies, which
+/// must be integral) at m distinct ring nodes. Exact by enumerating all
+/// C(n, m) node subsets.
+IntegralResult best_integral_ring(const core::RingModel& model);
+
+}  // namespace fap::baselines

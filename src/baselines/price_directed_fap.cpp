@@ -1,0 +1,73 @@
+#include "baselines/price_directed_fap.hpp"
+
+#include "util/contracts.hpp"
+
+namespace fap::baselines {
+
+std::vector<econ::ConcaveUtility> fap_agent_utilities(
+    const core::SingleFileModel& model) {
+  std::vector<econ::ConcaveUtility> agents;
+  agents.reserve(model.dimension());
+  const double lambda = model.total_rate();
+  const double k = model.problem().k;
+  const queueing::DelayModel delay = model.problem().delay;
+  for (std::size_t i = 0; i < model.dimension(); ++i) {
+    const double ci = model.access_cost(i);
+    const double mu = model.problem().mu[i];
+    agents.push_back(econ::ConcaveUtility{
+        [ci, k, lambda, mu, delay](double x) {
+          return -(ci + k * delay.sojourn(lambda * x, mu)) * x;
+        },
+        [ci, k, lambda, mu, delay](double x) {
+          const double a = lambda * x;
+          return -(ci + k * (delay.sojourn(a, mu) +
+                             a * delay.d_sojourn(a, mu)));
+        },
+        [k, lambda, mu, delay](double x) {
+          const double a = lambda * x;
+          return -lambda * k *
+                 (2.0 * delay.d_sojourn(a, mu) + a * delay.d2_sojourn(a, mu));
+        }});
+  }
+  return agents;
+}
+
+econ::TatonnementResult price_directed_fap(
+    const core::SingleFileModel& model,
+    const econ::TatonnementOptions& options) {
+  econ::TatonnementOptions opts = options;
+  opts.demand_cap = 1.0;  // a node never needs more than the whole file
+  return econ::tatonnement(fap_agent_utilities(model), /*total=*/1.0, opts);
+}
+
+econ::Equilibrium price_directed_fap_equilibrium(
+    const core::SingleFileModel& model) {
+  // u' is negative here (holding file is costly, the "price" clears at a
+  // negative value, i.e. nodes are paid to host); bisection in
+  // walrasian_equilibrium assumes it can bracket with non-negative prices,
+  // so shift utilities by a constant slope large enough to make marginals
+  // positive at x = 0. Shifting u by +s·x shifts the clearing price by +s
+  // and leaves the clearing allocation unchanged.
+  std::vector<econ::ConcaveUtility> agents = fap_agent_utilities(model);
+  double shift = 0.0;
+  for (const econ::ConcaveUtility& agent : agents) {
+    shift = std::max(shift, -agent.derivative(1.0) + 1.0);
+  }
+  std::vector<econ::ConcaveUtility> shifted;
+  shifted.reserve(agents.size());
+  for (econ::ConcaveUtility& agent : agents) {
+    auto value = agent.value;
+    auto derivative = agent.derivative;
+    auto second = agent.second_derivative;
+    shifted.push_back(econ::ConcaveUtility{
+        [value, shift](double x) { return value(x) + shift * x; },
+        [derivative, shift](double x) { return derivative(x) + shift; },
+        second});
+  }
+  econ::Equilibrium eq =
+      econ::walrasian_equilibrium(shifted, /*total=*/1.0, /*demand_cap=*/1.0);
+  eq.price -= shift;
+  return eq;
+}
+
+}  // namespace fap::baselines

@@ -1,0 +1,41 @@
+// Adapter running the price-directed mechanism (Section 2's first class of
+// decentralized procedures) on the file allocation problem — the
+// comparison the paper draws but does not run; we run it (ablation A3).
+//
+// Each node is a selfish agent valuing its fragment at
+//
+//   u_i(x) = -( C_i + k · T(λ x, μ_i) ) · x ,
+//
+// the negative of node i's contribution to the system cost. At a posted
+// price p per unit of file, agent i demands argmax u_i(x) - p x. Note the
+// caveat the paper raises: the fixed point of this process is a Pareto
+// optimum of the *individual* utilities, which for this separable social
+// objective coincides with the system optimum — but the path to it lacks
+// the feasibility and monotonicity guarantees of the resource-directed
+// scheme, which is what the A3 bench quantifies.
+#pragma once
+
+#include <vector>
+
+#include "core/single_file.hpp"
+#include "econ/price_directed.hpp"
+#include "econ/utility.hpp"
+
+namespace fap::baselines {
+
+/// Per-node selfish utilities u_i for the given FAP instance.
+std::vector<econ::ConcaveUtility> fap_agent_utilities(
+    const core::SingleFileModel& model);
+
+/// Runs fixed-γ tâtonnement on the FAP instance; demand is capped at one
+/// whole file per node.
+econ::TatonnementResult price_directed_fap(
+    const core::SingleFileModel& model,
+    const econ::TatonnementOptions& options);
+
+/// Exact market-clearing solution for the FAP instance (the mechanism's
+/// fixed point, found by bisection).
+econ::Equilibrium price_directed_fap_equilibrium(
+    const core::SingleFileModel& model);
+
+}  // namespace fap::baselines

@@ -1,0 +1,317 @@
+#include "core/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fap::core {
+
+namespace {
+
+// A node counts as sitting on the x_i >= 0 boundary below this threshold.
+// Exclusion from the active set (Section 5.2 steps (i)-(v)) applies only to
+// boundary nodes: an *interior* node whose step would overshoot below zero
+// must have the step clipped (θ-scaling in step()) rather than be frozen at
+// its current allocation — freezing it would make the spread-over-A
+// termination criterion fire at a point violating the Section 5.3
+// optimality conditions (∂U/∂x_i = q must hold at every x_i > 0). The
+// paper's own Figure 4 run (start (0,0,0,1), α = 0.3) exercises exactly
+// this case: the literal rule would freeze node 4 at x = 1 on the first
+// iteration.
+constexpr double kBoundaryTol = 1e-12;
+
+// Mean of `values` over the index subset `subset`.
+double mean_over(const std::vector<double>& values,
+                 const std::vector<std::size_t>& subset) {
+  double sum = 0.0;
+  for (const std::size_t i : subset) {
+    sum += values[i];
+  }
+  return sum / static_cast<double>(subset.size());
+}
+
+// max - min of `values` over `subset`.
+double spread_over(const std::vector<double>& values,
+                   const std::vector<std::size_t>& subset) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const std::size_t i : subset) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+ResourceDirectedAllocator::ResourceDirectedAllocator(const CostModel& model,
+                                                     AllocatorOptions options)
+    : model_(model), options_(options) {
+  FAP_EXPECTS(options_.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(options_.epsilon > 0.0, "epsilon must be positive");
+  FAP_EXPECTS(options_.max_iterations > 0, "need at least one iteration");
+  FAP_EXPECTS(options_.dynamic_safety > 0.0 && options_.dynamic_safety <= 1.0,
+              "dynamic_safety must be in (0, 1]");
+}
+
+double ResourceDirectedAllocator::dynamic_alpha_bound(
+    const std::vector<double>& x,
+    const std::vector<std::size_t>& active) const {
+  const std::vector<double> du = model_.marginal_utilities(x);
+  const std::vector<double> d2c = model_.second_derivative(x);
+  const double avg = mean_over(du, active);
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const std::size_t i : active) {
+    const double dev = du[i] - avg;
+    numerator += dev * dev;
+    denominator += std::fabs(d2c[i]) * dev * dev;
+  }
+  if (denominator <= 0.0) {
+    // Locally linear objective (e.g. on the delay model's tangent
+    // extension): the quadratic model imposes no bound; fall back to a
+    // conservative finite step.
+    return options_.alpha;
+  }
+  return 2.0 * numerator / denominator;
+}
+
+std::vector<std::size_t> ResourceDirectedAllocator::active_set(
+    const ConstraintGroup& group, const std::vector<double>& x,
+    const std::vector<double>& marginal_u, double alpha) const {
+  FAP_EXPECTS(!group.indices.empty(), "constraint group must be non-empty");
+  const std::vector<double> caps = model_.upper_bounds();
+  const auto cap_of = [&caps](std::size_t i) {
+    return caps.empty() ? std::numeric_limits<double>::infinity() : caps[i];
+  };
+
+  // Δx under the average of the candidate set `members`.
+  const auto delta = [&](std::size_t i,
+                         const std::vector<std::size_t>& members) {
+    return alpha * (marginal_u[i] - mean_over(marginal_u, members));
+  };
+
+  // A variable pinned at a boundary moving further into it is excluded
+  // (both bounds treated symmetrically: the paper's x_i >= 0 logic, plus
+  // the storage-capacity ceiling of the Suri [33] generalization).
+  const auto pinned = [&](std::size_t i, double d) {
+    if (x[i] <= kBoundaryTol && d < 0.0 && x[i] + d <= 0.0) {
+      return true;  // at the floor, being decreased
+    }
+    const double cap = cap_of(i);
+    return x[i] >= cap - kBoundaryTol && d > 0.0 && x[i] + d >= cap;
+  };
+
+  // Step (i): start from the whole group, keep nodes not pinned under the
+  // full-group average.
+  std::vector<std::size_t> active;
+  active.reserve(group.indices.size());
+  for (const std::size_t i : group.indices) {
+    if (!pinned(i, delta(i, group.indices))) {
+      active.push_back(i);
+    }
+  }
+  if (active.empty()) {
+    // Degenerate; keep the node with the highest marginal utility.
+    const std::size_t best = *std::max_element(
+        group.indices.begin(), group.indices.end(),
+        [&](std::size_t a, std::size_t b) {
+          return marginal_u[a] < marginal_u[b];
+        });
+    active.push_back(best);
+  }
+
+  // Steps (ii)-(v) plus the fixed-point strengthening: alternately
+  // re-admit excluded nodes that would move AWAY from their boundary
+  // (floor-pinned gainers, cap-pinned losers — both safe), and drop
+  // active nodes whose recomputed Δx pins them.
+  const std::size_t round_limit = 2 * group.indices.size() + 2;
+  for (std::size_t round = 0; round < round_limit; ++round) {
+    bool changed = false;
+
+    // Re-admission: largest |marginal - average| eligible node first.
+    for (;;) {
+      const double avg = mean_over(marginal_u, active);
+      std::size_t best = 0;
+      double best_gap = 0.0;
+      bool found = false;
+      for (const std::size_t j : group.indices) {
+        if (std::find(active.begin(), active.end(), j) != active.end()) {
+          continue;
+        }
+        const double gap = marginal_u[j] - avg;
+        const bool safe_gainer = gap > 0.0 && x[j] < cap_of(j) - kBoundaryTol;
+        const bool safe_loser = gap < 0.0 && x[j] > kBoundaryTol;
+        if ((safe_gainer || safe_loser) && std::fabs(gap) > best_gap) {
+          best_gap = std::fabs(gap);
+          best = j;
+          found = true;
+        }
+      }
+      if (!found) {
+        break;
+      }
+      active.push_back(best);
+      changed = true;
+    }
+
+    // Drop: members whose recomputed Δx pins them at a boundary.
+    std::vector<std::size_t> survivors;
+    survivors.reserve(active.size());
+    for (const std::size_t i : active) {
+      if (pinned(i, delta(i, active))) {
+        changed = true;
+        continue;
+      }
+      survivors.push_back(i);
+    }
+    if (survivors.empty()) {
+      // Everyone is a violator only in degenerate corner cases; keep the
+      // best node defensively.
+      survivors.push_back(*std::max_element(
+          active.begin(), active.end(), [&](std::size_t a, std::size_t b) {
+            return marginal_u[a] < marginal_u[b];
+          }));
+    }
+    active = std::move(survivors);
+
+    if (!changed) {
+      break;
+    }
+  }
+  std::sort(active.begin(), active.end());
+  return active;
+}
+
+ResourceDirectedAllocator::StepOutcome ResourceDirectedAllocator::step(
+    const std::vector<double>& x) const {
+  model_.check_feasible(x);
+  const std::vector<double> du = model_.marginal_utilities(x);
+  const std::vector<ConstraintGroup> groups = model_.constraint_groups();
+
+  StepOutcome outcome;
+  outcome.x = x;
+
+  // First pass: determine the active set and step size per group and check
+  // the global termination criterion.
+  struct GroupPlan {
+    std::vector<std::size_t> active;
+    double alpha = 0.0;
+  };
+  std::vector<GroupPlan> plans;
+  plans.reserve(groups.size());
+  bool all_within_epsilon = true;
+  double max_spread = 0.0;
+
+  for (const ConstraintGroup& group : groups) {
+    GroupPlan plan;
+    // Provisional step size for set-A determination; for the dynamic rule
+    // this uses the whole group, then is refined over the active set.
+    double alpha = options_.alpha;
+    if (options_.step_rule == StepRule::kDynamic) {
+      alpha = options_.dynamic_safety * dynamic_alpha_bound(x, group.indices);
+    }
+    plan.active = active_set(group, x, du, alpha);
+    if (options_.step_rule == StepRule::kDynamic) {
+      alpha = options_.dynamic_safety * dynamic_alpha_bound(x, plan.active);
+    }
+    plan.alpha = alpha;
+
+    const double spread = spread_over(du, plan.active);
+    max_spread = std::max(max_spread, spread);
+    if (spread >= options_.epsilon) {
+      all_within_epsilon = false;
+    }
+    outcome.active_set_size += plan.active.size();
+    plans.push_back(std::move(plan));
+  }
+
+  outcome.marginal_spread = max_spread;
+  if (all_within_epsilon) {
+    outcome.terminal = true;
+    return outcome;
+  }
+
+  // Second pass: apply Δx_i = α (∂U/∂x_i - avg_A) per group, scaled by the
+  // largest θ ∈ (0,1] that keeps the group within [0, cap].
+  const std::vector<double> caps = model_.upper_bounds();
+  const auto cap_of = [&caps](std::size_t i) {
+    return caps.empty() ? std::numeric_limits<double>::infinity() : caps[i];
+  };
+  double alpha_used = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const GroupPlan& plan = plans[g];
+    const double avg = mean_over(du, plan.active);
+    std::vector<double> deltas(plan.active.size());
+    double theta = 1.0;
+    for (std::size_t idx = 0; idx < plan.active.size(); ++idx) {
+      const std::size_t i = plan.active[idx];
+      deltas[idx] = plan.alpha * (du[i] - avg);
+      if (deltas[idx] < 0.0 && x[i] + deltas[idx] < 0.0) {
+        theta = std::min(theta, x[i] / -deltas[idx]);
+      }
+      const double cap = cap_of(i);
+      if (deltas[idx] > 0.0 && x[i] + deltas[idx] > cap) {
+        theta = std::min(theta, (cap - x[i]) / deltas[idx]);
+      }
+    }
+    theta = std::max(theta, 0.0);
+    for (std::size_t idx = 0; idx < plan.active.size(); ++idx) {
+      const std::size_t i = plan.active[idx];
+      outcome.x[i] = x[i] + theta * deltas[idx];
+      if (outcome.x[i] < 0.0) {
+        outcome.x[i] = 0.0;  // absorb floating-point dust
+      }
+      if (outcome.x[i] > cap_of(i)) {
+        outcome.x[i] = cap_of(i);
+      }
+    }
+    alpha_used = std::max(alpha_used, theta * plan.alpha);
+  }
+  outcome.alpha_used = alpha_used;
+  return outcome;
+}
+
+AllocationResult ResourceDirectedAllocator::run(
+    std::vector<double> initial) const {
+  model_.check_feasible(initial);
+  AllocationResult result;
+  result.x = std::move(initial);
+
+  auto record = [&](std::size_t iteration, const StepOutcome& outcome) {
+    if (!options_.record_trace) {
+      return;
+    }
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.cost = model_.cost(result.x);
+    rec.alpha = outcome.terminal ? 0.0 : outcome.alpha_used;
+    rec.active_set_size = outcome.active_set_size;
+    rec.marginal_spread = outcome.marginal_spread;
+    rec.x = result.x;
+    result.trace.push_back(std::move(rec));
+  };
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    StepOutcome outcome = step(result.x);
+    record(iter, outcome);
+    if (outcome.terminal) {
+      result.converged = true;
+      break;
+    }
+    result.x = std::move(outcome.x);
+    ++result.iterations;
+  }
+  if (!result.converged && options_.record_trace) {
+    // Record the final state reached at the iteration cap.
+    StepOutcome final_state;
+    final_state.terminal = true;
+    record(result.iterations, final_state);
+  }
+  result.cost = model_.cost(result.x);
+  return result;
+}
+
+}  // namespace fap::core

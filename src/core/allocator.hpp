@@ -1,0 +1,141 @@
+// The paper's contribution: the decentralized, resource-directed file
+// allocation algorithm of Section 5.2.
+//
+// Each iteration:
+//   (a) every node evaluates its marginal utility ∂U/∂x_i at the current
+//       allocation (U = -C, so ∂U/∂x_i = -∂C/∂x_i);
+//   (b) the average marginal utility over the active set A is formed and
+//       every active node computes Δx_i = α (∂U/∂x_i - avg_A);
+//   (c) x_i += Δx_i for i ∈ A.
+// until max_{i,j∈A} |∂U/∂x_i - ∂U/∂x_j| < ε.
+//
+// The active set A is all nodes unless some node would receive a
+// non-positive allocation; then A is computed by the paper's procedure
+// (steps (i)-(v) of Section 5.2): drop violators, then re-admit excluded
+// nodes in decreasing marginal-utility order while their marginal utility
+// exceeds the active-set average.
+//
+// Three strengthenings beyond the paper's literal statement (documented in
+// DESIGN.md §5 decision 2, and exercised by property tests):
+//   * exclusion from A applies only to nodes already at the x_i = 0
+//     boundary. The literal rule would also freeze an *interior* node
+//     whose (large-α) step overshoots below zero — at which point the
+//     spread-over-A criterion fires at a non-optimal allocation. The
+//     paper's own Figure 4 run (start (0,0,0,1), α = 0.3) hits this case;
+//   * interior overshoots are instead handled by scaling the whole group
+//     step with the largest θ ∈ (0,1] that keeps it non-negative — the
+//     binding node lands exactly on zero and is treated as a boundary
+//     node from the next iteration on;
+//   * the boundary drop/re-admit procedure is iterated to a fixed point,
+//     because a single pass can leave a node in A whose Δx (recomputed
+//     with the smaller average) still pushes it below zero.
+// All preserve feasibility (Σ Δx_i = 0 by construction) and monotonicity
+// (a shorter step along an ascent direction).
+//
+// This class runs the arithmetic centrally for convenience; the
+// message-passing realization that executes the identical arithmetic as a
+// per-node protocol lives in sim/protocol_sim.hpp, and a test pins the two
+// to bitwise-equal traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+
+namespace fap::core {
+
+/// How the step size α is chosen at each iteration.
+enum class StepRule {
+  kFixed,    ///< use AllocatorOptions::alpha every iteration
+  kDynamic,  ///< evaluate the Theorem-2 inequality (Eq. 5) at the current
+             ///< allocation and take `dynamic_safety` times that bound (the
+             ///< appendix remark: "we could get a better value for α if we
+             ///< dynamically calculate it at each iteration")
+};
+
+struct AllocatorOptions {
+  double alpha = 0.1;
+  StepRule step_rule = StepRule::kFixed;
+  /// Termination: all active marginal utilities within ε of each other.
+  double epsilon = 1e-3;
+  std::size_t max_iterations = 100000;
+  /// Record the allocation/cost at every iteration (the convergence
+  /// profiles of Figures 3, 4, 8, 9 come from this trace).
+  bool record_trace = false;
+  /// For kDynamic: fraction of the per-iteration bound to use. 0.5 is the
+  /// second-order-optimal choice (the bound is the zero of the quadratic
+  /// model of ΔU; half of it maximizes that quadratic).
+  double dynamic_safety = 0.5;
+};
+
+/// State of one iteration, as recorded in the trace. Entry 0 describes the
+/// initial allocation.
+struct IterationRecord {
+  std::size_t iteration = 0;
+  double cost = 0.0;
+  /// Step size used to move *from* this allocation (0 for the final entry).
+  double alpha = 0.0;
+  /// Total number of nodes in active sets across constraint groups.
+  std::size_t active_set_size = 0;
+  /// max_{i,j∈A} |∂U/∂x_i - ∂U/∂x_j| (max over groups).
+  double marginal_spread = 0.0;
+  std::vector<double> x;
+};
+
+struct AllocationResult {
+  std::vector<double> x;
+  double cost = 0.0;
+  bool converged = false;
+  /// Number of reallocation steps performed.
+  std::size_t iterations = 0;
+  std::vector<IterationRecord> trace;
+};
+
+class ResourceDirectedAllocator {
+ public:
+  /// The model reference must outlive the allocator.
+  ResourceDirectedAllocator(const CostModel& model, AllocatorOptions options);
+
+  /// Runs the algorithm from the given feasible initial allocation.
+  /// Throws PreconditionError if `initial` is infeasible.
+  AllocationResult run(std::vector<double> initial) const;
+
+  /// Result of a single iteration step, exposed so the protocol simulation
+  /// and the adaptive/nightly-mode examples can drive iterations one at a
+  /// time.
+  struct StepOutcome {
+    std::vector<double> x;           ///< allocation after the step
+    bool terminal = false;           ///< termination criterion already held
+    double marginal_spread = 0.0;    ///< spread before the step
+    std::size_t active_set_size = 0;
+    double alpha_used = 0.0;
+  };
+
+  /// Performs one iteration from `x` (which must be feasible). If the
+  /// termination criterion holds at `x`, returns terminal=true and x
+  /// unchanged.
+  StepOutcome step(const std::vector<double>& x) const;
+
+  /// Computes the paper's set A for one constraint group given the current
+  /// allocation and marginal utilities, following steps (i)-(v). Exposed
+  /// for white-box tests. Returned indices are positions into
+  /// `group.indices`' index space (i.e. variable indices).
+  std::vector<std::size_t> active_set(const ConstraintGroup& group,
+                                      const std::vector<double>& x,
+                                      const std::vector<double>& marginal_u,
+                                      double alpha) const;
+
+  const AllocatorOptions& options() const noexcept { return options_; }
+
+  /// The per-iteration dynamic step bound (Eq. 5 evaluated at x over the
+  /// active variables `active`): 2 Σ (dU_i - avg)² / Σ |d²U_i| (dU_i - avg)².
+  double dynamic_alpha_bound(const std::vector<double>& x,
+                             const std::vector<std::size_t>& active) const;
+
+ private:
+  const CostModel& model_;
+  AllocatorOptions options_;
+};
+
+}  // namespace fap::core

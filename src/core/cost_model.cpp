@@ -1,0 +1,95 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::core {
+
+std::vector<double> CostModel::marginal_utilities(
+    const std::vector<double>& x) const {
+  std::vector<double> grad = gradient(x);
+  for (double& g : grad) {
+    g = -g;
+  }
+  return grad;
+}
+
+void CostModel::check_feasible(const std::vector<double>& x,
+                               double tol) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  for (const double xi : x) {
+    FAP_EXPECTS(xi >= -tol, "allocation must be non-negative");
+  }
+  const std::vector<double> caps = upper_bounds();
+  if (!caps.empty()) {
+    FAP_EXPECTS(caps.size() == x.size(),
+                "one upper bound per variable when bounds are present");
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      FAP_EXPECTS(x[i] <= caps[i] + tol,
+                  "allocation exceeds a storage capacity");
+    }
+  }
+  for (const ConstraintGroup& group : constraint_groups()) {
+    double sum = 0.0;
+    for (const std::size_t i : group.indices) {
+      FAP_EXPECTS(i < x.size(), "constraint index out of range");
+      sum += x[i];
+    }
+    FAP_EXPECTS(std::fabs(sum - group.total) <= tol,
+                "allocation violates a resource-conservation constraint");
+  }
+}
+
+std::vector<double> uniform_allocation(const CostModel& model) {
+  std::vector<double> x(model.dimension(), 0.0);
+  const std::vector<double> caps = model.upper_bounds();
+  for (const ConstraintGroup& group : model.constraint_groups()) {
+    const double share =
+        group.total / static_cast<double>(group.indices.size());
+    for (const std::size_t i : group.indices) {
+      x[i] = share;
+    }
+    if (caps.empty()) {
+      continue;
+    }
+    // Water-filling: repeatedly clamp capped variables and spread the
+    // excess over the rest. Terminates in at most |group| rounds.
+    for (std::size_t round = 0; round < group.indices.size(); ++round) {
+      double excess = 0.0;
+      std::size_t open = 0;
+      for (const std::size_t i : group.indices) {
+        if (x[i] > caps[i]) {
+          excess += x[i] - caps[i];
+          x[i] = caps[i];
+        } else if (x[i] < caps[i]) {
+          ++open;
+        }
+      }
+      if (excess <= 0.0) {
+        break;
+      }
+      FAP_EXPECTS(open > 0,
+                  "total capacity is below the group's resource total");
+      const double top_up = excess / static_cast<double>(open);
+      for (const std::size_t i : group.indices) {
+        if (x[i] < caps[i]) {
+          x[i] += top_up;
+        }
+      }
+    }
+  }
+  return x;
+}
+
+bool is_feasible(const CostModel& model, const std::vector<double>& x,
+                 double tol) {
+  try {
+    model.check_feasible(x, tol);
+    return true;
+  } catch (const util::PreconditionError&) {
+    return false;
+  }
+}
+
+}  // namespace fap::core

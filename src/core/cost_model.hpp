@@ -1,0 +1,84 @@
+// Abstract objective interface consumed by the allocation algorithms.
+//
+// A cost model maps an allocation vector x (fractions of one or more files
+// held at each node) to the system-wide expected access cost C(x) of
+// Eq. 1, and exposes exact first and second partial derivatives. The
+// paper's utility (Eq. 2) is U = -C; the allocators work in cost terms and
+// flip signs where the paper's statement flips them (see the remark after
+// Eq. 4 in the appendix: "the order of the two terms ... will be reversed
+// so that the marginal utility is subtracted from the average").
+//
+// Constraint structure: variables are partitioned into groups, each of
+// which must sum to a fixed total (Σ_{i∈g} x_i = total_g, x_i >= 0). The
+// single-copy single-file problem has one group with total 1; the M-file
+// problem of Section 5.4 has M groups of total 1; the m-copy ring problem
+// of Section 7 has one group with total m.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fap::core {
+
+/// One resource-conservation constraint: Σ_{i in indices} x_i == total.
+struct ConstraintGroup {
+  std::vector<std::size_t> indices;
+  double total = 1.0;
+};
+
+/// Interface for a differentiable allocation objective.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Number of allocation variables.
+  virtual std::size_t dimension() const = 0;
+
+  /// Resource-conservation groups; every variable belongs to exactly one.
+  virtual std::vector<ConstraintGroup> constraint_groups() const = 0;
+
+  /// Per-variable upper bounds (storage capacities, the generalization of
+  /// Suri [33] surveyed in Section 3: "storage constraints were
+  /// additionally considered"). Empty (the default) means unbounded; a
+  /// non-empty vector must have one entry per variable. check_feasible
+  /// enforces x_i <= upper_bounds()[i] when present, and the allocators'
+  /// active-set logic treats capped variables symmetrically to the
+  /// x_i >= 0 boundary.
+  virtual std::vector<double> upper_bounds() const { return {}; }
+
+  /// System-wide expected access cost at allocation x (length dimension()).
+  virtual double cost(const std::vector<double>& x) const = 0;
+
+  /// Exact gradient ∂C/∂x_i at x. For piecewise objectives (Section 7)
+  /// this is the right-hand derivative.
+  virtual std::vector<double> gradient(const std::vector<double>& x) const = 0;
+
+  /// Diagonal of the Hessian, ∂²C/∂x_i². The paper's objectives have zero
+  /// cross partials ("the cross partial derivatives are 0", Theorem 2), so
+  /// the diagonal is the whole Hessian.
+  virtual std::vector<double> second_derivative(
+      const std::vector<double>& x) const = 0;
+
+  /// Utility of Eq. 2.
+  double utility(const std::vector<double>& x) const { return -cost(x); }
+
+  /// Marginal utilities ∂U/∂x_i = -∂C/∂x_i.
+  std::vector<double> marginal_utilities(const std::vector<double>& x) const;
+
+  /// Throws PreconditionError unless x has the right dimension, is
+  /// non-negative, and satisfies every constraint group to within `tol`.
+  void check_feasible(const std::vector<double>& x, double tol = 1e-9) const;
+};
+
+/// Uniform allocation: every variable in each group gets total/|group|.
+/// With upper bounds present, excess above a variable's cap is poured
+/// uniformly into the group's uncapped variables, so the result is always
+/// feasible.
+std::vector<double> uniform_allocation(const CostModel& model);
+
+/// True when x is feasible for the model to within tol (non-throwing
+/// variant of CostModel::check_feasible).
+bool is_feasible(const CostModel& model, const std::vector<double>& x,
+                 double tol = 1e-9);
+
+}  // namespace fap::core

@@ -1,0 +1,166 @@
+#include "core/multi_file.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace fap::core {
+
+MultiFileModel::MultiFileModel(MultiFileProblem problem)
+    : problem_(std::move(problem)) {
+  node_count_ = problem_.comm.node_count();
+  FAP_EXPECTS(!problem_.per_file_lambda.empty(), "need at least one file");
+  FAP_EXPECTS(problem_.mu.size() == node_count_,
+              "mu size must match node count");
+  FAP_EXPECTS(problem_.k >= 0.0, "k must be non-negative");
+
+  double total_rate = 0.0;
+  file_rate_.reserve(file_count());
+  access_cost_.reserve(file_count());
+  for (const std::vector<double>& lambda_f : problem_.per_file_lambda) {
+    FAP_EXPECTS(lambda_f.size() == node_count_,
+                "per-file workload size must match node count");
+    for (const double rate : lambda_f) {
+      FAP_EXPECTS(rate >= 0.0, "access rates must be non-negative");
+    }
+    const double rate_f = util::sum(lambda_f);
+    FAP_EXPECTS(rate_f > 0.0, "every file needs a positive access rate");
+    file_rate_.push_back(rate_f);
+    total_rate += rate_f;
+
+    std::vector<double> costs(node_count_, 0.0);
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      double weighted = 0.0;
+      for (std::size_t j = 0; j < node_count_; ++j) {
+        weighted += lambda_f[j] * problem_.comm.cost(j, i);
+      }
+      costs[i] = weighted / rate_f;
+    }
+    access_cost_.push_back(std::move(costs));
+  }
+
+  for (const double mu : problem_.mu) {
+    FAP_EXPECTS(mu > 0.0, "service rates must be positive");
+    if (problem_.delay.rho_max() >= 1.0) {
+      // Worst case: every file fully concentrated at one node gives
+      // arrival rate Σ_f λ^f there.
+      FAP_EXPECTS(total_rate < problem_.delay.capacity(mu),
+                  "stability requires Σ_f λ^f below every node's service "
+                  "capacity (or a linearized delay model)");
+    }
+  }
+}
+
+std::size_t MultiFileModel::index(std::size_t file, std::size_t node) const {
+  FAP_EXPECTS(file < file_count() && node < node_count_,
+              "file or node out of range");
+  return file * node_count_ + node;
+}
+
+std::vector<ConstraintGroup> MultiFileModel::constraint_groups() const {
+  std::vector<ConstraintGroup> groups;
+  groups.reserve(file_count());
+  for (std::size_t f = 0; f < file_count(); ++f) {
+    ConstraintGroup group;
+    group.total = 1.0;
+    group.indices.reserve(node_count_);
+    for (std::size_t i = 0; i < node_count_; ++i) {
+      group.indices.push_back(f * node_count_ + i);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+double MultiFileModel::node_arrival_rate(const std::vector<double>& x,
+                                         std::size_t node) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  FAP_EXPECTS(node < node_count_, "node out of range");
+  double a = 0.0;
+  for (std::size_t f = 0; f < file_count(); ++f) {
+    a += file_rate_[f] * x[f * node_count_ + node];
+  }
+  return a;
+}
+
+double MultiFileModel::cost(const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  double total = 0.0;
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const double a = node_arrival_rate(x, i);
+    double fraction_sum = 0.0;  // Σ_f x_i^f
+    double comm = 0.0;
+    for (std::size_t f = 0; f < file_count(); ++f) {
+      const double xf = x[f * node_count_ + i];
+      fraction_sum += xf;
+      comm += xf * access_cost_[f][i];
+    }
+    total += comm;
+    if (fraction_sum > 0.0) {
+      total +=
+          problem_.k * problem_.delay.sojourn(a, problem_.mu[i]) * fraction_sum;
+    }
+  }
+  return total;
+}
+
+std::vector<double> MultiFileModel::gradient(
+    const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  std::vector<double> grad(dimension(), 0.0);
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const double a = node_arrival_rate(x, i);
+    const double mu = problem_.mu[i];
+    const double sojourn = problem_.delay.sojourn(a, mu);
+    const double d_sojourn = problem_.delay.d_sojourn(a, mu);
+    double fraction_sum = 0.0;
+    for (std::size_t f = 0; f < file_count(); ++f) {
+      fraction_sum += x[f * node_count_ + i];
+    }
+    for (std::size_t f = 0; f < file_count(); ++f) {
+      // ∂C/∂x_i^f = C_i^f + k [ T(a) + (Σ_g x_i^g) λ^f T'(a) ]
+      grad[f * node_count_ + i] =
+          access_cost_[f][i] +
+          problem_.k * (sojourn + fraction_sum * file_rate_[f] * d_sojourn);
+    }
+  }
+  return grad;
+}
+
+std::vector<double> MultiFileModel::second_derivative(
+    const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  std::vector<double> hess(dimension(), 0.0);
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const double a = node_arrival_rate(x, i);
+    const double mu = problem_.mu[i];
+    const double d_sojourn = problem_.delay.d_sojourn(a, mu);
+    const double d2_sojourn = problem_.delay.d2_sojourn(a, mu);
+    double fraction_sum = 0.0;
+    for (std::size_t f = 0; f < file_count(); ++f) {
+      fraction_sum += x[f * node_count_ + i];
+    }
+    for (std::size_t f = 0; f < file_count(); ++f) {
+      const double lf = file_rate_[f];
+      // ∂²C/∂(x_i^f)² = k λ^f ( 2 T'(a) + (Σ_g x_i^g) λ^f T''(a) )
+      hess[f * node_count_ + i] =
+          problem_.k * lf *
+          (2.0 * d_sojourn + fraction_sum * lf * d2_sojourn);
+    }
+  }
+  return hess;
+}
+
+double MultiFileModel::file_rate(std::size_t file) const {
+  FAP_EXPECTS(file < file_count(), "file out of range");
+  return file_rate_[file];
+}
+
+double MultiFileModel::access_cost(std::size_t file, std::size_t node) const {
+  FAP_EXPECTS(file < file_count() && node < node_count_,
+              "file or node out of range");
+  return access_cost_[file][node];
+}
+
+}  // namespace fap::core

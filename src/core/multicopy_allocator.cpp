@@ -1,0 +1,103 @@
+#include "core/multicopy_allocator.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::core {
+
+MultiCopyAllocator::MultiCopyAllocator(const CostModel& model,
+                                       MultiCopyOptions options)
+    : model_(model), options_(options) {
+  FAP_EXPECTS(options_.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(options_.epsilon > 0.0, "epsilon must be positive");
+  FAP_EXPECTS(options_.cost_epsilon > 0.0, "cost_epsilon must be positive");
+  FAP_EXPECTS(options_.alpha_decay > 0.0 && options_.alpha_decay < 1.0,
+              "alpha_decay must be in (0, 1)");
+  FAP_EXPECTS(options_.decay_interval > 0, "decay interval must be positive");
+  FAP_EXPECTS(options_.max_iterations > 0, "need at least one iteration");
+}
+
+MultiCopyResult MultiCopyAllocator::run(std::vector<double> initial) const {
+  model_.check_feasible(initial);
+
+  MultiCopyResult result;
+  result.final_x = std::move(initial);
+  result.final_cost = model_.cost(result.final_x);
+  result.best_x = result.final_x;
+  result.best_cost = result.final_cost;
+
+  double alpha = options_.alpha;
+  std::size_t oscillations_in_window = 0;
+  std::size_t window_position = 0;
+  double previous_cost = result.final_cost;
+
+  AllocatorOptions inner_options;
+  inner_options.epsilon = options_.epsilon;
+  inner_options.step_rule = StepRule::kFixed;
+
+  auto record = [&](std::size_t iteration,
+                    const ResourceDirectedAllocator::StepOutcome& outcome) {
+    if (!options_.record_trace) {
+      return;
+    }
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.cost = result.final_cost;
+    rec.alpha = outcome.terminal ? 0.0 : alpha;
+    rec.active_set_size = outcome.active_set_size;
+    rec.marginal_spread = outcome.marginal_spread;
+    rec.x = result.final_x;
+    result.trace.push_back(std::move(rec));
+  };
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    inner_options.alpha = alpha;
+    const ResourceDirectedAllocator stepper(model_, inner_options);
+    const ResourceDirectedAllocator::StepOutcome outcome =
+        stepper.step(result.final_x);
+    record(iter, outcome);
+    if (outcome.terminal) {
+      // Plain Section 5.2 criterion: all active marginal utilities equal
+      // to within ε. Happens in the delay-dominated regime.
+      result.converged = true;
+      break;
+    }
+
+    result.final_x = outcome.x;
+    result.final_cost = model_.cost(result.final_x);
+    ++result.iterations;
+
+    if (result.final_cost < result.best_cost) {
+      result.best_cost = result.final_cost;
+      result.best_x = result.final_x;
+    }
+
+    const double cost_change = result.final_cost - previous_cost;
+    if (cost_change > 0.0) {
+      ++result.oscillation_count;
+      ++oscillations_in_window;
+    } else if (std::fabs(cost_change) < options_.cost_epsilon) {
+      // "When the difference in cost measured at two successive iterations
+      // is judged to be small enough the algorithm halts."
+      result.converged = true;
+      previous_cost = result.final_cost;
+      break;
+    }
+    previous_cost = result.final_cost;
+
+    // α decay at window boundaries where oscillation was observed.
+    if (++window_position == options_.decay_interval) {
+      if (oscillations_in_window > 0) {
+        alpha *= options_.alpha_decay;
+      }
+      oscillations_in_window = 0;
+      window_position = 0;
+    }
+  }
+
+  result.final_alpha = alpha;
+  return result;
+}
+
+}  // namespace fap::core

@@ -1,0 +1,80 @@
+// Driver for the multiple-copy problem (Section 7.3).
+//
+// The ring objective is piecewise smooth: whenever a copy boundary crosses
+// a node, whole link costs jump into or out of the marginal utilities, so
+// a fixed-step gradient iteration oscillates around the optimum instead of
+// meeting the all-marginals-equal criterion. The paper's modification:
+//
+//   "When oscillations are observed the value of the stepsize parameter α
+//    is decreased by a fixed amount after a certain predetermined number
+//    of iterations. When the difference in cost measured at two successive
+//    iterations is judged to be small enough the algorithm halts."
+//
+// and for pathological, strongly communication-dominated instances:
+//
+//   "a different halting technique has to be used such as observing the
+//    oscillations over a period of time and halting when the cost is at
+//    the lowest observed point."
+//
+// MultiCopyAllocator implements both: it runs the Section 5.2 iteration
+// (via ResourceDirectedAllocator::step), detects oscillation as a cost
+// increase between successive iterations, decays α after every
+// `decay_interval` iterations in which oscillation occurred, halts when the
+// successive-cost difference falls below `cost_epsilon` (or the plain
+// marginal-spread criterion fires first), and always remembers the
+// lowest-cost allocation ever visited, which is what it returns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/cost_model.hpp"
+
+namespace fap::core {
+
+struct MultiCopyOptions {
+  double alpha = 0.1;
+  /// Marginal-spread termination (usually never fires on a discontinuous
+  /// objective; kept for the delay-dominated cases that do converge).
+  double epsilon = 1e-3;
+  /// Halt when |cost_t - cost_{t-1}| < cost_epsilon.
+  double cost_epsilon = 1e-7;
+  /// Multiplicative α decrease applied when oscillation was observed
+  /// during the last window.
+  double alpha_decay = 0.5;
+  /// Window length ("a certain predetermined number of iterations").
+  std::size_t decay_interval = 20;
+  std::size_t max_iterations = 5000;
+  bool record_trace = false;
+};
+
+struct MultiCopyResult {
+  /// Lowest-cost allocation observed over the whole run.
+  std::vector<double> best_x;
+  double best_cost = 0.0;
+  /// Allocation at the final iteration (may be worse than best_x when the
+  /// run was still oscillating at the cap).
+  std::vector<double> final_x;
+  double final_cost = 0.0;
+  bool converged = false;
+  std::size_t iterations = 0;
+  /// Number of iterations at which the cost increased over its predecessor.
+  std::size_t oscillation_count = 0;
+  /// α in effect when the run stopped.
+  double final_alpha = 0.0;
+  std::vector<IterationRecord> trace;
+};
+
+class MultiCopyAllocator {
+ public:
+  MultiCopyAllocator(const CostModel& model, MultiCopyOptions options);
+
+  MultiCopyResult run(std::vector<double> initial) const;
+
+ private:
+  const CostModel& model_;
+  MultiCopyOptions options_;
+};
+
+}  // namespace fap::core

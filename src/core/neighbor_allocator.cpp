@@ -1,0 +1,155 @@
+#include "core/neighbor_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::core {
+
+namespace {
+
+constexpr double kEmptyTol = 1e-12;
+
+}  // namespace
+
+NeighborAllocator::NeighborAllocator(const CostModel& model,
+                                     const net::Topology& graph,
+                                     NeighborAllocatorOptions options)
+    : model_(model), graph_(graph), options_(options) {
+  FAP_EXPECTS(options_.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(options_.epsilon > 0.0, "epsilon must be positive");
+  FAP_EXPECTS(options_.max_iterations > 0, "need at least one iteration");
+  const std::vector<ConstraintGroup> groups = model_.constraint_groups();
+  FAP_EXPECTS(!groups.empty(), "model must have a conservation constraint");
+  FAP_EXPECTS(model_.dimension() ==
+                  groups.size() * graph_.node_count(),
+              "each constraint group needs exactly one variable per "
+              "communication-graph node");
+  for (const ConstraintGroup& group : groups) {
+    FAP_EXPECTS(group.indices.size() == graph_.node_count(),
+                "each constraint group needs exactly one variable per "
+                "communication-graph node");
+  }
+  FAP_EXPECTS(graph_.connected(),
+              "a disconnected communication graph cannot equalize marginal "
+              "utilities across components");
+  FAP_EXPECTS(model_.upper_bounds().empty(),
+              "NeighborAllocator does not support storage capacities; use "
+              "ResourceDirectedAllocator");
+}
+
+std::size_t NeighborAllocator::messages_per_iteration() const noexcept {
+  return 2 * graph_.edge_count();
+}
+
+NeighborAllocator::StepOutcome NeighborAllocator::step(
+    const std::vector<double>& x) const {
+  model_.check_feasible(x);
+  const std::vector<double> du = model_.marginal_utilities(x);
+  const std::vector<ConstraintGroup> groups = model_.constraint_groups();
+
+  // Requested flow per (group, edge), toward the higher-marginal-utility
+  // endpoint, and the resulting requested egress per variable.
+  struct Flow {
+    std::size_t from = 0;  // variable indices
+    std::size_t to = 0;
+    double amount = 0.0;
+  };
+  std::vector<Flow> flows;
+  flows.reserve(groups.size() * graph_.edge_count());
+  std::vector<double> egress(x.size(), 0.0);
+  double max_live_gap = 0.0;
+  for (const ConstraintGroup& group : groups) {
+    for (const net::Edge& edge : graph_.edges()) {
+      // Convention: group.indices[p] is the variable at graph node p.
+      const std::size_t var_u = group.indices[edge.u];
+      const std::size_t var_v = group.indices[edge.v];
+      const double gap = du[var_v] - du[var_u];
+      const std::size_t from = gap >= 0.0 ? var_u : var_v;
+      const std::size_t to = gap >= 0.0 ? var_v : var_u;
+      const double magnitude = std::fabs(gap);
+      // An edge is at rest when its gap is small or its donor is empty.
+      if (magnitude >= options_.epsilon && x[from] > kEmptyTol) {
+        max_live_gap = std::max(max_live_gap, magnitude);
+      }
+      if (magnitude > 0.0 && x[from] > kEmptyTol) {
+        // Metropolis edge weight: a node of degree d aggregates d edge
+        // flows, so un-weighted diffusion is unstable at hubs (a star's
+        // hub would see an effective step of degree·α). Scaling each edge
+        // by 1/(1 + max degree of its endpoints) keeps the per-node
+        // aggregate step below α regardless of topology — the standard
+        // consensus-weight choice.
+        const double weight =
+            1.0 / (1.0 + static_cast<double>(
+                             std::max(graph_.neighbors(edge.u).size(),
+                                      graph_.neighbors(edge.v).size())));
+        const double amount = options_.alpha * weight * magnitude;
+        flows.push_back(Flow{from, to, amount});
+        egress[from] += amount;
+      }
+    }
+  }
+
+  StepOutcome outcome;
+  outcome.x = x;
+  outcome.max_edge_gap = max_live_gap;
+  if (max_live_gap < options_.epsilon) {
+    outcome.terminal = true;
+    return outcome;
+  }
+
+  // Egress rationing: a variable cannot ship more than it holds.
+  std::vector<double> scale(x.size(), 1.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (egress[i] > x[i]) {
+      scale[i] = x[i] / egress[i];
+    }
+  }
+  for (const Flow& flow : flows) {
+    const double moved = scale[flow.from] * flow.amount;
+    outcome.x[flow.from] -= moved;
+    outcome.x[flow.to] += moved;
+  }
+  for (double& xi : outcome.x) {
+    if (xi < 0.0) {
+      xi = 0.0;  // floating-point dust only; rationing prevents real debt
+    }
+  }
+  return outcome;
+}
+
+AllocationResult NeighborAllocator::run(std::vector<double> initial) const {
+  model_.check_feasible(initial);
+  AllocationResult result;
+  result.x = std::move(initial);
+
+  auto record = [&](std::size_t iteration, const StepOutcome& outcome) {
+    if (!options_.record_trace) {
+      return;
+    }
+    IterationRecord rec;
+    rec.iteration = iteration;
+    rec.cost = model_.cost(result.x);
+    rec.alpha = outcome.terminal ? 0.0 : options_.alpha;
+    rec.active_set_size = model_.dimension();
+    rec.marginal_spread = outcome.max_edge_gap;
+    rec.x = result.x;
+    result.trace.push_back(std::move(rec));
+  };
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    StepOutcome outcome = step(result.x);
+    record(iter, outcome);
+    if (outcome.terminal) {
+      result.converged = true;
+      break;
+    }
+    result.x = std::move(outcome.x);
+    ++result.iterations;
+  }
+  result.cost = model_.cost(result.x);
+  return result;
+}
+
+}  // namespace fap::core

@@ -1,0 +1,99 @@
+// Neighbors-only (gossip) variant of the resource-directed algorithm —
+// the communication restriction the paper poses as future research
+// (Section 8.2): "we wish to look at restrictions in communication where
+// nodes communicate only with their neighbours. ... It would be extremely
+// beneficial to find algorithms based on marginal utility that maintain
+// the attractive properties of feasibility, monotonicity and rapid
+// convergence and yet execute with a 'neighbours-only' restriction."
+//
+// Mechanism (diffusion / center-free, after Ho-Servi-Suri [20]): each
+// iteration every node sends its marginal utility ∂U/∂x_i to its direct
+// neighbors in a communication graph. For every edge (i, j), file mass
+//
+//   f_ij = α w_ij ( ∂U/∂x_j - ∂U/∂x_i )   (flows toward higher marginal
+//                                           utility when positive)
+//
+// moves across the edge, where w_ij = 1/(1 + max(deg_i, deg_j)) is the
+// Metropolis consensus weight — without it a high-degree hub aggregates
+// deg·α worth of step per iteration and diffusion diverges on stars. Since every transfer debits one endpoint and
+// credits the other, Σ x_i is conserved exactly (feasibility, Theorem 1's
+// analogue is structural), and to first order
+//
+//   ΔU ≈ Σ_(i,j) f_ij (∂U/∂x_j - ∂U/∂x_i) = α Σ (∂U/∂x_j - ∂U/∂x_i)² ≥ 0,
+//
+// so utility increases monotonically for small α. Non-negativity is kept
+// by *egress rationing*: when a node's total requested outflow exceeds
+// its holding, all of its outgoing flows are scaled down proportionally
+// (a node cannot ship file it does not have); rationing only shrinks
+// non-negative terms of the ascent direction, so monotonicity survives.
+//
+// Termination is purely local: an edge is at rest when its marginal-
+// utility gap is below ε or its lower-utility endpoint holds nothing; the
+// algorithm stops when every edge is at rest. At such a point the KKT
+// conditions hold *along edges*. One caveat, demonstrated by a dedicated
+// test: a node pinned at zero can form a "dry barrier" between two
+// positive regions, leaving a globally suboptimal rest point — local
+// communication cannot push mass through an empty, expensive relay. When
+// the optimum is interior (every x_i* > 0, the common FAP case) the rest
+// point is the global optimum.
+//
+// Per iteration the scheme costs 2|E| point-to-point messages, versus
+// N(N-1) for the Section 5.1 broadcast — the tradeoff quantified by
+// bench/ablation_neighbor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/cost_model.hpp"
+#include "net/topology.hpp"
+
+namespace fap::core {
+
+struct NeighborAllocatorOptions {
+  double alpha = 0.1;
+  /// An edge is at rest when its |∂U/∂x_i - ∂U/∂x_j| < ε (or its poorer
+  /// endpoint is empty).
+  double epsilon = 1e-3;
+  std::size_t max_iterations = 100000;
+  bool record_trace = false;
+};
+
+class NeighborAllocator {
+ public:
+  /// `model` may have any number of constraint groups (e.g. one per file
+  /// for MultiFileModel); each group must contain exactly one variable
+  /// per node of `graph`, with the convention that the p-th index of a
+  /// group is the variable hosted at graph node p (this is how every
+  /// model in this library lays out its groups). Mass then diffuses
+  /// per group along the graph's edges, conserving each group's total
+  /// independently. Both references must outlive the allocator.
+  NeighborAllocator(const CostModel& model, const net::Topology& graph,
+                    NeighborAllocatorOptions options);
+
+  AllocationResult run(std::vector<double> initial) const;
+
+  struct StepOutcome {
+    std::vector<double> x;
+    bool terminal = false;
+    /// Largest marginal-utility gap across a live (non-rationed-dry) edge.
+    double max_edge_gap = 0.0;
+  };
+  StepOutcome step(const std::vector<double>& x) const;
+
+  /// Point-to-point messages per iteration: each node sends its marginal
+  /// utility to every neighbor (2 per edge).
+  std::size_t messages_per_iteration() const noexcept;
+
+  const NeighborAllocatorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const CostModel& model_;
+  const net::Topology& graph_;
+  NeighborAllocatorOptions options_;
+};
+
+}  // namespace fap::core

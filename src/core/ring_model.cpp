@@ -1,0 +1,284 @@
+#include "core/ring_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace fap::core {
+
+RingProblem make_paper_ring_problem(const std::vector<double>& link_costs,
+                                    double copies) {
+  FAP_EXPECTS(link_costs.size() == 4, "the paper's ring has four nodes");
+  RingProblem problem{net::VirtualRing(link_costs),
+                      copies,
+                      std::vector<double>(4, 0.25),
+                      std::vector<double>(4, 1.5),
+                      /*k=*/1.0,
+                      queueing::DelayModel::mm1(/*rho_max=*/0.95),
+                      /*max_per_node=*/0.0};
+  return problem;
+}
+
+RingModel::RingModel(RingProblem problem) : problem_(std::move(problem)) {
+  const std::size_t n = problem_.ring.size();
+  FAP_EXPECTS(problem_.lambda.size() == n, "lambda size must match ring size");
+  FAP_EXPECTS(problem_.mu.size() == n, "mu size must match ring size");
+  FAP_EXPECTS(problem_.copies >= 1.0,
+              "need at least one whole copy for every access to be "
+              "satisfiable");
+  FAP_EXPECTS(problem_.k >= 0.0, "k must be non-negative");
+  for (const double rate : problem_.lambda) {
+    FAP_EXPECTS(rate >= 0.0, "access rates must be non-negative");
+  }
+  total_rate_ = util::sum(problem_.lambda);
+  FAP_EXPECTS(total_rate_ > 0.0, "network-wide access rate must be positive");
+  if (problem_.max_per_node > 0.0) {
+    FAP_EXPECTS(static_cast<double>(n) * problem_.max_per_node >=
+                    problem_.copies - 1e-9,
+                "per-node caps must admit m whole copies");
+  }
+  for (const double mu : problem_.mu) {
+    FAP_EXPECTS(mu > 0.0, "service rates must be positive");
+    if (problem_.delay.rho_max() >= 1.0) {
+      FAP_EXPECTS(total_rate_ < problem_.delay.capacity(mu),
+                  "with a pure queueing model the whole network rate must "
+                  "fit at any single node; use a linearized DelayModel "
+                  "instead");
+    }
+  }
+}
+
+std::vector<ConstraintGroup> RingModel::constraint_groups() const {
+  ConstraintGroup group;
+  group.indices.resize(dimension());
+  std::iota(group.indices.begin(), group.indices.end(), std::size_t{0});
+  group.total = problem_.copies;
+  return {group};
+}
+
+std::vector<double> RingModel::upper_bounds() const {
+  if (problem_.max_per_node <= 0.0) {
+    return {};
+  }
+  return std::vector<double>(dimension(), problem_.max_per_node);
+}
+
+std::vector<std::vector<double>> RingModel::access_weights(
+    const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  const std::size_t n = dimension();
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    double cumulative = 0.0;
+    for (std::size_t offset = 0; offset < n; ++offset) {
+      const std::size_t node = (j + offset) % n;
+      const double before = std::min(cumulative, 1.0);
+      cumulative += x[node];
+      const double after = std::min(cumulative, 1.0);
+      w[j][node] = after - before;
+      if (after >= 1.0) {
+        break;  // first whole copy covered; later nodes get weight 0
+      }
+    }
+  }
+  return w;
+}
+
+std::vector<double> RingModel::arrival_rates(
+    const std::vector<double>& x) const {
+  const std::vector<std::vector<double>> w = access_weights(x);
+  std::vector<double> a(dimension(), 0.0);
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    for (std::size_t i = 0; i < dimension(); ++i) {
+      a[i] += problem_.lambda[j] * w[j][i];
+    }
+  }
+  return a;
+}
+
+double RingModel::communication_cost(const std::vector<double>& x) const {
+  const std::vector<std::vector<double>> w = access_weights(x);
+  double comm = 0.0;
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    for (std::size_t i = 0; i < dimension(); ++i) {
+      if (w[j][i] > 0.0) {
+        comm += problem_.lambda[j] * w[j][i] *
+                problem_.ring.forward_distance(j, i);
+      }
+    }
+  }
+  return comm;
+}
+
+double RingModel::delay_cost(const std::vector<double>& x) const {
+  const std::vector<double> a = arrival_rates(x);
+  double delay = 0.0;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    if (a[i] > 0.0) {
+      delay += problem_.k * a[i] * problem_.delay.sojourn(a[i], problem_.mu[i]);
+    }
+  }
+  return delay;
+}
+
+double RingModel::cost(const std::vector<double>& x) const {
+  return communication_cost(x) + delay_cost(x);
+}
+
+namespace {
+
+// Per-source walk structure: the nodes strictly inside source j's first
+// copy (cumulative coverage through the node still below 1) and the
+// boundary node at which coverage reaches 1.
+struct Walk {
+  std::vector<std::size_t> inside;  // nodes with S_after < 1, in walk order
+  std::size_t boundary = 0;         // first node with S_after >= 1
+};
+
+Walk make_walk(const std::vector<double>& x, std::size_t j) {
+  const std::size_t n = x.size();
+  Walk walk;
+  double cumulative = 0.0;
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t node = (j + offset) % n;
+    cumulative += x[node];
+    if (cumulative >= 1.0) {
+      walk.boundary = node;
+      return walk;
+    }
+    walk.inside.push_back(node);
+  }
+  // Σ x_i = m >= 1 guarantees coverage up to floating-point dust in the
+  // cumulative sum; treat the final node of the walk as the boundary.
+  FAP_ENSURES(cumulative >= 1.0 - 1e-6,
+              "ring walk failed to cover one whole copy");
+  walk.boundary = walk.inside.back();
+  walk.inside.pop_back();
+  return walk;
+}
+
+}  // namespace
+
+std::vector<double> RingModel::gradient(const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  const std::size_t n = dimension();
+  const std::vector<double> a = arrival_rates(x);
+
+  // φ_i = d/da [ k a T(a) ] = k (T(a_i) + a_i T'(a_i)): the marginal delay
+  // cost of directing one more unit of access rate at node i.
+  std::vector<double> phi(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    phi[i] = problem_.k * (problem_.delay.sojourn(a[i], problem_.mu[i]) +
+                           a[i] * problem_.delay.d_sojourn(a[i],
+                                                           problem_.mu[i]));
+  }
+
+  // Raising x_l by dx (for l strictly inside source j's first copy) moves
+  // λ_j dx of access weight from j's boundary node b_j to l, changing cost
+  // by λ_j [ (d(j,l) + φ_l) - (d(j,b_j) + φ_b) ] dx. Nodes at or beyond
+  // the boundary contribute nothing (right-hand derivative).
+  std::vector<double> grad(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (problem_.lambda[j] == 0.0) {
+      continue;
+    }
+    const Walk walk = make_walk(x, j);
+    const double boundary_value =
+        problem_.ring.forward_distance(j, walk.boundary) + phi[walk.boundary];
+    for (const std::size_t l : walk.inside) {
+      grad[l] += problem_.lambda[j] *
+                 (problem_.ring.forward_distance(j, l) + phi[l] -
+                  boundary_value);
+    }
+  }
+  return grad;
+}
+
+std::vector<double> RingModel::second_derivative(
+    const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  const std::size_t n = dimension();
+  const std::vector<double> a = arrival_rates(x);
+
+  // ψ_i = d²/da² [ k a T(a) ] = k (2 T'(a_i) + a_i T''(a_i)).
+  std::vector<double> psi(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    psi[i] =
+        problem_.k * (2.0 * problem_.delay.d_sojourn(a[i], problem_.mu[i]) +
+                      a[i] * problem_.delay.d2_sojourn(a[i], problem_.mu[i]));
+  }
+
+  // Within a region of fixed boundaries the communication term is linear,
+  // so curvature comes from the delay term only:
+  //   ∂a_l/∂x_l = Σ_{j: l inside walk_j} λ_j            (gains at l)
+  //   ∂a_b/∂x_l = -Σ_{j: b_j = b, l inside walk_j} λ_j  (losses at b)
+  //   ∂²C/∂x_l² = ψ_l (∂a_l/∂x_l)² + Σ_b ψ_b (∂a_b/∂x_l)².
+  std::vector<double> gain(n, 0.0);
+  // loss[l * n + b]: rate moved away from boundary b per unit of x_l.
+  std::vector<double> loss(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (problem_.lambda[j] == 0.0) {
+      continue;
+    }
+    const Walk walk = make_walk(x, j);
+    for (const std::size_t l : walk.inside) {
+      gain[l] += problem_.lambda[j];
+      loss[l * n + walk.boundary] += problem_.lambda[j];
+    }
+  }
+  std::vector<double> hess(n, 0.0);
+  for (std::size_t l = 0; l < n; ++l) {
+    double value = psi[l] * gain[l] * gain[l];
+    for (std::size_t b = 0; b < n; ++b) {
+      const double moved = loss[l * n + b];
+      if (moved > 0.0) {
+        value += psi[b] * moved * moved;
+      }
+    }
+    hess[l] = value;
+  }
+  return hess;
+}
+
+std::vector<double> trim_to_whole_copy(const RingModel& model,
+                                       std::vector<double> x) {
+  model.check_feasible(x);
+  FAP_EXPECTS(model.problem().copies <=
+                  static_cast<double>(model.dimension()),
+              "cannot cap nodes at one copy when m exceeds the node count");
+  double excess = 0.0;
+  for (double& xi : x) {
+    if (xi > 1.0) {
+      excess += xi - 1.0;
+      xi = 1.0;
+    }
+  }
+  if (excess <= 0.0) {
+    return x;
+  }
+  // Pour the excess into uncapped nodes in increasing marginal-cost order.
+  const std::vector<double> grad = model.gradient(x);
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&grad](std::size_t a, std::size_t b) {
+    return grad[a] < grad[b];
+  });
+  for (const std::size_t i : order) {
+    if (excess <= 0.0) {
+      break;
+    }
+    const double room = 1.0 - x[i];
+    if (room > 0.0) {
+      const double poured = std::min(room, excess);
+      x[i] += poured;
+      excess -= poured;
+    }
+  }
+  FAP_ENSURES(excess <= 1e-9, "trim failed to redistribute all excess");
+  return x;
+}
+
+}  // namespace fap::core

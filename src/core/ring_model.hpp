@@ -1,0 +1,109 @@
+// Multiple copies of a file on a virtual ring (Section 7.2).
+//
+// m copies of the file are laid out contiguously, end to end, around a
+// unidirectional virtual ring, so "the file is contiguous at any node":
+// node j sees the file starting at itself and extending forward until one
+// whole copy has been covered. The amount of file node j accesses at node
+// i is therefore
+//
+//   w_ji(x) = min(S_ji, 1) - min(S_j,i-1, 1),
+//   S_ji    = Σ x_t over the forward walk j, j+1, ..., i (inclusive),
+//
+// and the system-wide cost is
+//
+//   C(x) = Σ_j λ_j Σ_i w_ji · d(j, i)  +  k Σ_i a_i · T(a_i, μ_i),
+//   a_i  = Σ_j λ_j w_ji,
+//
+// with d(j, i) the forward ring distance and T the queueing sojourn time —
+// exactly the Section 7.2 worked example (communication cost
+// 11·0.1 + 7·0.3 + 5·0.7 + 2·0.8 + 0·0.8 = 8.3 for 0.8 of the file at
+// node 4 of the 7-ring; arrival rate 2.7 for the delay term), which is
+// pinned by a unit test.
+//
+// The constraint is Σ x_i = m with x_i >= 0 and *no* upper bound on x_i:
+// as Section 7.2 argues, "a node can be allocated more than a whole file,
+// if that is what is cheaper for the system" (trimming to at most one copy
+// per node is a post-processing step, provided by trim_to_whole_copy).
+//
+// The communication term is piecewise linear in x: when a copy boundary
+// crosses a node, whole link costs enter or leave the marginal utilities
+// ("the marginal utilities will therefore change in jumps, the jumps being
+// whole link costs"). gradient() returns the right-hand derivative,
+// computed from the boundary structure. Because a node may transiently be
+// assigned more traffic than its service rate, the delay model defaults to
+// a linearized M/M/1 (DelayModel rho_max = 0.95), per the paper's remark
+// that "some functional approximation can easily be made for T_i".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "net/virtual_ring.hpp"
+#include "queueing/delay.hpp"
+
+namespace fap::core {
+
+struct RingProblem {
+  net::VirtualRing ring;
+  double copies = 2.0;             ///< m; must be >= 1 for full coverage
+  std::vector<double> lambda;      ///< per-node access rates λ_j
+  std::vector<double> mu;          ///< per-node service rates μ_i
+  double k = 1.0;
+  queueing::DelayModel delay = queueing::DelayModel::mm1(/*rho_max=*/0.95);
+  /// Optional per-node storage cap (0 = unconstrained). Setting 1.0
+  /// enforces "no more than a whole file resides at a node" *inside* the
+  /// algorithm — the constraint Section 7.2 handles by post-hoc trimming
+  /// ("it is a simple matter to ensure that no more than a whole file
+  /// resides at a node ... after the algorithm has run to completion").
+  /// Requires n·max_per_node >= m.
+  double max_per_node = 0.0;
+};
+
+/// The Section 7.3 experimental setup: four-node virtual ring, m = 2,
+/// μ = 1.5, k = 1, λ = 1 split evenly. `link_costs` selects the
+/// communication-dominated ring (4,1,1,1) or the delay-dominated unit ring.
+RingProblem make_paper_ring_problem(const std::vector<double>& link_costs,
+                                    double copies = 2.0);
+
+class RingModel : public CostModel {
+ public:
+  explicit RingModel(RingProblem problem);
+
+  std::size_t dimension() const override { return problem_.lambda.size(); }
+  std::vector<ConstraintGroup> constraint_groups() const override;
+  std::vector<double> upper_bounds() const override;
+  double cost(const std::vector<double>& x) const override;
+  std::vector<double> gradient(const std::vector<double>& x) const override;
+  std::vector<double> second_derivative(
+      const std::vector<double>& x) const override;
+
+  /// Communication component of cost(x) alone.
+  double communication_cost(const std::vector<double>& x) const;
+  /// Queueing-delay component of cost(x) alone.
+  double delay_cost(const std::vector<double>& x) const;
+
+  /// w_ji(x): the amount of file node `j` accesses at node `i` (row-major
+  /// n×n). Each row sums to 1. Used by the discrete-event simulator to
+  /// route accesses.
+  std::vector<std::vector<double>> access_weights(
+      const std::vector<double>& x) const;
+
+  /// Access arrival rate a_i at every node.
+  std::vector<double> arrival_rates(const std::vector<double>& x) const;
+
+  const RingProblem& problem() const noexcept { return problem_; }
+
+ private:
+  RingProblem problem_;
+  double total_rate_ = 0.0;
+};
+
+/// Post-processing per Section 7.2: caps every node at one whole copy
+/// (x_i <= 1), redistributing the excess to other nodes in increasing
+/// marginal-cost order. The result is feasible and costs no more than an
+/// uncapped allocation rounded naively.
+std::vector<double> trim_to_whole_copy(const RingModel& model,
+                                       std::vector<double> x);
+
+}  // namespace fap::core

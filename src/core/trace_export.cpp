@@ -1,0 +1,53 @@
+#include "core/trace_export.hpp"
+
+#include <sstream>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace fap::core {
+
+std::string trace_to_csv(const std::vector<IterationRecord>& trace) {
+  std::ostringstream out;
+  out << "iteration,cost,alpha,active_set,spread";
+  const std::size_t dims = trace.empty() ? 0 : trace.front().x.size();
+  for (std::size_t i = 0; i < dims; ++i) {
+    out << ",x" << i;
+  }
+  out << '\n';
+  for (const IterationRecord& rec : trace) {
+    out << rec.iteration << ',' << util::format_double(rec.cost, 12) << ','
+        << util::format_double(rec.alpha, 12) << ',' << rec.active_set_size
+        << ',' << util::format_double(rec.marginal_spread, 12);
+    for (const double xi : rec.x) {
+      out << ',' << util::format_double(xi, 12);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string result_to_json(const AllocationResult& result) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("converged").value(result.converged);
+  json.key("iterations").value(result.iterations);
+  json.key("cost").value(result.cost);
+  json.key("x").value(result.x);
+  json.key("trace").begin_array();
+  for (const IterationRecord& rec : result.trace) {
+    json.begin_object();
+    json.key("iteration").value(rec.iteration);
+    json.key("cost").value(rec.cost);
+    json.key("alpha").value(rec.alpha);
+    json.key("active_set").value(rec.active_set_size);
+    json.key("spread").value(rec.marginal_spread);
+    json.key("x").value(rec.x);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace fap::core

@@ -1,0 +1,22 @@
+// Exporting algorithm runs for plotting and downstream analysis: the
+// per-iteration trace as CSV (one row per iteration) or the whole result
+// as a JSON document.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+
+namespace fap::core {
+
+/// CSV with header `iteration,cost,alpha,active_set,spread,x0,x1,...`.
+/// Empty traces produce just the header (with no x columns).
+std::string trace_to_csv(const std::vector<IterationRecord>& trace);
+
+/// JSON object: {"converged": ..., "iterations": ..., "cost": ...,
+/// "x": [...], "trace": [{"iteration": ..., "cost": ..., "alpha": ...,
+/// "active_set": ..., "spread": ..., "x": [...]}, ...]}.
+std::string result_to_json(const AllocationResult& result);
+
+}  // namespace fap::core

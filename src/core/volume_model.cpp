@@ -1,0 +1,76 @@
+#include "core/volume_model.hpp"
+
+#include "util/contracts.hpp"
+
+namespace fap::core {
+
+VolumeTransferModel::VolumeTransferModel(SingleFileProblem problem,
+                                         double base_volume,
+                                         double volume_factor)
+    : base_(std::move(problem)),
+      base_volume_(base_volume),
+      volume_factor_(volume_factor) {
+  FAP_EXPECTS(base_volume >= 0.0, "base volume must be non-negative");
+  FAP_EXPECTS(volume_factor >= 0.0, "volume factor must be non-negative");
+  FAP_EXPECTS(base_volume + volume_factor > 0.0,
+              "some payload must be shipped per access");
+}
+
+std::vector<ConstraintGroup> VolumeTransferModel::constraint_groups() const {
+  return base_.constraint_groups();
+}
+
+double VolumeTransferModel::cost(const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  const SingleFileProblem& problem = base_.problem();
+  const double lambda = base_.total_rate();
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == 0.0) {
+      continue;
+    }
+    const double comm = base_.access_cost(i) *
+                        (base_volume_ + volume_factor_ * x[i]);
+    const double delay =
+        problem.k * problem.delay.sojourn(lambda * x[i], problem.mu[i]);
+    total += x[i] * (comm + delay);
+  }
+  return total;
+}
+
+std::vector<double> VolumeTransferModel::gradient(
+    const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  const SingleFileProblem& problem = base_.problem();
+  const double lambda = base_.total_rate();
+  std::vector<double> grad(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = lambda * x[i];
+    const double mu = problem.mu[i];
+    // d/dx [ x C_i (b + v x) ] = C_i (b + 2 v x)
+    grad[i] = base_.access_cost(i) *
+                  (base_volume_ + 2.0 * volume_factor_ * x[i]) +
+              problem.k * (problem.delay.sojourn(a, mu) +
+                           a * problem.delay.d_sojourn(a, mu));
+  }
+  return grad;
+}
+
+std::vector<double> VolumeTransferModel::second_derivative(
+    const std::vector<double>& x) const {
+  FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
+  const SingleFileProblem& problem = base_.problem();
+  const double lambda = base_.total_rate();
+  std::vector<double> hess(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = lambda * x[i];
+    const double mu = problem.mu[i];
+    hess[i] = 2.0 * base_.access_cost(i) * volume_factor_ +
+              lambda * problem.k *
+                  (2.0 * problem.delay.d_sojourn(a, mu) +
+                   a * problem.delay.d2_sojourn(a, mu));
+  }
+  return hess;
+}
+
+}  // namespace fap::core

@@ -1,0 +1,56 @@
+// Volume-dependent transfer costs — the Section 8.2 model variant:
+// "if we consider systems in which the whole portion of the file is
+// copied to the querying node instead of a remote transaction working on
+// its behalf at the destination node then the communications cost will
+// depend on the volume of file transferred. ... Such a model is useful in
+// certain message-based distributed systems where data objects are passed
+// by value."
+//
+// Each access from j served at i ships base_volume + volume_factor · x_i
+// units over the j→i route (the fragment at i is copied by value, so a
+// larger fragment costs more to ship):
+//
+//   C(x) = Σ_i x_i [ C_i (b + v x_i) + k T(λ x_i, μ_i) ] ,
+//
+// with C_i the Section 4 system-wide route cost, b = base_volume and
+// v = volume_factor. The communication term is now *quadratic* in x_i, so
+// even with k = 0 the objective is strictly convex and fragmentation pays:
+// the volume penalty alone spreads the file (quantified by
+// bench/ablation_volume). The model plugs into every allocator unchanged.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/single_file.hpp"
+
+namespace fap::core {
+
+class VolumeTransferModel : public CostModel {
+ public:
+  /// `problem` as for SingleFileModel; `base_volume` (b >= 0) is the
+  /// per-access fixed payload and `volume_factor` (v >= 0) the
+  /// fragment-size-proportional payload. With b = 1, v = 0 this is
+  /// exactly the Section 4 model.
+  VolumeTransferModel(SingleFileProblem problem, double base_volume,
+                      double volume_factor);
+
+  std::size_t dimension() const override { return base_.dimension(); }
+  std::vector<ConstraintGroup> constraint_groups() const override;
+  double cost(const std::vector<double>& x) const override;
+  std::vector<double> gradient(const std::vector<double>& x) const override;
+  std::vector<double> second_derivative(
+      const std::vector<double>& x) const override;
+
+  double base_volume() const noexcept { return base_volume_; }
+  double volume_factor() const noexcept { return volume_factor_; }
+  const SingleFileModel& base_model() const noexcept { return base_; }
+
+ private:
+  SingleFileModel base_;
+  double base_volume_;
+  double volume_factor_;
+};
+
+}  // namespace fap::core

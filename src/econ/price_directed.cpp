@@ -1,0 +1,123 @@
+#include "econ/price_directed.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::econ {
+
+double agent_demand(const ConcaveUtility& agent, double price,
+                    double demand_cap, double tol) {
+  FAP_EXPECTS(demand_cap > 0.0, "demand cap must be positive");
+  // u' is decreasing: u'(0) <= p means demanding nothing is optimal;
+  // u'(cap) >= p means the cap binds.
+  if (agent.derivative(0.0) <= price) {
+    return 0.0;
+  }
+  if (agent.derivative(demand_cap) >= price) {
+    return demand_cap;
+  }
+  double lo = 0.0;
+  double hi = demand_cap;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (agent.derivative(mid) > price) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+std::vector<double> demands_at(const std::vector<ConcaveUtility>& agents,
+                               double price, double cap) {
+  std::vector<double> x(agents.size(), 0.0);
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    x[i] = agent_demand(agents[i], price, cap);
+  }
+  return x;
+}
+
+double sum_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) {
+    s += x;
+  }
+  return s;
+}
+
+}  // namespace
+
+TatonnementResult tatonnement(const std::vector<ConcaveUtility>& agents,
+                              double total,
+                              const TatonnementOptions& options) {
+  FAP_EXPECTS(!agents.empty(), "need at least one agent");
+  FAP_EXPECTS(total > 0.0, "resource total must be positive");
+  FAP_EXPECTS(options.gamma > 0.0, "gamma must be positive");
+  FAP_EXPECTS(options.tol > 0.0, "tolerance must be positive");
+
+  TatonnementResult result;
+  double price = options.initial_price;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<double> demand =
+        demands_at(agents, price, options.demand_cap);
+    const double excess = sum_of(demand) - total;
+    if (options.record_trace) {
+      TatonnementIteration rec;
+      rec.iteration = iter;
+      rec.price = price;
+      rec.excess_demand = excess;
+      rec.social_utility = social_utility(agents, demand);
+      rec.demand = demand;
+      result.trace.push_back(std::move(rec));
+    }
+    result.x = std::move(demand);
+    result.price = price;
+    ++result.iterations;
+    if (std::fabs(excess) < options.tol) {
+      result.converged = true;
+      break;
+    }
+    // Excess demand raises the price, excess supply lowers it. The price
+    // is allowed to go negative: when holding the resource is costly (as
+    // in FAP, where hosting attracts traffic), the market clears at a
+    // negative price — agents are paid to hold.
+    price += options.gamma * excess;
+  }
+  return result;
+}
+
+Equilibrium walrasian_equilibrium(const std::vector<ConcaveUtility>& agents,
+                                  double total, double demand_cap,
+                                  double tol) {
+  FAP_EXPECTS(!agents.empty(), "need at least one agent");
+  FAP_EXPECTS(total > 0.0, "resource total must be positive");
+  FAP_EXPECTS(static_cast<double>(agents.size()) * demand_cap >= total,
+              "caps must admit a clearing allocation");
+
+  // Bracket the clearing price: aggregate demand decreases in p, so grow
+  // hi until demand falls below total.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (sum_of(demands_at(agents, hi, demand_cap)) > total) {
+    hi *= 2.0;
+    FAP_ENSURES(hi < 1e18, "failed to bracket the clearing price");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (sum_of(demands_at(agents, mid, demand_cap)) > total) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  Equilibrium eq;
+  eq.price = 0.5 * (lo + hi);
+  eq.x = demands_at(agents, eq.price, demand_cap);
+  return eq;
+}
+
+}  // namespace fap::econ

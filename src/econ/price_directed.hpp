@@ -1,0 +1,79 @@
+// The price-directed (Walrasian tâtonnement) mechanism of Section 2 —
+// implemented as the comparison baseline for ablation A3.
+//
+// A per-unit price p is posted for the resource. Each agent independently
+// solves its selfish local problem
+//
+//   x_i(p) = argmax_{x >= 0}  u_i(x) - p x   (i.e. u_i'(x_i) = p, clamped)
+//
+// and the price adjusts toward market clearing:
+//
+//   p <- p + γ ( Σ_i x_i(p) - total ).
+//
+// The paper lists the drawbacks this exhibits relative to the
+// resource-directed scheme, each of which the A3 bench measures:
+//   * intermediate demand vectors are generally infeasible (Σ x_i ≠ total);
+//   * social utility along the path is not monotone;
+//   * every iteration requires each agent to solve a local optimization.
+// For strictly concave utilities aggregate demand is strictly decreasing
+// in p, so an exact clearing price also exists and is found by bisection
+// (walrasian_equilibrium), giving the mechanism's fixed point directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "econ/utility.hpp"
+
+namespace fap::econ {
+
+/// Agent i's demand at price p: the x >= 0 with u_i'(x) = p (0 when even
+/// u_i'(0) < p; capped at `demand_cap`, which bounds demand when
+/// u_i'(x) > p for all x of interest). Solved by bisection on the
+/// decreasing derivative.
+double agent_demand(const ConcaveUtility& agent, double price,
+                    double demand_cap, double tol = 1e-12);
+
+struct TatonnementOptions {
+  double gamma = 0.05;          ///< price adjustment speed
+  double initial_price = 1.0;
+  double demand_cap = 1.0;      ///< per-agent demand cap (resource total is
+                                ///< a natural choice)
+  double tol = 1e-6;            ///< stop when |Σ demand - total| < tol
+  std::size_t max_iterations = 100000;
+  bool record_trace = false;
+};
+
+struct TatonnementIteration {
+  std::size_t iteration = 0;
+  double price = 0.0;
+  double excess_demand = 0.0;    ///< Σ x_i(p) - total (infeasibility)
+  double social_utility = 0.0;   ///< of the (infeasible) demand vector
+  std::vector<double> demand;
+};
+
+struct TatonnementResult {
+  std::vector<double> x;         ///< final demand vector
+  double price = 0.0;
+  bool converged = false;
+  std::size_t iterations = 0;
+  std::vector<TatonnementIteration> trace;
+};
+
+/// Fixed-γ price adjustment process.
+TatonnementResult tatonnement(const std::vector<ConcaveUtility>& agents,
+                              double total,
+                              const TatonnementOptions& options);
+
+/// Exact market-clearing price by bisection on the (strictly decreasing)
+/// aggregate demand; returns the clearing allocation. This is the
+/// mechanism's fixed point, used as ground truth in tests.
+struct Equilibrium {
+  std::vector<double> x;
+  double price = 0.0;
+};
+Equilibrium walrasian_equilibrium(const std::vector<ConcaveUtility>& agents,
+                                  double total, double demand_cap,
+                                  double tol = 1e-10);
+
+}  // namespace fap::econ

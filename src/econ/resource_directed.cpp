@@ -1,0 +1,169 @@
+#include "econ/resource_directed.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fap::econ {
+
+namespace {
+
+// Boundary threshold for active-set exclusion; interior overshoots are
+// θ-clipped in the update, not frozen (see core/allocator.cpp).
+constexpr double kBoundaryTol = 1e-12;
+
+double mean_over(const std::vector<double>& values,
+                 const std::vector<std::size_t>& subset) {
+  double sum = 0.0;
+  for (const std::size_t i : subset) {
+    sum += values[i];
+  }
+  return sum / static_cast<double>(subset.size());
+}
+
+// Section 5.2 active-set procedure applied to generic marginals.
+std::vector<std::size_t> active_set(const std::vector<double>& x,
+                                    const std::vector<double>& marginals,
+                                    double alpha) {
+  const std::size_t n = x.size();
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    all[i] = i;
+  }
+  const double avg_all = mean_over(marginals, all);
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > kBoundaryTol ||
+        x[i] + alpha * (marginals[i] - avg_all) > 0.0) {
+      active.push_back(i);
+    }
+  }
+  if (active.empty()) {
+    active.push_back(static_cast<std::size_t>(
+        std::max_element(marginals.begin(), marginals.end()) -
+        marginals.begin()));
+  }
+  for (std::size_t round = 0; round < 2 * n + 2; ++round) {
+    bool changed = false;
+    for (;;) {
+      double best = -std::numeric_limits<double>::infinity();
+      std::size_t best_i = 0;
+      bool found = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (std::find(active.begin(), active.end(), j) != active.end()) {
+          continue;
+        }
+        if (marginals[j] > best) {
+          best = marginals[j];
+          best_i = j;
+          found = true;
+        }
+      }
+      if (!found || best <= mean_over(marginals, active)) {
+        break;
+      }
+      active.push_back(best_i);
+      changed = true;
+    }
+    std::vector<std::size_t> survivors;
+    const double avg = mean_over(marginals, active);
+    for (const std::size_t i : active) {
+      const double d = alpha * (marginals[i] - avg);
+      if (x[i] <= kBoundaryTol && d < 0.0 && x[i] + d <= 0.0) {
+        changed = true;
+        continue;
+      }
+      survivors.push_back(i);
+    }
+    if (survivors.empty()) {
+      survivors.push_back(*std::max_element(
+          active.begin(), active.end(), [&](std::size_t a, std::size_t b) {
+            return marginals[a] < marginals[b];
+          }));
+    }
+    active = std::move(survivors);
+    if (!changed) {
+      break;
+    }
+  }
+  std::sort(active.begin(), active.end());
+  return active;
+}
+
+}  // namespace
+
+PlannerResult resource_directed_plan(const std::vector<ConcaveUtility>& agents,
+                                     std::vector<double> initial,
+                                     const PlannerOptions& options) {
+  FAP_EXPECTS(!agents.empty(), "need at least one agent");
+  FAP_EXPECTS(agents.size() == initial.size(),
+              "initial allocation size must match agent count");
+  FAP_EXPECTS(options.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(options.epsilon > 0.0, "epsilon must be positive");
+  for (const double xi : initial) {
+    FAP_EXPECTS(xi >= 0.0, "initial allocation must be non-negative");
+  }
+
+  const std::size_t n = agents.size();
+  PlannerResult result;
+  result.x = std::move(initial);
+
+  auto marginals_at = [&](const std::vector<double>& x) {
+    std::vector<double> m(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = agents[i].derivative(x[i]);
+    }
+    return m;
+  };
+
+  auto record = [&](std::size_t iteration, double spread) {
+    if (!options.record_trace) {
+      return;
+    }
+    PlannerIteration rec;
+    rec.iteration = iteration;
+    rec.social_utility = social_utility(agents, result.x);
+    rec.marginal_spread = spread;
+    rec.x = result.x;
+    result.trace.push_back(std::move(rec));
+  };
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    const std::vector<double> marginals = marginals_at(result.x);
+    const std::vector<std::size_t> active =
+        active_set(result.x, marginals, options.alpha);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const std::size_t i : active) {
+      lo = std::min(lo, marginals[i]);
+      hi = std::max(hi, marginals[i]);
+    }
+    const double spread = hi - lo;
+    record(iter, spread);
+    if (spread < options.epsilon) {
+      result.converged = true;
+      break;
+    }
+
+    const double avg = mean_over(marginals, active);
+    double theta = 1.0;
+    std::vector<double> deltas(active.size());
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+      const std::size_t i = active[idx];
+      deltas[idx] = options.alpha * (marginals[i] - avg);
+      if (deltas[idx] < 0.0 && result.x[i] + deltas[idx] < 0.0) {
+        theta = std::min(theta, result.x[i] / -deltas[idx]);
+      }
+    }
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+      const std::size_t i = active[idx];
+      result.x[i] = std::max(0.0, result.x[i] + theta * deltas[idx]);
+    }
+    ++result.iterations;
+  }
+  result.social_utility = social_utility(agents, result.x);
+  return result;
+}
+
+}  // namespace fap::econ

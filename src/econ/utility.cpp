@@ -1,0 +1,52 @@
+#include "econ/utility.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::econ {
+
+ConcaveUtility log_utility(double weight, double shift) {
+  FAP_EXPECTS(weight > 0.0, "weight must be positive");
+  FAP_EXPECTS(shift > 0.0, "shift must be positive");
+  return ConcaveUtility{
+      [weight, shift](double x) { return weight * std::log(x + shift); },
+      [weight, shift](double x) { return weight / (x + shift); },
+      [weight, shift](double x) {
+        return -weight / ((x + shift) * (x + shift));
+      }};
+}
+
+ConcaveUtility quadratic_utility(double a, double b) {
+  FAP_EXPECTS(b > 0.0, "curvature must be positive for strict concavity");
+  return ConcaveUtility{
+      [a, b](double x) { return a * x - 0.5 * b * x * x; },
+      [a, b](double x) { return a - b * x; },
+      [b](double) { return -b; }};
+}
+
+ConcaveUtility power_utility(double weight, double exponent) {
+  FAP_EXPECTS(weight > 0.0, "weight must be positive");
+  FAP_EXPECTS(exponent > 0.0 && exponent < 1.0, "exponent must be in (0, 1)");
+  return ConcaveUtility{
+      [weight, exponent](double x) { return weight * std::pow(x, exponent); },
+      [weight, exponent](double x) {
+        return weight * exponent * std::pow(x, exponent - 1.0);
+      },
+      [weight, exponent](double x) {
+        return weight * exponent * (exponent - 1.0) *
+               std::pow(x, exponent - 2.0);
+      }};
+}
+
+double social_utility(const std::vector<ConcaveUtility>& agents,
+                      const std::vector<double>& x) {
+  FAP_EXPECTS(agents.size() == x.size(), "size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    total += agents[i].value(x[i]);
+  }
+  return total;
+}
+
+}  // namespace fap::econ

@@ -1,0 +1,41 @@
+#include "fs/directory.hpp"
+
+#include "util/contracts.hpp"
+
+namespace fap::fs {
+
+Directory::Directory(FragmentMap initial) : map_(std::move(initial)) {}
+
+net::NodeId Directory::lookup(std::size_t record) const {
+  return map_.node_of(record);
+}
+
+void Directory::install(FragmentMap next) {
+  FAP_EXPECTS(next.record_count() == map_.record_count(),
+              "new layout must describe the same file");
+  FAP_EXPECTS(next.node_count() == map_.node_count(),
+              "new layout must cover the same nodes");
+  map_ = std::move(next);
+  ++version_;
+}
+
+std::size_t Directory::migration_records(const FragmentMap& next) const {
+  FAP_EXPECTS(next.record_count() == map_.record_count() &&
+                  next.node_count() == map_.node_count(),
+              "layouts must describe the same file and nodes");
+  // Count per-node overlap of the two contiguous ranges; moved records are
+  // everything else.
+  std::size_t stationary = 0;
+  for (net::NodeId node = 0; node < map_.node_count(); ++node) {
+    const RecordRange& a = map_.range_at(node);
+    const RecordRange& b = next.range_at(node);
+    const std::size_t lo = std::max(a.begin, b.begin);
+    const std::size_t hi = std::min(a.end, b.end);
+    if (hi > lo) {
+      stationary += hi - lo;
+    }
+  }
+  return map_.record_count() - stationary;
+}
+
+}  // namespace fap::fs

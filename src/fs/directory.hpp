@@ -1,0 +1,46 @@
+// The directory service of Section 4: "when a process needs to access
+// certain records in a file, it would use some table look-up (directory)
+// procedure in order to determine to which node it should address its
+// file access."
+//
+// A Directory wraps the current FragmentMap behind a versioned lookup so
+// a running system can atomically swap in a re-optimized layout (the
+// nightly / adaptive scenarios): lookups against the old version keep
+// resolving until the swap, and the version counter lets caches detect
+// staleness.
+#pragma once
+
+#include <cstddef>
+
+#include "fs/fragment_map.hpp"
+#include "net/topology.hpp"
+
+namespace fap::fs {
+
+class Directory {
+ public:
+  explicit Directory(FragmentMap initial);
+
+  /// Node currently responsible for `record`.
+  net::NodeId lookup(std::size_t record) const;
+
+  /// Atomically installs a new layout; the version counter advances.
+  /// The new map must describe the same file (same record count) over the
+  /// same set of nodes.
+  void install(FragmentMap next);
+
+  /// Monotone layout version, starting at 1.
+  std::size_t version() const noexcept { return version_; }
+
+  const FragmentMap& current() const noexcept { return map_; }
+
+  /// Records whose home moves when migrating from the current layout to
+  /// `next` — the data-migration bill of a re-optimization.
+  std::size_t migration_records(const FragmentMap& next) const;
+
+ private:
+  FragmentMap map_;
+  std::size_t version_ = 1;
+};
+
+}  // namespace fap::fs

@@ -1,0 +1,95 @@
+#include "fs/fragment_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace fap::fs {
+
+FragmentMap FragmentMap::from_allocation(std::size_t record_count,
+                                         const std::vector<double>& x) {
+  FAP_EXPECTS(record_count >= 1, "file needs at least one record");
+  FAP_EXPECTS(!x.empty(), "allocation must cover at least one node");
+  double total = 0.0;
+  for (const double xi : x) {
+    FAP_EXPECTS(xi >= -1e-12, "allocation must be non-negative");
+    total += xi;
+  }
+  FAP_EXPECTS(std::fabs(total - 1.0) < 1e-6, "allocation must sum to 1");
+
+  // Largest-remainder (Hamilton) rounding of record counts.
+  const std::size_t n = x.size();
+  std::vector<std::size_t> counts(n, 0);
+  std::vector<double> remainders(n, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = std::max(x[i], 0.0) *
+                         static_cast<double>(record_count) / total;
+    counts[i] = static_cast<std::size_t>(std::floor(exact));
+    remainders[i] = exact - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return remainders[a] > remainders[b];
+  });
+  for (std::size_t k = 0; assigned < record_count; ++k, ++assigned) {
+    ++counts[order[k % n]];
+  }
+  return FragmentMap(std::move(counts));
+}
+
+FragmentMap::FragmentMap(std::vector<std::size_t> records_per_node) {
+  FAP_EXPECTS(!records_per_node.empty(), "need at least one node");
+  ranges_.reserve(records_per_node.size());
+  starts_.reserve(records_per_node.size());
+  std::size_t cursor = 0;
+  for (const std::size_t count : records_per_node) {
+    ranges_.push_back(RecordRange{cursor, cursor + count});
+    starts_.push_back(cursor);
+    cursor += count;
+  }
+  record_count_ = cursor;
+  FAP_EXPECTS(record_count_ >= 1, "file needs at least one record");
+}
+
+net::NodeId FragmentMap::node_of(std::size_t record) const {
+  FAP_EXPECTS(record < record_count_, "record out of range");
+  // Last node whose range starts at or before `record` and is non-empty.
+  const auto it =
+      std::upper_bound(starts_.begin(), starts_.end(), record);
+  std::size_t node = static_cast<std::size_t>(it - starts_.begin()) - 1;
+  // Skip back over empty ranges that share the same start.
+  while (!ranges_[node].contains(record)) {
+    FAP_ENSURES(node > 0, "fragment map lookup fell off the front");
+    --node;
+  }
+  return node;
+}
+
+const RecordRange& FragmentMap::range_at(net::NodeId node) const {
+  FAP_EXPECTS(node < ranges_.size(), "node out of range");
+  return ranges_[node];
+}
+
+std::size_t FragmentMap::records_at(net::NodeId node) const {
+  return range_at(node).size();
+}
+
+double FragmentMap::fraction_at(net::NodeId node) const {
+  return static_cast<double>(records_at(node)) /
+         static_cast<double>(record_count_);
+}
+
+std::vector<double> FragmentMap::fractions() const {
+  std::vector<double> result(ranges_.size(), 0.0);
+  for (std::size_t node = 0; node < ranges_.size(); ++node) {
+    result[node] = fraction_at(node);
+  }
+  return result;
+}
+
+}  // namespace fap::fs

@@ -1,0 +1,67 @@
+// Record-granular realization of a fractional allocation.
+//
+// The paper: "a file is essentially a sequence of records. These records
+// are the components of the file that reside entirely on a single node";
+// after the algorithm converges, "the real-number fractions will have to
+// be rounded or truncated in some suitable manner so that the file, when
+// split according to these rounded-off fractions, will fragment at record
+// boundaries" (Section 8.1). A FragmentMap is that rounded split: a
+// partition of records 0..R-1 into contiguous ranges, one range per node
+// (possibly empty), in node order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace fap::fs {
+
+/// Half-open record range [begin, end).
+struct RecordRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const noexcept { return end - begin; }
+  bool contains(std::size_t record) const noexcept {
+    return record >= begin && record < end;
+  }
+};
+
+class FragmentMap {
+ public:
+  /// Builds the record split realizing fractional allocation `x` (which
+  /// must be non-negative and sum to ~1) over `record_count` records,
+  /// using largest-remainder rounding so record counts match fractions as
+  /// closely as possible and every record is assigned exactly once.
+  static FragmentMap from_allocation(std::size_t record_count,
+                                     const std::vector<double>& x);
+
+  /// Builds directly from per-node record counts (must sum to the file's
+  /// record count).
+  explicit FragmentMap(std::vector<std::size_t> records_per_node);
+
+  std::size_t node_count() const noexcept { return ranges_.size(); }
+  std::size_t record_count() const noexcept { return record_count_; }
+
+  /// The node holding `record` (O(log N) search over range starts).
+  net::NodeId node_of(std::size_t record) const;
+
+  /// The contiguous range stored at `node` (empty range if none).
+  const RecordRange& range_at(net::NodeId node) const;
+
+  /// Records stored at `node`.
+  std::size_t records_at(net::NodeId node) const;
+
+  /// Fraction of the file stored at `node` (records_at / record_count).
+  double fraction_at(net::NodeId node) const;
+
+  /// Fractions for all nodes — the deployed allocation vector.
+  std::vector<double> fractions() const;
+
+ private:
+  std::vector<RecordRange> ranges_;  // indexed by node, contiguous in order
+  std::vector<std::size_t> starts_;  // range begins, for binary search
+  std::size_t record_count_ = 0;
+};
+
+}  // namespace fap::fs

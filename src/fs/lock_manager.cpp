@@ -1,0 +1,201 @@
+#include "fs/lock_manager.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "util/contracts.hpp"
+
+namespace fap::fs {
+
+bool LockManager::compatible(const RecordLock& lock, const Request& request) {
+  if (lock.holders.empty()) {
+    return true;
+  }
+  if (request.mode == LockMode::kExclusive) {
+    return false;
+  }
+  // Shared request: compatible iff every holder is shared.
+  return std::all_of(lock.holders.begin(), lock.holders.end(),
+                     [](const Request& holder) {
+                       return holder.mode == LockMode::kShared;
+                     });
+}
+
+LockOutcome LockManager::acquire(TxnId txn, std::size_t record,
+                                 LockMode mode) {
+  RecordLock& lock = records_[record];
+
+  // Re-entrant handling.
+  const auto held = std::find_if(
+      lock.holders.begin(), lock.holders.end(),
+      [txn](const Request& holder) { return holder.txn == txn; });
+  if (held != lock.holders.end()) {
+    if (mode == LockMode::kShared || held->mode == LockMode::kExclusive) {
+      return LockOutcome::kGranted;  // already sufficient
+    }
+    // Shared -> exclusive upgrade: only when sole holder.
+    if (lock.holders.size() == 1) {
+      held->mode = LockMode::kExclusive;
+      return LockOutcome::kGranted;
+    }
+    lock.queue.push_back(Request{txn, mode});
+    return LockOutcome::kQueued;
+  }
+
+  // FIFO fairness: jumpers are not allowed past an existing queue.
+  if (lock.queue.empty() && compatible(lock, Request{txn, mode})) {
+    lock.holders.push_back(Request{txn, mode});
+    return LockOutcome::kGranted;
+  }
+  lock.queue.push_back(Request{txn, mode});
+  return LockOutcome::kQueued;
+}
+
+void LockManager::grant_from_queue(RecordLock& lock) {
+  while (!lock.queue.empty()) {
+    const Request& head = lock.queue.front();
+    // Upgrade request becoming grantable?
+    const auto held = std::find_if(
+        lock.holders.begin(), lock.holders.end(),
+        [&head](const Request& holder) { return holder.txn == head.txn; });
+    if (held != lock.holders.end()) {
+      if (lock.holders.size() == 1) {
+        held->mode = LockMode::kExclusive;
+        lock.queue.erase(lock.queue.begin());
+        continue;
+      }
+      break;
+    }
+    if (!compatible(lock, head)) {
+      break;
+    }
+    lock.holders.push_back(head);
+    lock.queue.erase(lock.queue.begin());
+  }
+}
+
+void LockManager::release_all(TxnId txn) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    RecordLock& lock = it->second;
+    lock.holders.erase(
+        std::remove_if(lock.holders.begin(), lock.holders.end(),
+                       [txn](const Request& r) { return r.txn == txn; }),
+        lock.holders.end());
+    lock.queue.erase(
+        std::remove_if(lock.queue.begin(), lock.queue.end(),
+                       [txn](const Request& r) { return r.txn == txn; }),
+        lock.queue.end());
+    grant_from_queue(lock);
+    if (lock.holders.empty() && lock.queue.empty()) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool LockManager::holds(TxnId txn, std::size_t record) const {
+  const auto it = records_.find(record);
+  if (it == records_.end()) {
+    return false;
+  }
+  return std::any_of(it->second.holders.begin(), it->second.holders.end(),
+                     [txn](const Request& r) { return r.txn == txn; });
+}
+
+std::vector<TxnId> LockManager::holders(std::size_t record) const {
+  std::vector<TxnId> result;
+  const auto it = records_.find(record);
+  if (it != records_.end()) {
+    for (const Request& request : it->second.holders) {
+      result.push_back(request.txn);
+    }
+  }
+  return result;
+}
+
+std::vector<TxnId> LockManager::waiters(std::size_t record) const {
+  std::vector<TxnId> result;
+  const auto it = records_.find(record);
+  if (it != records_.end()) {
+    for (const Request& request : it->second.queue) {
+      result.push_back(request.txn);
+    }
+  }
+  return result;
+}
+
+std::size_t LockManager::held_count() const {
+  std::size_t count = 0;
+  for (const auto& [record, lock] : records_) {
+    count += lock.holders.size();
+  }
+  return count;
+}
+
+std::vector<TxnId> LockManager::find_deadlock() const {
+  // Waits-for edges: waiting txn -> every holder of the record it waits
+  // on (and, for FIFO blocking, every earlier waiter too — they must
+  // complete first).
+  std::map<TxnId, std::set<TxnId>> waits_for;
+  for (const auto& [record, lock] : records_) {
+    for (std::size_t q = 0; q < lock.queue.size(); ++q) {
+      const TxnId waiter = lock.queue[q].txn;
+      for (const Request& holder : lock.holders) {
+        if (holder.txn != waiter) {
+          waits_for[waiter].insert(holder.txn);
+        }
+      }
+      for (std::size_t earlier = 0; earlier < q; ++earlier) {
+        if (lock.queue[earlier].txn != waiter) {
+          waits_for[waiter].insert(lock.queue[earlier].txn);
+        }
+      }
+    }
+  }
+
+  // Depth-first cycle search over the waits-for graph.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<TxnId, Color> color;
+  std::vector<TxnId> stack;
+  std::vector<TxnId> cycle;
+
+  std::function<bool(TxnId)> visit = [&](TxnId txn) -> bool {
+    color[txn] = Color::kGray;
+    stack.push_back(txn);
+    const auto edges = waits_for.find(txn);
+    if (edges != waits_for.end()) {
+      for (const TxnId next : edges->second) {
+        const auto state = color.find(next);
+        if (state != color.end() && state->second == Color::kGray) {
+          // Found a cycle: extract it from the stack.
+          const auto start =
+              std::find(stack.begin(), stack.end(), next);
+          cycle.assign(start, stack.end());
+          return true;
+        }
+        if (state == color.end() || state->second == Color::kWhite) {
+          if (visit(next)) {
+            return true;
+          }
+        }
+      }
+    }
+    color[txn] = Color::kBlack;
+    stack.pop_back();
+    return false;
+  };
+
+  for (const auto& [txn, edges] : waits_for) {
+    const auto state = color.find(txn);
+    if (state == color.end() || state->second == Color::kWhite) {
+      if (visit(txn)) {
+        return cycle;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace fap::fs

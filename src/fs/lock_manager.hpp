@@ -1,0 +1,82 @@
+// Record-level locking for fragmented files — Section 8.1 made concrete.
+//
+// The paper argues fragmentation is compatible with atomicity and
+// serializability "premised on the assumption that most of the locking is
+// done on the records of the file", and walks through the failure mode of
+// multi-node predicate locks: transactions C and D each send
+// subtransactions to nodes A and B; if the network cannot guarantee a
+// global message order, node A may see C before D while node B sees D
+// before C, "This would create a deadlock."
+//
+// LockManager implements the machinery to study exactly that: per-record
+// shared/exclusive locks with FIFO wait queues (so lock-acquisition order
+// is the message-arrival order), plus waits-for-graph cycle detection.
+// tests/fs_lock_test.cpp reproduces the paper's scenario verbatim, and
+// also its counterpoint — "read operations can be executed in parallel at
+// nodes A and B" — via concurrent shared locks.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace fap::fs {
+
+using TxnId = std::size_t;
+
+enum class LockMode {
+  kShared,     ///< read lock; compatible with other shared locks
+  kExclusive,  ///< write lock; compatible with nothing
+};
+
+enum class LockOutcome {
+  kGranted,  ///< the transaction now holds the lock
+  kQueued,   ///< incompatible holder(s); the request waits FIFO
+};
+
+class LockManager {
+ public:
+  /// Requests a lock on `record` for `txn`. Re-requesting a lock the
+  /// transaction already holds is granted (with shared->exclusive upgrade
+  /// only when the transaction is the sole holder; otherwise queued).
+  /// FIFO fairness: a request also queues when an earlier incompatible
+  /// request is already waiting.
+  LockOutcome acquire(TxnId txn, std::size_t record, LockMode mode);
+
+  /// Releases everything `txn` holds or waits for, then grants whatever
+  /// became available to the waiting queue heads.
+  void release_all(TxnId txn);
+
+  /// True when `txn` currently holds a lock on `record` (in any mode).
+  bool holds(TxnId txn, std::size_t record) const;
+
+  /// Transactions currently holding `record`.
+  std::vector<TxnId> holders(std::size_t record) const;
+
+  /// Transactions currently waiting on `record`, in queue order.
+  std::vector<TxnId> waiters(std::size_t record) const;
+
+  /// A cycle in the waits-for graph (each waiting transaction points to
+  /// the holders blocking it), or empty if none. The returned cycle lists
+  /// the deadlocked transactions in order.
+  std::vector<TxnId> find_deadlock() const;
+
+  /// Total locks currently held (for tests / introspection).
+  std::size_t held_count() const;
+
+ private:
+  struct Request {
+    TxnId txn = 0;
+    LockMode mode = LockMode::kShared;
+  };
+  struct RecordLock {
+    std::vector<Request> holders;  // all kShared, or one kExclusive
+    std::vector<Request> queue;    // FIFO
+  };
+  std::map<std::size_t, RecordLock> records_;
+
+  void grant_from_queue(RecordLock& lock);
+  static bool compatible(const RecordLock& lock, const Request& request);
+};
+
+}  // namespace fap::fs

@@ -1,0 +1,79 @@
+#include "fs/migration.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace fap::fs {
+
+std::vector<Transfer> plan_migration(const FragmentMap& from,
+                                     const FragmentMap& to) {
+  FAP_EXPECTS(from.record_count() == to.record_count(),
+              "layouts must describe the same file");
+  FAP_EXPECTS(from.node_count() == to.node_count(),
+              "layouts must cover the same nodes");
+
+  // Sweep the record space once; each maximal run of records with the
+  // same (old home, new home) pair where the homes differ becomes one
+  // transfer.
+  std::vector<Transfer> plan;
+  const std::size_t records = from.record_count();
+  std::size_t r = 0;
+  while (r < records) {
+    const net::NodeId old_home = from.node_of(r);
+    const net::NodeId new_home = to.node_of(r);
+    // End of the run: the smaller of the two containing ranges' ends.
+    const std::size_t run_end =
+        std::min(from.range_at(old_home).end, to.range_at(new_home).end);
+    if (old_home != new_home) {
+      plan.push_back(Transfer{RecordRange{r, run_end}, old_home, new_home});
+    }
+    r = run_end;
+  }
+  return plan;
+}
+
+std::size_t migration_volume(const std::vector<Transfer>& plan) {
+  std::size_t volume = 0;
+  for (const Transfer& transfer : plan) {
+    volume += transfer.records();
+  }
+  return volume;
+}
+
+MigrationSchedule schedule_waves(const std::vector<Transfer>& plan,
+                                 std::size_t node_count,
+                                 std::size_t max_transfers_per_node) {
+  FAP_EXPECTS(max_transfers_per_node >= 1,
+              "each node must be allowed at least one transfer per wave");
+  MigrationSchedule schedule;
+  schedule.wave_of.assign(plan.size(), 0);
+
+  // busy[w * node_count + i]: transfers node i participates in at wave w.
+  std::vector<std::vector<std::size_t>> busy;  // per wave, per node
+  for (std::size_t t = 0; t < plan.size(); ++t) {
+    FAP_EXPECTS(plan[t].source < node_count && plan[t].target < node_count,
+                "transfer references an unknown node");
+    FAP_EXPECTS(plan[t].source != plan[t].target,
+                "a transfer must change the record's home");
+    std::size_t wave = 0;
+    for (;; ++wave) {
+      if (wave == busy.size()) {
+        busy.emplace_back(node_count, 0);
+        schedule.wave_volume.push_back(0);
+      }
+      if (busy[wave][plan[t].source] < max_transfers_per_node &&
+          busy[wave][plan[t].target] < max_transfers_per_node) {
+        break;
+      }
+    }
+    ++busy[wave][plan[t].source];
+    ++busy[wave][plan[t].target];
+    schedule.wave_of[t] = wave;
+    schedule.wave_volume[wave] += plan[t].records();
+  }
+  schedule.wave_count = busy.size();
+  return schedule;
+}
+
+}  // namespace fap::fs

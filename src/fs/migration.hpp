@@ -1,0 +1,60 @@
+// Migration planning: turning a re-optimization into an executable,
+// bandwidth-limited transfer schedule.
+//
+// The paper's adaptive vision (Section 8) re-runs the algorithm as the
+// workload drifts; each re-run produces a new record layout, and the
+// delta between layouts is real data that must move over the network.
+// Directory::migration_records counts the moved records; this module
+// plans the move itself:
+//
+//   * plan_migration: the exact set of record ranges that change homes
+//     (minimal for contiguous layouts: only the non-overlapping parts of
+//     each node's old range move);
+//   * schedule_waves: packs the transfers into waves such that no node
+//     participates in more than `max_transfers_per_node` concurrent
+//     transfers per wave (greedy graph-coloring of the transfer
+//     conflict structure) — the knob that trades migration speed against
+//     interference with foreground traffic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fs/fragment_map.hpp"
+#include "net/topology.hpp"
+
+namespace fap::fs {
+
+/// One contiguous transfer: `range` moves from `source` to `target`.
+struct Transfer {
+  RecordRange range;
+  net::NodeId source = 0;
+  net::NodeId target = 0;
+  std::size_t records() const noexcept { return range.size(); }
+};
+
+/// The ranges that change homes between two layouts of the same file,
+/// in record order. Records whose node is unchanged do not appear.
+std::vector<Transfer> plan_migration(const FragmentMap& from,
+                                     const FragmentMap& to);
+
+/// Total records moved by a plan (equals
+/// Directory::migration_records(from -> to)).
+std::size_t migration_volume(const std::vector<Transfer>& plan);
+
+/// Groups transfers into waves; within a wave every node appears as
+/// source or target at most `max_transfers_per_node` times. Transfers
+/// within a wave may run concurrently. Greedy first-fit over the plan
+/// order; returns wave indices parallel to `plan`.
+struct MigrationSchedule {
+  /// wave_of[t]: wave index assigned to plan[t].
+  std::vector<std::size_t> wave_of;
+  std::size_t wave_count = 0;
+  /// Records moved per wave (the per-wave network bill).
+  std::vector<std::size_t> wave_volume;
+};
+MigrationSchedule schedule_waves(const std::vector<Transfer>& plan,
+                                 std::size_t node_count,
+                                 std::size_t max_transfers_per_node = 1);
+
+}  // namespace fap::fs

@@ -1,0 +1,75 @@
+#include "fs/popularity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::fs {
+
+std::vector<double> uniform_popularity(std::size_t record_count) {
+  FAP_EXPECTS(record_count >= 1, "need at least one record");
+  return std::vector<double>(record_count,
+                             1.0 / static_cast<double>(record_count));
+}
+
+std::vector<double> zipf_popularity(std::size_t record_count, double s) {
+  FAP_EXPECTS(record_count >= 1, "need at least one record");
+  FAP_EXPECTS(s >= 0.0, "Zipf exponent must be non-negative");
+  std::vector<double> weights(record_count, 0.0);
+  for (std::size_t r = 0; r < record_count; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -s);
+  }
+  return normalized_popularity(std::move(weights));
+}
+
+std::vector<double> normalized_popularity(std::vector<double> weights) {
+  FAP_EXPECTS(!weights.empty(), "need at least one record");
+  double total = 0.0;
+  for (const double w : weights) {
+    FAP_EXPECTS(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  FAP_EXPECTS(total > 0.0, "total weight must be positive");
+  for (double& w : weights) {
+    w /= total;
+  }
+  return weights;
+}
+
+std::vector<double> node_access_shares(
+    const FragmentMap& layout, const std::vector<double>& popularity) {
+  FAP_EXPECTS(popularity.size() == layout.record_count(),
+              "one popularity per record");
+  std::vector<double> shares(layout.node_count(), 0.0);
+  for (net::NodeId node = 0; node < layout.node_count(); ++node) {
+    const RecordRange& range = layout.range_at(node);
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      shares[node] += popularity[r];
+    }
+  }
+  return shares;
+}
+
+RecordSampler::RecordSampler(const std::vector<double>& popularity) {
+  FAP_EXPECTS(!popularity.empty(), "need at least one record");
+  cumulative_.reserve(popularity.size());
+  double sum = 0.0;
+  for (const double p : popularity) {
+    FAP_EXPECTS(p >= 0.0, "popularity must be non-negative");
+    sum += p;
+    cumulative_.push_back(sum);
+  }
+  FAP_EXPECTS(std::fabs(sum - 1.0) < 1e-6,
+              "popularity must be a distribution");
+  cumulative_.back() = 1.0;
+}
+
+std::size_t RecordSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace fap::fs

@@ -1,0 +1,45 @@
+// Record popularity distributions.
+//
+// Section 4 assumes "the individual records with a file are accessed on a
+// uniform basis (although this can be easily relaxed)". This header is
+// the relaxation: popularity vectors (uniform, Zipf, custom), a sampler
+// for workload generation, and helpers to aggregate record popularity
+// into per-node access probabilities under a given fragment layout.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fs/fragment_map.hpp"
+#include "util/rng.hpp"
+
+namespace fap::fs {
+
+/// Uniform popularity: every record accessed with probability 1/R.
+std::vector<double> uniform_popularity(std::size_t record_count);
+
+/// Zipf popularity with exponent `s` (s = 0 is uniform): p_r ∝ 1/(r+1)^s,
+/// normalized. Rank order = record order (record 0 hottest).
+std::vector<double> zipf_popularity(std::size_t record_count, double s);
+
+/// Normalizes an arbitrary non-negative weight vector into a popularity
+/// distribution.
+std::vector<double> normalized_popularity(std::vector<double> weights);
+
+/// Per-node access probability under `layout`:
+/// q_i = Σ_{r stored at i} p_r — the quantity that replaces x_i in Eq. 1
+/// when record access is non-uniform.
+std::vector<double> node_access_shares(const FragmentMap& layout,
+                                       const std::vector<double>& popularity);
+
+/// Draws records according to a popularity distribution (inverse-CDF).
+class RecordSampler {
+ public:
+  explicit RecordSampler(const std::vector<double>& popularity);
+  std::size_t sample(util::Rng& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace fap::fs

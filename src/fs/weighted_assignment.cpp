@@ -1,0 +1,95 @@
+#include "fs/weighted_assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/cost_model.hpp"
+#include "util/contracts.hpp"
+
+namespace fap::fs {
+
+RecordAssignment pack_records(const std::vector<double>& popularity,
+                              const std::vector<double>& target_shares) {
+  FAP_EXPECTS(!popularity.empty(), "need at least one record");
+  FAP_EXPECTS(!target_shares.empty(), "need at least one node");
+  double popularity_total = 0.0;
+  for (const double p : popularity) {
+    FAP_EXPECTS(p >= 0.0, "popularity must be non-negative");
+    popularity_total += p;
+  }
+  FAP_EXPECTS(std::fabs(popularity_total - 1.0) < 1e-6,
+              "popularity must be a distribution (see "
+              "fs::normalized_popularity)");
+  double share_total = 0.0;
+  for (const double q : target_shares) {
+    FAP_EXPECTS(q >= -1e-12, "target shares must be non-negative");
+    share_total += q;
+  }
+  FAP_EXPECTS(std::fabs(share_total - 1.0) < 1e-6,
+              "target shares must sum to 1");
+
+  const std::size_t records = popularity.size();
+  const std::size_t nodes = target_shares.size();
+
+  // Records in decreasing popularity.
+  std::vector<std::size_t> order(records);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return popularity[a] > popularity[b];
+  });
+
+  RecordAssignment assignment;
+  assignment.record_to_node.assign(records, 0);
+  assignment.achieved_shares.assign(nodes, 0.0);
+  assignment.storage_fractions.assign(nodes, 0.0);
+
+  for (const std::size_t record : order) {
+    // Node with the largest remaining share deficit.
+    std::size_t best = 0;
+    double best_deficit = -std::numeric_limits<double>::infinity();
+    for (std::size_t node = 0; node < nodes; ++node) {
+      const double deficit =
+          target_shares[node] - assignment.achieved_shares[node];
+      if (deficit > best_deficit) {
+        best_deficit = deficit;
+        best = node;
+      }
+    }
+    assignment.record_to_node[record] = best;
+    assignment.achieved_shares[best] += popularity[record];
+    assignment.storage_fractions[best] += 1.0;
+  }
+  for (double& fraction : assignment.storage_fractions) {
+    fraction /= static_cast<double>(records);
+  }
+  return assignment;
+}
+
+WeightedPlacement optimize_record_placement(
+    const core::SingleFileModel& model,
+    const std::vector<double>& popularity,
+    const core::AllocatorOptions& options) {
+  FAP_EXPECTS(!popularity.empty(), "need at least one record");
+  double total = 0.0;
+  for (const double p : popularity) {
+    FAP_EXPECTS(p >= 0.0, "popularity must be non-negative");
+    total += p;
+  }
+  FAP_EXPECTS(std::fabs(total - 1.0) < 1e-6,
+              "popularity must be a distribution");
+
+  WeightedPlacement placement;
+  // Optimize access shares: the model is Eq. 1 with q in place of x.
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult optimum =
+      allocator.run(core::uniform_allocation(model));
+  placement.target_shares = optimum.x;
+  placement.fractional_cost = optimum.cost;
+  placement.assignment = pack_records(popularity, placement.target_shares);
+  placement.achieved_cost = model.cost(placement.assignment.achieved_shares);
+  return placement;
+}
+
+}  // namespace fap::fs

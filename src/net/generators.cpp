@@ -1,0 +1,158 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::net {
+
+Topology make_ring(std::size_t n, const std::vector<double>& link_costs) {
+  FAP_EXPECTS(n >= 3, "a ring needs at least three nodes");
+  FAP_EXPECTS(link_costs.size() == 1 || link_costs.size() == n,
+              "provide one shared link cost or one per link");
+  Topology topology(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cost =
+        link_costs.size() == 1 ? link_costs.front() : link_costs[i];
+    topology.add_edge(i, (i + 1) % n, cost);
+  }
+  return topology;
+}
+
+Topology make_ring(std::size_t n, double cost) {
+  return make_ring(n, std::vector<double>{cost});
+}
+
+Topology make_complete(std::size_t n, double cost) {
+  FAP_EXPECTS(n >= 2, "a complete network needs at least two nodes");
+  Topology topology(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      topology.add_edge(i, j, cost);
+    }
+  }
+  return topology;
+}
+
+Topology make_star(std::size_t n, double cost) {
+  FAP_EXPECTS(n >= 2, "a star needs at least two nodes");
+  Topology topology(n);
+  for (std::size_t spoke = 1; spoke < n; ++spoke) {
+    topology.add_edge(0, spoke, cost);
+  }
+  return topology;
+}
+
+Topology make_line(std::size_t n, double cost) {
+  FAP_EXPECTS(n >= 2, "a line needs at least two nodes");
+  Topology topology(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topology.add_edge(i, i + 1, cost);
+  }
+  return topology;
+}
+
+Topology make_grid(std::size_t rows, std::size_t cols, double cost) {
+  FAP_EXPECTS(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  FAP_EXPECTS(rows * cols >= 2, "grid needs at least two nodes");
+  Topology topology(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        topology.add_edge(id(r, c), id(r, c + 1), cost);
+      }
+      if (r + 1 < rows) {
+        topology.add_edge(id(r, c), id(r + 1, c), cost);
+      }
+    }
+  }
+  return topology;
+}
+
+Topology make_erdos_renyi(std::size_t n, double p, double cost_lo,
+                          double cost_hi, util::Rng& rng,
+                          std::size_t max_attempts) {
+  FAP_EXPECTS(n >= 2, "network needs at least two nodes");
+  FAP_EXPECTS(p >= 0.0 && p <= 1.0, "p must be a probability");
+  FAP_EXPECTS(cost_lo > 0.0 && cost_hi >= cost_lo, "bad cost range");
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Topology topology(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.uniform() < p) {
+          topology.add_edge(i, j, rng.uniform(cost_lo, cost_hi));
+        }
+      }
+    }
+    if (topology.connected()) {
+      return topology;
+    }
+  }
+  // Too sparse to connect by luck: sample once more and force connectivity
+  // with a random spanning chain.
+  Topology topology(n);
+  const std::vector<std::size_t> order = rng.permutation(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topology.add_edge(order[i], order[i + 1], rng.uniform(cost_lo, cost_hi));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!topology.has_edge(i, j) && rng.uniform() < p) {
+        topology.add_edge(i, j, rng.uniform(cost_lo, cost_hi));
+      }
+    }
+  }
+  return topology;
+}
+
+Topology make_random_metric(std::size_t n, std::size_t k, util::Rng& rng) {
+  FAP_EXPECTS(n >= 2, "network needs at least two nodes");
+  FAP_EXPECTS(k >= 1, "each node needs at least one neighbor");
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> points(n);
+  for (auto& pt : points) {
+    pt = Point{rng.uniform(), rng.uniform()};
+  }
+  const auto distance = [&points](std::size_t a, std::size_t b) {
+    const double dx = points[a].x - points[b].x;
+    const double dy = points[a].y - points[b].y;
+    // Small floor keeps coincident points from creating zero-cost links.
+    return std::max(std::hypot(dx, dy), 1e-6);
+  };
+
+  Topology topology(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> others;
+    others.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) {
+        others.push_back(j);
+      }
+    }
+    const std::size_t keep = std::min(k, others.size());
+    std::partial_sort(others.begin(),
+                      others.begin() + static_cast<std::ptrdiff_t>(keep),
+                      others.end(), [&](std::size_t a, std::size_t b) {
+                        return distance(i, a) < distance(i, b);
+                      });
+    for (std::size_t idx = 0; idx < keep; ++idx) {
+      const std::size_t j = others[idx];
+      if (!topology.has_edge(i, j)) {
+        topology.add_edge(i, j, distance(i, j));
+      }
+    }
+  }
+  // Chain in node order guarantees connectivity regardless of k.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (!topology.has_edge(i, i + 1)) {
+      topology.add_edge(i, i + 1, distance(i, i + 1));
+    }
+  }
+  return topology;
+}
+
+}  // namespace fap::net

@@ -1,0 +1,51 @@
+// Topology generators for the paper's experiments and beyond.
+//
+// Figures 3-5 use a 4-node ring with equal link costs; Figure 6 uses fully
+// connected networks of 4..20 nodes with unit link costs; Figures 8-9 use a
+// 4-node (virtual) ring with specified per-link costs. The random
+// generators support the wider test/bench sweeps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace fap::net {
+
+/// Ring of n nodes (n >= 3); link i connects node i to node (i+1) mod n
+/// with cost link_costs[i]. With a single-element vector the cost is shared
+/// by all links.
+Topology make_ring(std::size_t n, const std::vector<double>& link_costs);
+
+/// Ring with every link cost equal to `cost`.
+Topology make_ring(std::size_t n, double cost = 1.0);
+
+/// Fully connected network of n nodes, all direct links of cost `cost`.
+Topology make_complete(std::size_t n, double cost = 1.0);
+
+/// Star: node 0 is the hub, spokes cost `cost`.
+Topology make_star(std::size_t n, double cost = 1.0);
+
+/// Line (path) network: node i - node i+1, cost `cost`.
+Topology make_line(std::size_t n, double cost = 1.0);
+
+/// rows x cols grid with unit-cost nearest-neighbor links.
+Topology make_grid(std::size_t rows, std::size_t cols, double cost = 1.0);
+
+/// Erdős–Rényi G(n, p) with link costs uniform in [cost_lo, cost_hi].
+/// Retries until the sample is connected (and always succeeds eventually
+/// because a random spanning tree is added when p is too sparse to connect
+/// after `max_attempts` samples).
+Topology make_erdos_renyi(std::size_t n, double p, double cost_lo,
+                          double cost_hi, util::Rng& rng,
+                          std::size_t max_attempts = 64);
+
+/// Random geometric-flavored metric network: nodes get uniform positions in
+/// the unit square, each node links to its k nearest neighbors with cost
+/// equal to Euclidean distance (plus a spanning chain to force
+/// connectivity). Produces realistic non-uniform c_ij matrices.
+Topology make_random_metric(std::size_t n, std::size_t k, util::Rng& rng);
+
+}  // namespace fap::net

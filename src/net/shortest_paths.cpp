@@ -1,0 +1,160 @@
+#include "net/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/contracts.hpp"
+
+namespace fap::net {
+
+CostMatrix::CostMatrix(std::size_t node_count)
+    : n_(node_count), data_(node_count * node_count, 0.0) {
+  FAP_EXPECTS(node_count >= 1, "cost matrix needs at least one node");
+}
+
+double CostMatrix::cost(NodeId i, NodeId j) const {
+  FAP_EXPECTS(i < n_ && j < n_, "node id out of range");
+  return data_[i * n_ + j];
+}
+
+void CostMatrix::set_cost(NodeId i, NodeId j, double cost) {
+  FAP_EXPECTS(i < n_ && j < n_, "node id out of range");
+  FAP_EXPECTS(cost >= 0.0, "cost must be non-negative");
+  data_[i * n_ + j] = cost;
+}
+
+double CostMatrix::max_cost() const noexcept {
+  double mx = 0.0;
+  for (const double c : data_) {
+    if (c != kInfiniteCost) {
+      mx = std::max(mx, c);
+    }
+  }
+  return mx;
+}
+
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& other) const noexcept {
+    return dist > other.dist;
+  }
+};
+
+// Dijkstra that also records, for each settled node, the first hop taken
+// from the source (or the node itself for the source).
+void dijkstra_impl(const Topology& topology, NodeId source,
+                   std::vector<double>& dist, std::vector<NodeId>* first_hop) {
+  const std::size_t n = topology.node_count();
+  FAP_EXPECTS(source < n, "source out of range");
+  dist.assign(n, kInfiniteCost);
+  if (first_hop != nullptr) {
+    first_hop->assign(n, source);
+  }
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+  dist[source] = 0.0;
+  frontier.push(QueueEntry{0.0, source});
+  while (!frontier.empty()) {
+    const QueueEntry top = frontier.top();
+    frontier.pop();
+    if (top.dist > dist[top.node]) {
+      continue;  // stale entry
+    }
+    for (const Topology::Neighbor& nb : topology.neighbors(top.node)) {
+      const double candidate = top.dist + nb.cost;
+      if (candidate < dist[nb.node]) {
+        dist[nb.node] = candidate;
+        if (first_hop != nullptr) {
+          (*first_hop)[nb.node] =
+              (top.node == source) ? nb.node : (*first_hop)[top.node];
+        }
+        frontier.push(QueueEntry{candidate, nb.node});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> dijkstra(const Topology& topology, NodeId source) {
+  std::vector<double> dist;
+  dijkstra_impl(topology, source, dist, nullptr);
+  return dist;
+}
+
+std::vector<NodeId> dijkstra_next_hops(const Topology& topology,
+                                       NodeId source) {
+  std::vector<double> dist;
+  std::vector<NodeId> hops;
+  dijkstra_impl(topology, source, dist, &hops);
+  return hops;
+}
+
+std::vector<std::vector<std::size_t>> route_hop_counts(
+    const Topology& topology) {
+  FAP_EXPECTS(topology.connected(), "topology must be connected");
+  const std::size_t n = topology.node_count();
+  std::vector<std::vector<std::size_t>> hops(
+      n, std::vector<std::size_t>(n, 0));
+  for (NodeId source = 0; source < n; ++source) {
+    // Dijkstra on (cost, hops) lexicographically: cheapest route first,
+    // fewest hops among ties.
+    std::vector<double> dist(n, kInfiniteCost);
+    std::vector<std::size_t> hop(n, 0);
+    struct Entry {
+      double dist;
+      std::size_t hops;
+      NodeId node;
+      bool operator>(const Entry& other) const noexcept {
+        if (dist != other.dist) {
+          return dist > other.dist;
+        }
+        return hops > other.hops;
+      }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        frontier;
+    dist[source] = 0.0;
+    frontier.push(Entry{0.0, 0, source});
+    while (!frontier.empty()) {
+      const Entry top = frontier.top();
+      frontier.pop();
+      if (top.dist > dist[top.node] ||
+          (top.dist == dist[top.node] && top.hops > hop[top.node])) {
+        continue;
+      }
+      for (const Topology::Neighbor& nb : topology.neighbors(top.node)) {
+        const double candidate = top.dist + nb.cost;
+        const std::size_t candidate_hops = top.hops + 1;
+        if (candidate < dist[nb.node] ||
+            (candidate == dist[nb.node] && candidate_hops < hop[nb.node])) {
+          dist[nb.node] = candidate;
+          hop[nb.node] = candidate_hops;
+          frontier.push(Entry{candidate, candidate_hops, nb.node});
+        }
+      }
+    }
+    hops[source] = hop;
+  }
+  return hops;
+}
+
+CostMatrix all_pairs_shortest_paths(const Topology& topology) {
+  FAP_EXPECTS(topology.connected(),
+              "topology must be connected for file access to be possible");
+  const std::size_t n = topology.node_count();
+  CostMatrix matrix(n);
+  for (NodeId source = 0; source < n; ++source) {
+    const std::vector<double> dist = dijkstra(topology, source);
+    for (NodeId target = 0; target < n; ++target) {
+      matrix.set_cost(source, target, dist[target]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace fap::net

@@ -1,0 +1,57 @@
+// All-pairs least-cost routing over a Topology.
+//
+// The paper routes every file access "along the shortest (least expensive)
+// path" between requester and fragment holder; the resulting all-pairs
+// distance matrix is exactly the c_ij of the cost model (c_ii = 0).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace fap::net {
+
+/// Dense communication-cost matrix: cost(i, j) is the cost of one access
+/// from i serviced at j (request plus response over the least-cost route).
+class CostMatrix {
+ public:
+  explicit CostMatrix(std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return n_; }
+  double cost(NodeId i, NodeId j) const;
+  void set_cost(NodeId i, NodeId j, double cost);
+
+  /// Largest finite entry; used for α-bound computations.
+  double max_cost() const noexcept;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// Computes the all-pairs shortest-path cost matrix of `topology` by running
+/// Dijkstra's algorithm from every source. Requires a connected topology
+/// (disconnected pairs would make file access impossible).
+CostMatrix all_pairs_shortest_paths(const Topology& topology);
+
+/// Single-source Dijkstra; returns distances from `source` to every node
+/// (infinity for unreachable nodes). Exposed separately for routing in the
+/// discrete-event simulator.
+std::vector<double> dijkstra(const Topology& topology, NodeId source);
+
+/// Next-hop routing table entry for store-and-forward simulation: for each
+/// destination, the neighbor to forward to on a least-cost path.
+std::vector<NodeId> dijkstra_next_hops(const Topology& topology,
+                                       NodeId source);
+
+/// Number of links traversed by the least-cost route between every pair
+/// (0 on the diagonal). Among equal-cost routes the fewest-hop one is
+/// chosen. Used by the discrete-event simulator's store-and-forward
+/// transport (per-hop latency).
+std::vector<std::vector<std::size_t>> route_hop_counts(
+    const Topology& topology);
+
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+}  // namespace fap::net

@@ -1,0 +1,62 @@
+#include "net/virtual_ring.hpp"
+
+#include <algorithm>
+
+#include "net/shortest_paths.hpp"
+#include "util/contracts.hpp"
+
+namespace fap::net {
+
+VirtualRing::VirtualRing(std::vector<double> forward_costs)
+    : forward_costs_(std::move(forward_costs)) {
+  FAP_EXPECTS(forward_costs_.size() >= 3, "a ring needs at least three nodes");
+  prefix_.assign(forward_costs_.size() + 1, 0.0);
+  for (std::size_t p = 0; p < forward_costs_.size(); ++p) {
+    FAP_EXPECTS(forward_costs_[p] > 0.0, "hop costs must be positive");
+    prefix_[p + 1] = prefix_[p] + forward_costs_[p];
+  }
+  total_ = prefix_.back();
+}
+
+VirtualRing VirtualRing::from_order(const Topology& topology,
+                                    const std::vector<NodeId>& order) {
+  FAP_EXPECTS(order.size() == topology.node_count(),
+              "order must list every node exactly once");
+  std::vector<bool> seen(topology.node_count(), false);
+  for (const NodeId node : order) {
+    FAP_EXPECTS(node < topology.node_count(), "node id out of range");
+    FAP_EXPECTS(!seen[node], "order must be a permutation");
+    seen[node] = true;
+  }
+  const CostMatrix matrix = all_pairs_shortest_paths(topology);
+  std::vector<double> costs(order.size(), 0.0);
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    costs[p] = matrix.cost(order[p], order[(p + 1) % order.size()]);
+  }
+  return VirtualRing(std::move(costs));
+}
+
+double VirtualRing::forward_cost(std::size_t position) const {
+  FAP_EXPECTS(position < size(), "position out of range");
+  return forward_costs_[position];
+}
+
+double VirtualRing::forward_distance(std::size_t from, std::size_t to) const {
+  FAP_EXPECTS(from < size() && to < size(), "position out of range");
+  if (from <= to) {
+    return prefix_[to] - prefix_[from];
+  }
+  return total_ - prefix_[from] + prefix_[to];
+}
+
+std::size_t VirtualRing::forward_hops(std::size_t from, std::size_t to) const {
+  FAP_EXPECTS(from < size() && to < size(), "position out of range");
+  return (to + size() - from) % size();
+}
+
+std::size_t VirtualRing::advance(std::size_t from, std::size_t steps) const {
+  FAP_EXPECTS(from < size(), "position out of range");
+  return (from + steps) % size();
+}
+
+}  // namespace fap::net

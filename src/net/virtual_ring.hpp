@@ -1,0 +1,47 @@
+// Virtual ring (Section 7.2): "a virtual ring is constructed from an
+// arbitrary network by imposing an ordering on the nodes and establishing a
+// protocol of communication that embeds this ordering". Communication for
+// file access flows in one direction around the ring; the cost of the hop
+// from ring position p to position p+1 is the least-cost route between the
+// corresponding physical nodes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace fap::net {
+
+class VirtualRing {
+ public:
+  /// Ring with the given forward hop costs; hop p connects position p to
+  /// position (p+1) mod n. All costs must be positive.
+  explicit VirtualRing(std::vector<double> forward_costs);
+
+  /// Builds a virtual ring over `topology` visiting nodes in `order`
+  /// (a permutation of all nodes); each forward hop costs the least-cost
+  /// route between consecutive nodes in the order.
+  static VirtualRing from_order(const Topology& topology,
+                                const std::vector<NodeId>& order);
+
+  std::size_t size() const noexcept { return forward_costs_.size(); }
+  double forward_cost(std::size_t position) const;
+
+  /// Total communication cost of going forward from ring position `from`
+  /// to ring position `to` (0 when from == to; wraps around the ring).
+  double forward_distance(std::size_t from, std::size_t to) const;
+
+  /// Number of forward hops from `from` to `to`.
+  std::size_t forward_hops(std::size_t from, std::size_t to) const;
+
+  /// Position that is `steps` hops forward of `from`.
+  std::size_t advance(std::size_t from, std::size_t steps) const;
+
+ private:
+  std::vector<double> forward_costs_;
+  std::vector<double> prefix_;  // prefix_[p] = cost from position 0 to p
+  double total_ = 0.0;
+};
+
+}  // namespace fap::net

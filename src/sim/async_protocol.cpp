@@ -1,0 +1,205 @@
+#include "sim/async_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace fap::sim {
+
+namespace {
+
+// Validates the model is single-group and returns the group total.
+double single_group_total(const core::CostModel& model) {
+  const std::vector<core::ConstraintGroup> groups = model.constraint_groups();
+  FAP_EXPECTS(groups.size() == 1 &&
+                  groups.front().indices.size() == model.dimension(),
+              "asynchronous simulation requires a single conservation "
+              "constraint over all variables");
+  return groups.front().total;
+}
+
+std::size_t validate_delays(const AsyncConfig& config, std::size_t n) {
+  if (config.delay.empty()) {
+    return 0;
+  }
+  FAP_EXPECTS(config.delay.size() == n, "delay matrix size mismatch");
+  std::size_t max_delay = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    FAP_EXPECTS(config.delay[i].size() == n, "delay row size mismatch");
+    FAP_EXPECTS(config.delay[i][i] == 0,
+                "a node always knows its own current state");
+    for (const std::size_t d : config.delay[i]) {
+      max_delay = std::max(max_delay, d);
+    }
+  }
+  return max_delay;
+}
+
+std::size_t delay_of(const AsyncConfig& config, std::size_t i,
+                     std::size_t j) {
+  return config.delay.empty() ? 0 : config.delay[i][j];
+}
+
+}  // namespace
+
+AsyncResult run_async_averaging(const core::CostModel& model,
+                                std::vector<double> initial,
+                                const AsyncConfig& config) {
+  model.check_feasible(initial);
+  FAP_EXPECTS(config.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(config.rounds >= 1, "need at least one round");
+  const std::size_t n = model.dimension();
+  const double total = single_group_total(model);
+  const std::size_t max_delay = validate_delays(config, n);
+
+  AsyncResult result;
+  result.x = std::move(initial);
+  // history.front() is the oldest retained snapshot of marginal
+  // utilities; history.back() is the current round's.
+  std::deque<std::vector<double>> history;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    history.push_back(model.marginal_utilities(result.x));
+    if (history.size() > max_delay + 1) {
+      history.pop_front();
+    }
+
+    std::vector<double> next = result.x;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Node i averages the marginal utilities as it currently knows
+      // them: node j's value from delay(i, j) rounds ago (clamped to the
+      // oldest snapshot early in the run).
+      double stale_sum = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t age =
+            std::min(delay_of(config, i, j), history.size() - 1);
+        stale_sum += history[history.size() - 1 - age][j];
+      }
+      const double avg = stale_sum / static_cast<double>(n);
+      const double own = history.back()[i];
+      next[i] = std::max(0.0, result.x[i] + config.alpha * (own - avg));
+    }
+    result.x = std::move(next);
+
+    // Anti-entropy: an occasional synchronized renormalization.
+    if (config.correction_interval > 0 &&
+        (round + 1) % config.correction_interval == 0) {
+      const double sum = fap::util::sum(result.x);
+      if (sum > 0.0) {
+        for (double& xi : result.x) {
+          xi *= total / sum;
+        }
+      }
+    }
+
+    const double drift = std::fabs(fap::util::sum(result.x) - total);
+    result.max_feasibility_drift =
+        std::max(result.max_feasibility_drift, drift);
+    result.drift_trace.push_back(drift);
+    // Cost of the (possibly infeasible) state: evaluate on the
+    // renormalized shadow so the model's preconditions hold.
+    std::vector<double> shadow = result.x;
+    const double sum = fap::util::sum(shadow);
+    if (sum > 0.0) {
+      for (double& xi : shadow) {
+        xi *= total / sum;
+      }
+    }
+    result.cost_trace.push_back(model.cost(shadow));
+  }
+  result.final_feasibility_drift =
+      std::fabs(fap::util::sum(result.x) - total);
+  std::vector<double> shadow = result.x;
+  const double sum = fap::util::sum(shadow);
+  if (sum > 0.0) {
+    for (double& xi : shadow) {
+      xi *= total / sum;
+    }
+  }
+  result.cost = model.cost(shadow);
+  return result;
+}
+
+AsyncResult run_async_gossip(const core::CostModel& model,
+                             const net::Topology& graph,
+                             std::vector<double> initial,
+                             const AsyncConfig& config) {
+  model.check_feasible(initial);
+  FAP_EXPECTS(config.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(config.rounds >= 1, "need at least one round");
+  const std::size_t n = model.dimension();
+  FAP_EXPECTS(graph.node_count() == n, "graph size mismatch");
+  const double total = single_group_total(model);
+  const std::size_t max_delay = validate_delays(config, n);
+
+  AsyncResult result;
+  result.x = std::move(initial);
+  std::deque<std::vector<double>> history;
+  constexpr double kEmptyTol = 1e-12;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    history.push_back(model.marginal_utilities(result.x));
+    if (history.size() > max_delay + 1) {
+      history.pop_front();
+    }
+
+    // Requested flows from stale views; Metropolis weights for hub
+    // stability (see core::NeighborAllocator).
+    struct Flow {
+      std::size_t from, to;
+      double amount;
+    };
+    std::vector<Flow> flows;
+    std::vector<double> egress(n, 0.0);
+    for (const net::Edge& edge : graph.edges()) {
+      // Both endpoints act on the same (conservatively old) view of the
+      // pair, aged by the edge's delay.
+      const std::size_t age = std::min(
+          std::max(delay_of(config, edge.u, edge.v),
+                   delay_of(config, edge.v, edge.u)),
+          history.size() - 1);
+      const std::vector<double>& view = history[history.size() - 1 - age];
+      const double gap = view[edge.v] - view[edge.u];
+      const std::size_t from = gap >= 0.0 ? edge.u : edge.v;
+      const std::size_t to = gap >= 0.0 ? edge.v : edge.u;
+      if (std::fabs(gap) > 0.0 && result.x[from] > kEmptyTol) {
+        const double weight =
+            1.0 / (1.0 + static_cast<double>(
+                             std::max(graph.neighbors(edge.u).size(),
+                                      graph.neighbors(edge.v).size())));
+        const double amount = config.alpha * weight * std::fabs(gap);
+        flows.push_back(Flow{from, to, amount});
+        egress[from] += amount;
+      }
+    }
+    std::vector<double> scale(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (egress[i] > result.x[i]) {
+        scale[i] = result.x[i] / egress[i];
+      }
+    }
+    for (const Flow& flow : flows) {
+      const double moved = scale[flow.from] * flow.amount;
+      result.x[flow.from] -= moved;
+      result.x[flow.to] += moved;
+    }
+    for (double& xi : result.x) {
+      xi = std::max(xi, 0.0);
+    }
+
+    const double drift = std::fabs(fap::util::sum(result.x) - total);
+    result.max_feasibility_drift =
+        std::max(result.max_feasibility_drift, drift);
+    result.drift_trace.push_back(drift);
+    result.cost_trace.push_back(model.cost(result.x));
+  }
+  result.final_feasibility_drift =
+      std::fabs(fap::util::sum(result.x) - total);
+  result.cost = model.cost(result.x);
+  return result;
+}
+
+}  // namespace fap::sim

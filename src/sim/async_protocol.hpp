@@ -1,0 +1,75 @@
+// Asynchronous execution with stale information.
+//
+// The paper's algorithm is specified in synchronous rounds: every node
+// sees this round's marginal utilities before anyone moves. Section 8
+// imagines looser operation — "successive iterations of the algorithm can
+// be run at freely spaced intervals" — and in a real system marginal
+// utilities arrive late. This module simulates exactly that: node i sees
+// node j's marginal utility (and fragment) as of `delay(i, j)` rounds
+// ago, computes its own Δx_i from that stale view, and applies it to its
+// own fragment only.
+//
+// The interesting failure is structural. In the synchronous algorithm
+// feasibility (Σx = 1) is an identity because all nodes subtract the
+// *same* average. With heterogeneous staleness the nodes average
+// *different* snapshots, Σ Δx_i ≠ 0, and the total file mass drifts —
+// the system literally loses or duplicates parts of the file's
+// assignment. Two mitigations are provided and measured
+// (bench/ablation_async):
+//   * periodic anti-entropy: every `correction_interval` rounds the nodes
+//     run one exact renormalization (Σx rescaled to 1), modeling an
+//     occasional synchronized round;
+//   * structural conservation: the neighbors-only gossip algorithm
+//     (core::NeighborAllocator) moves mass in pairwise transfers, so it
+//     cannot drift no matter how stale its inputs — simulate_gossip_async
+//     runs it with per-edge delays and feasibility stays exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "net/topology.hpp"
+
+namespace fap::sim {
+
+struct AsyncConfig {
+  double alpha = 0.1;
+  std::size_t rounds = 500;
+  /// delay[i][j]: how many rounds old node j's report is when node i uses
+  /// it (delay[i][i] must be 0 — a node always knows itself). Empty means
+  /// fully synchronous.
+  std::vector<std::vector<std::size_t>> delay;
+  /// Every this many rounds, one synchronized renormalization restores
+  /// Σx = total exactly (0 disables anti-entropy).
+  std::size_t correction_interval = 0;
+};
+
+struct AsyncResult {
+  std::vector<double> x;
+  double cost = 0.0;
+  /// max_t |Σ x(t) - total|: the worst feasibility drift observed.
+  double max_feasibility_drift = 0.0;
+  /// |Σ x(final) - total|.
+  double final_feasibility_drift = 0.0;
+  std::vector<double> cost_trace;
+  std::vector<double> drift_trace;
+};
+
+/// Runs the averaging algorithm asynchronously on a single-group model.
+/// Negative fragments are clamped at zero (contributing to drift like any
+/// other asynchrony artifact).
+AsyncResult run_async_averaging(const core::CostModel& model,
+                                std::vector<double> initial,
+                                const AsyncConfig& config);
+
+/// Runs the neighbors-only gossip update with per-edge staleness: the
+/// flow on edge (i, j) at round t uses marginal utilities from round
+/// t - delay. Pairwise transfers conserve mass structurally, so
+/// feasibility drift is identically zero; staleness costs only speed.
+AsyncResult run_async_gossip(const core::CostModel& model,
+                             const net::Topology& graph,
+                             std::vector<double> initial,
+                             const AsyncConfig& config);
+
+}  // namespace fap::sim

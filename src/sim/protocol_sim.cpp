@@ -1,0 +1,165 @@
+#include "sim/protocol_sim.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::sim {
+
+namespace {
+
+// One node of the protocol. An agent owns its fragment x_i and a mailbox;
+// all knowledge of other fragments arrives through deliver().
+class Agent {
+ public:
+  Agent(std::size_t id, std::size_t node_count, double fragment)
+      : id_(id), view_(node_count, 0.0), marginal_view_(node_count, 0.0) {
+    view_[id] = fragment;
+  }
+
+  std::size_t id() const noexcept { return id_; }
+  double fragment() const noexcept { return view_[id_]; }
+
+  /// Receive (x_j, ∂U/∂x_j) from node j.
+  void deliver(std::size_t from, double fragment, double marginal) {
+    view_[from] = fragment;
+    marginal_view_[from] = marginal;
+  }
+
+  /// Record this agent's own marginal utility (computed in compute_round).
+  void set_own_marginal(double marginal) { marginal_view_[id_] = marginal; }
+
+  /// The agent's current view of the full allocation (own fragment always
+  /// fresh; others as of the last delivery).
+  const std::vector<double>& view() const noexcept { return view_; }
+  const std::vector<double>& marginal_view() const noexcept {
+    return marginal_view_;
+  }
+
+  /// Apply the agent's own component of the jointly computed update.
+  void apply(double new_fragment) { view_[id_] = new_fragment; }
+
+ private:
+  std::size_t id_;
+  std::vector<double> view_;           // x as known to this agent
+  std::vector<double> marginal_view_;  // ∂U/∂x as known to this agent
+};
+
+}  // namespace
+
+RoundMessageCost round_message_cost(std::size_t nodes,
+                                    const ProtocolConfig& config) {
+  FAP_EXPECTS(nodes >= 1, "need at least one node");
+  RoundMessageCost cost;
+  // Payload of one node's report: its marginal utility, plus its fragment
+  // when other nodes cannot derive routing without it.
+  const std::size_t report_payload = config.needs_full_allocation ? 2 : 1;
+  if (config.scheme == AggregationScheme::kBroadcast) {
+    // Every node reports to every other node.
+    cost.point_to_point = nodes * (nodes - 1);
+    // On a broadcast medium one transmission reaches everyone.
+    cost.broadcast_medium = nodes;
+    cost.payload_doubles = nodes * (nodes - 1) * report_payload;
+  } else {
+    // N-1 uploads to the central agent plus N-1 replies.
+    cost.point_to_point = 2 * (nodes - 1);
+    cost.broadcast_medium = (nodes - 1) + 1;  // uploads + one broadcast reply
+    // Reply carries the average marginal utility — and the full allocation
+    // vector when fragments alone do not determine routing (Section 7.3).
+    const std::size_t reply_payload =
+        config.needs_full_allocation ? 1 + nodes : 1;
+    cost.payload_doubles =
+        (nodes - 1) * report_payload + (nodes - 1) * reply_payload;
+  }
+  return cost;
+}
+
+ProtocolResult run_protocol(const core::CostModel& model,
+                            std::vector<double> initial,
+                            const ProtocolConfig& config) {
+  model.check_feasible(initial);
+  const std::size_t n = model.dimension();
+
+  // Instantiate one agent per variable, seeded with only its own fragment.
+  std::vector<Agent> agents;
+  agents.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agents.emplace_back(i, n, initial[i]);
+  }
+
+  const core::ResourceDirectedAllocator stepper(model, config.algorithm);
+  const RoundMessageCost per_round = round_message_cost(n, config);
+
+  ProtocolResult result;
+  result.x = initial;
+
+  for (std::size_t round = 0; round < config.algorithm.max_iterations;
+       ++round) {
+    // Phase (a): every agent evaluates its own marginal utility at the
+    // current allocation. For the single-file objective this needs only
+    // the agent's own fragment (C_i is static local knowledge); for the
+    // ring objective it needs the allocation view exchanged in previous
+    // rounds — both cases reduce to evaluating the model's gradient
+    // component at the assembled allocation.
+    std::vector<double> assembled(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      assembled[i] = agents[i].fragment();
+    }
+    const std::vector<double> marginals = model.marginal_utilities(assembled);
+    for (std::size_t i = 0; i < n; ++i) {
+      agents[i].set_own_marginal(marginals[i]);
+    }
+
+    // Phase (b): exchange. Both schemes result in every agent holding all
+    // (x_j, ∂U/∂x_j); they differ only in message/payload cost, accounted
+    // above. Delivery is lossless and in-order.
+    for (std::size_t from = 0; from < n; ++from) {
+      for (std::size_t to = 0; to < n; ++to) {
+        if (from != to) {
+          agents[to].deliver(from, agents[from].fragment(), marginals[from]);
+        }
+      }
+    }
+    result.point_to_point_messages += per_round.point_to_point;
+    result.broadcast_medium_messages += per_round.broadcast_medium;
+    result.payload_doubles += per_round.payload_doubles;
+
+    // Phase (c): every agent independently runs the identical
+    // deterministic update on its received view and keeps its own
+    // component.
+    std::vector<double> next(n, 0.0);
+    bool terminal = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::ResourceDirectedAllocator::StepOutcome outcome =
+          stepper.step(agents[i].view());
+      if (i == 0) {
+        terminal = outcome.terminal;
+        next = outcome.x;
+      } else {
+        // Agreement invariant: identical inputs must give identical
+        // decisions at every agent.
+        FAP_ENSURES(outcome.terminal == terminal,
+                    "protocol agents disagree on termination");
+        FAP_ENSURES(outcome.x[i] == next[i],
+                    "protocol agents disagree on the next allocation");
+      }
+    }
+    ++result.rounds;
+    if (terminal) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      agents[i].apply(next[i]);
+    }
+    result.x = next;
+    if (config.record_cost_trace) {
+      result.cost_trace.push_back(model.cost(result.x));
+    }
+  }
+
+  result.cost = model.cost(result.x);
+  return result;
+}
+
+}  // namespace fap::sim

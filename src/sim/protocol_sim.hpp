@@ -1,0 +1,80 @@
+// Message-passing realization of the decentralized algorithm.
+//
+// Section 5.1 describes two aggregation schemes for the per-iteration
+// exchange of marginal utilities: every node broadcasts to every other
+// node (and each computes the average locally), or every node sends to a
+// designated central agent which replies with the average. This module
+// executes the algorithm *as that protocol*: each node is a separate
+// Agent object holding only its own allocation fragment; each round the
+// agents exchange messages through a lossless in-order virtual network,
+// then every agent independently runs the identical deterministic update
+// on the information it received. A run asserts the agreement invariant
+// (all agents compute the same next allocation) and a test pins the
+// protocol's trajectory to the centralized driver's, bitwise.
+//
+// The module also accounts for message and payload costs, reproducing two
+// of the paper's observations:
+//   * "in a broadcast environment, such as a local area network, these two
+//     schemes require approximately the same number of messages" — we
+//     report both point-to-point and broadcast-medium message counts;
+//   * Section 7.3: with multiple copies "each node needs to know the
+//     allocation at every other node in order to ... determine which nodes
+//     are going [to] make an access there", so per-message payload grows
+//     from one scalar (∂U/∂x_i) to the pair (∂U/∂x_i, x_i), and the
+//     central agent's reply grows from one scalar to the full allocation
+//     vector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/cost_model.hpp"
+
+namespace fap::sim {
+
+enum class AggregationScheme {
+  kBroadcast,     ///< all-to-all exchange; averages computed locally
+  kCentralAgent,  ///< star exchange through node 0
+};
+
+struct ProtocolConfig {
+  AggregationScheme scheme = AggregationScheme::kBroadcast;
+  core::AllocatorOptions algorithm;
+  /// True when nodes cannot evaluate their marginal utility from their own
+  /// fragment alone and need the full allocation vector (the multicopy
+  /// ring model); affects payload accounting.
+  bool needs_full_allocation = false;
+  bool record_cost_trace = false;
+};
+
+struct ProtocolResult {
+  std::vector<double> x;
+  double cost = 0.0;
+  bool converged = false;
+  std::size_t rounds = 0;
+  /// Unicast messages if every transmission is point-to-point.
+  std::size_t point_to_point_messages = 0;
+  /// Transmissions if the medium supports physical broadcast (LAN).
+  std::size_t broadcast_medium_messages = 0;
+  /// Total scalars carried by all messages.
+  std::size_t payload_doubles = 0;
+  std::vector<double> cost_trace;  ///< cost after each round (if recorded)
+};
+
+/// Per-round message accounting for one iteration with n nodes under the
+/// given configuration (exposed for tests and the A5 bench).
+struct RoundMessageCost {
+  std::size_t point_to_point = 0;
+  std::size_t broadcast_medium = 0;
+  std::size_t payload_doubles = 0;
+};
+RoundMessageCost round_message_cost(std::size_t nodes,
+                                    const ProtocolConfig& config);
+
+/// Executes the decentralized protocol on `model` from `initial`.
+ProtocolResult run_protocol(const core::CostModel& model,
+                            std::vector<double> initial,
+                            const ProtocolConfig& config);
+
+}  // namespace fap::sim

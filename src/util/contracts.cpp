@@ -1,0 +1,29 @@
+#include "util/contracts.hpp"
+
+namespace fap::util::detail {
+
+namespace {
+
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream out;
+  out << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace fap::util::detail

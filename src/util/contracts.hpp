@@ -1,0 +1,52 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", GSL's Expects/Ensures). We use exceptions rather
+// than terminate so library misuse is testable and recoverable by callers.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fap::util {
+
+/// Thrown when a precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant or postcondition fails; indicates a
+/// bug in this library rather than in calling code.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace fap::util
+
+/// Precondition check: validates arguments of public entry points.
+#define FAP_EXPECTS(expr, msg)                                           \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::fap::util::detail::throw_precondition(#expr, __FILE__, __LINE__, \
+                                              (msg));                    \
+    }                                                                    \
+  } while (false)
+
+/// Invariant / postcondition check: validates internal consistency.
+#define FAP_ENSURES(expr, msg)                                         \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::fap::util::detail::throw_invariant(#expr, __FILE__, __LINE__, \
+                                           (msg));                    \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,185 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace fap::util {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (!stack_.empty() && has_items_.back() && !expecting_value_) {
+    out_ += ',';
+  }
+}
+
+void JsonWriter::note_value() {
+  if (!stack_.empty()) {
+    has_items_.back() = true;
+  }
+  expecting_value_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  FAP_EXPECTS(stack_.empty() || stack_.back() == Frame::kArray ||
+                  expecting_value_,
+              "an object inside an object needs a key first");
+  comma_if_needed();
+  out_ += '{';
+  note_value();
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  FAP_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject,
+              "no object to close");
+  FAP_EXPECTS(!expecting_value_, "dangling key");
+  out_ += '}';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  FAP_EXPECTS(stack_.empty() || stack_.back() == Frame::kArray ||
+                  expecting_value_,
+              "an array inside an object needs a key first");
+  comma_if_needed();
+  out_ += '[';
+  note_value();
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  FAP_EXPECTS(!stack_.empty() && stack_.back() == Frame::kArray,
+              "no array to close");
+  out_ += ']';
+  stack_.pop_back();
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  FAP_EXPECTS(!stack_.empty() && stack_.back() == Frame::kObject,
+              "keys are only valid inside objects");
+  FAP_EXPECTS(!expecting_value_, "two keys in a row");
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  has_items_.back() = true;
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  note_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) {
+    return null();  // JSON has no NaN/Inf
+  }
+  comma_if_needed();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ += buffer;
+  note_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  note_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  note_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma_if_needed();
+  out_ += flag ? "true" : "false";
+  note_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  note_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::vector<double>& numbers) {
+  begin_array();
+  for (const double x : numbers) {
+    value(x);
+  }
+  return end_array();
+}
+
+std::string JsonWriter::str() const {
+  FAP_EXPECTS(stack_.empty(), "unclosed containers in JSON document");
+  return out_;
+}
+
+}  // namespace fap::util

@@ -1,0 +1,66 @@
+// Minimal JSON emission (no external dependencies) for exporting
+// experiment artifacts — allocation traces, bench series, estimated
+// parameters — to plotting and analysis tools.
+//
+// Writer only: the library consumes no JSON. The emitter produces
+// RFC 8259-conformant output: strings are escaped (control characters,
+// quotes, backslashes), non-finite doubles are emitted as null (JSON has
+// no NaN/Inf), and containers nest arbitrarily.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fap::util {
+
+/// Streaming JSON writer with explicit begin/end nesting.
+///
+///   JsonWriter json;
+///   json.begin_object();
+///   json.key("alpha").value(0.3);
+///   json.key("trace").begin_array();
+///   for (double c : costs) json.value(c);
+///   json.end_array();
+///   json.end_object();
+///   std::string out = json.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object and followed by a
+  /// value (or container).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(long long number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Convenience: a whole array of doubles.
+  JsonWriter& value(const std::vector<double>& numbers);
+
+  /// The document so far. Throws unless all containers are closed.
+  std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+  void comma_if_needed();
+  void note_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool expecting_value_ = false;  // a key was just written
+};
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(const std::string& text);
+
+}  // namespace fap::util

@@ -1,0 +1,108 @@
+#include "util/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::util {
+
+bool almost_equal(double a, double b, double abs_tol, double rel_tol) noexcept {
+  const double diff = std::fabs(a - b);
+  return diff <= abs_tol + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+std::vector<double> numeric_gradient(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, double h) {
+  std::vector<double> grad(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double original = x[i];
+    x[i] = original + h;
+    const double fp = f(x);
+    x[i] = original - h;
+    const double fm = f(x);
+    x[i] = original;
+    grad[i] = (fp - fm) / (2.0 * h);
+  }
+  return grad;
+}
+
+double numeric_second_derivative(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, std::size_t i, double h) {
+  FAP_EXPECTS(i < x.size(), "coordinate out of range");
+  const double original = x[i];
+  const double f0 = f(x);
+  x[i] = original + h;
+  const double fp = f(x);
+  x[i] = original - h;
+  const double fm = f(x);
+  return (fp - 2.0 * f0 + fm) / (h * h);
+}
+
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi, double tol) {
+  FAP_EXPECTS(hi > lo, "bracket must be non-empty");
+  FAP_EXPECTS(tol > 0.0, "tolerance must be positive");
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  const double x = 0.5 * (a + b);
+  return ScalarMinimum{x, f(x)};
+}
+
+GridMinimum grid_minimize(const std::function<double(double)>& f, double lo,
+                          double hi, std::size_t points) {
+  FAP_EXPECTS(points >= 2, "grid needs at least two points");
+  FAP_EXPECTS(hi > lo, "grid range must be non-empty");
+  GridMinimum best{lo, f(lo)};
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 1; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double v = f(x);
+    if (v < best.value) {
+      best = GridMinimum{x, v};
+    }
+  }
+  return best;
+}
+
+double sum(const std::vector<double>& v) noexcept {
+  double total = 0.0;
+  for (const double x : v) {
+    total += x;
+  }
+  return total;
+}
+
+double linf_distance(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  FAP_EXPECTS(a.size() == b.size(), "size mismatch");
+  double dist = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dist = std::max(dist, std::fabs(a[i] - b[i]));
+  }
+  return dist;
+}
+
+}  // namespace fap::util

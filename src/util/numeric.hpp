@@ -1,0 +1,57 @@
+// Small numerical toolkit: finite differences (used by tests to cross-check
+// the closed-form gradients of the cost models), scalar minimization (used
+// to find the empirically best step size for Figure 6), and float helpers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace fap::util {
+
+/// True when |a - b| <= abs_tol + rel_tol * max(|a|, |b|).
+bool almost_equal(double a, double b, double abs_tol = 1e-9,
+                  double rel_tol = 1e-9) noexcept;
+
+/// Central-difference numeric gradient of f at x (one-dimensional per
+/// coordinate; f is evaluated 2*dim times).
+std::vector<double> numeric_gradient(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, double h = 1e-6);
+
+/// Central-difference second derivative of f w.r.t. coordinate i at x.
+double numeric_second_derivative(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x, std::size_t i, double h = 1e-4);
+
+/// Result of a scalar minimization.
+struct ScalarMinimum {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+/// Golden-section search for the minimum of a unimodal f over [lo, hi].
+/// Runs until the bracket is narrower than tol. If f is not unimodal this
+/// still converges to *a* local minimum inside the bracket.
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      double tol = 1e-4);
+
+/// Minimizes an integer-argument objective f over [lo, hi] by exhaustive
+/// evaluation; ties broken toward the smaller argument. Used for "best
+/// iteration count over a grid of step sizes" style searches.
+struct GridMinimum {
+  double x = 0.0;
+  double value = 0.0;
+};
+GridMinimum grid_minimize(const std::function<double(double)>& f, double lo,
+                          double hi, std::size_t points);
+
+/// Sum of a vector (convenience, used in feasibility assertions).
+double sum(const std::vector<double>& v) noexcept;
+
+/// L-infinity distance between two equally sized vectors.
+double linf_distance(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+}  // namespace fap::util

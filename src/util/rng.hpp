@@ -1,0 +1,60 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the library (workload generators, the
+// discrete-event simulator, random topologies) draw from fap::util::Rng so
+// that every experiment is exactly reproducible from a single seed, and so
+// that independent components can be handed independent streams via split().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fap::util {
+
+/// xoshiro256++ generator seeded through splitmix64, per the reference
+/// implementation by Blackman & Vigna. Satisfies the C++ named requirement
+/// UniformRandomBitGenerator so it can also drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state by iterating splitmix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next 64 uniformly distributed bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Exponentially distributed variate with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Returns an independent generator derived from this one's stream.
+  /// Statistically, streams produced by successive split() calls do not
+  /// overlap for any practical experiment length.
+  Rng split() noexcept;
+
+  /// Random permutation of {0, 1, ..., n-1} (Fisher–Yates).
+  std::vector<std::size_t> permutation(std::size_t n) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fap::util

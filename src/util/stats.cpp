@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace fap::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const noexcept {
+  return count_ == 0 ? 0.0 : mean_;
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double RunningStats::min() const noexcept {
+  return count_ == 0 ? 0.0 : min_;
+}
+
+double RunningStats::max() const noexcept {
+  return count_ == 0 ? 0.0 : max_;
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void TimeWeightedStats::record(double time, double value) noexcept {
+  if (!started_) {
+    started_ = true;
+    start_time_ = time;
+  } else if (time > last_time_) {
+    weighted_sum_ += value_ * (time - last_time_);
+  }
+  last_time_ = time;
+  value_ = value;
+}
+
+double TimeWeightedStats::average(double until) const noexcept {
+  if (!started_ || until <= start_time_) {
+    return 0.0;
+  }
+  double sum = weighted_sum_;
+  if (until > last_time_) {
+    sum += value_ * (until - last_time_);
+  }
+  return sum / (until - start_time_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  FAP_EXPECTS(hi > lo, "histogram range must be non-empty");
+  FAP_EXPECTS(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t idx = 0;
+  if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else if (x > lo_) {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  FAP_EXPECTS(bucket < counts_.size(), "bucket out of range");
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  FAP_EXPECTS(bucket < counts_.size(), "bucket out of range");
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::quantile(double q) const {
+  FAP_EXPECTS(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double within =
+          counts_[b] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[b]);
+      return bucket_lo(b) + within * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace fap::util

@@ -1,0 +1,80 @@
+// Online statistics used by the discrete-event simulator and the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fap::util {
+
+/// Numerically stable single-pass accumulator (Welford) for mean, variance
+/// and extrema of a stream of observations.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one (parallel Welford / Chan).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept;
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return mean() * static_cast<double>(count_); }
+
+  /// Half-width of the ~95% normal-approximation confidence interval of the
+  /// mean (1.96 * s / sqrt(n)); 0 for fewer than two observations.
+  double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length
+/// over simulated time. Call record(t, value) whenever the signal changes;
+/// the value is held until the next record.
+class TimeWeightedStats {
+ public:
+  void record(double time, double value) noexcept;
+  /// Average of the signal over [first record time, `until`].
+  double average(double until) const noexcept;
+  double last_value() const noexcept { return value_; }
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped
+/// into the edge buckets. Used for delay distributions in the DES.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const noexcept { return total_; }
+  /// Inclusive lower edge of the given bucket.
+  double bucket_lo(std::size_t bucket) const;
+  /// Linearly interpolated quantile estimate, q in [0, 1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fap::util

@@ -1,0 +1,162 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace fap::util {
+
+namespace {
+
+std::string cell_to_string(const Cell& cell, int precision) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return *s;
+  }
+  if (const auto* i = std::get_if<long long>(&cell)) {
+    return std::to_string(*i);
+  }
+  return format_double(std::get<double>(cell), precision);
+}
+
+bool csv_needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (!csv_needs_quoting(s)) {
+    return s;
+  }
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), double_precision_(double_precision) {
+  FAP_EXPECTS(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  FAP_EXPECTS(row.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  std::vector<std::size_t> widths;
+  widths.reserve(headers_.size());
+  for (const auto& h : headers_) {
+    widths.push_back(h.size());
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(cell_to_string(row[c], double_precision_));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(widths[c]))
+          << cells[c];
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  out << '|';
+  for (const std::size_t w : widths) {
+    out << std::string(w + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rendered) {
+    print_row(row);
+  }
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << csv_escape(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",")
+          << csv_escape(cell_to_string(row[c], double_precision_));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string ascii_chart(const std::vector<double>& series, std::size_t width,
+                        std::size_t height, const std::string& y_label) {
+  if (series.empty() || width == 0 || height == 0) {
+    return "(empty series)\n";
+  }
+  // Bucket the series horizontally.
+  const std::size_t columns = std::min(width, series.size());
+  std::vector<double> buckets(columns, 0.0);
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t lo = c * series.size() / columns;
+    std::size_t hi = (c + 1) * series.size() / columns;
+    hi = std::max(hi, lo + 1);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      sum += series[i];
+    }
+    buckets[c] = sum / static_cast<double>(hi - lo);
+  }
+  const auto [mn_it, mx_it] = std::minmax_element(buckets.begin(),
+                                                  buckets.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  const double span = (mx - mn) > 0 ? (mx - mn) : 1.0;
+
+  std::ostringstream out;
+  out << y_label << "  (top=" << format_double(mx, 4)
+      << ", bottom=" << format_double(mn, 4) << ")\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    // Row r covers values in the band [band_lo, band_hi).
+    const double band_hi =
+        mx - span * static_cast<double>(r) / static_cast<double>(height);
+    const double band_lo =
+        mx - span * static_cast<double>(r + 1) / static_cast<double>(height);
+    out << "  |";
+    for (std::size_t c = 0; c < columns; ++c) {
+      const bool hit = (buckets[c] >= band_lo && buckets[c] <= band_hi) ||
+                       (r == height - 1 && buckets[c] <= band_lo);
+      out << (hit ? '*' : ' ');
+    }
+    out << '\n';
+  }
+  out << "  +" << std::string(columns, '-') << "> iteration\n";
+  return out.str();
+}
+
+}  // namespace fap::util

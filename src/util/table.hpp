@@ -1,0 +1,53 @@
+// ASCII table / CSV rendering for the bench binaries. Each bench prints the
+// series behind one figure of the paper in a form that can be eyeballed or
+// redirected to CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fap::util {
+
+/// A cell is a string, an integer, or a double (printed with fixed
+/// precision chosen per table).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-aligned table builder.
+///
+///   Table t({"alpha", "iterations", "final cost"});
+///   t.add_row({0.3, 10LL, 1.8327});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int double_precision = 6);
+
+  void add_row(std::vector<Cell> row);
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with padded, right-aligned numeric columns.
+  std::string to_string() const;
+  /// Render as RFC-4180-ish CSV (quotes only when needed).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int double_precision_;
+};
+
+/// Renders a y-versus-index series as a crude ASCII line chart, used by the
+/// convergence-profile benches so the "shape" of each paper figure is
+/// visible directly in terminal output.
+///
+/// `height` rows tall; samples are bucketed horizontally to at most `width`
+/// columns.
+std::string ascii_chart(const std::vector<double>& series, std::size_t width,
+                        std::size_t height, const std::string& y_label);
+
+/// Formats a double with the given precision (helper shared by Table and
+/// ad-hoc bench output).
+std::string format_double(double v, int precision);
+
+}  // namespace fap::util

@@ -1,0 +1,188 @@
+// Tests for the exact search baselines: branch-and-bound integral
+// multi-file placement and Casey's variable-copy-count model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/branch_and_bound.hpp"
+#include "baselines/casey.hpp"
+#include "baselines/integral.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace baselines = fap::baselines;
+namespace core = fap::core;
+namespace net = fap::net;
+
+core::MultiFileProblem random_multi_problem(std::uint64_t seed,
+                                            std::size_t nodes,
+                                            std::size_t files) {
+  fap::util::Rng rng(seed);
+  const net::Topology topology = net::make_random_metric(nodes, 2, rng);
+  core::MultiFileProblem problem{net::all_pairs_shortest_paths(topology),
+                                 {},
+                                 {},
+                                 rng.uniform(0.5, 2.0),
+                                 fap::queueing::DelayModel()};
+  double total = 0.0;
+  for (std::size_t f = 0; f < files; ++f) {
+    std::vector<double> lambda(nodes, 0.0);
+    for (double& rate : lambda) {
+      rate = rng.uniform(0.01, 0.08);
+      total += rate;
+    }
+    problem.per_file_lambda.push_back(std::move(lambda));
+  }
+  problem.mu.assign(nodes, total * 1.5);
+  return problem;
+}
+
+TEST(BranchAndBound, MatchesBruteForceOnSmallInstances) {
+  for (const std::uint64_t seed : {1u, 3u, 8u, 21u}) {
+    const core::MultiFileModel model(
+        random_multi_problem(seed, 5, 3 + seed % 3));
+    const baselines::IntegralResult brute =
+        baselines::best_integral_multi(model);
+    const baselines::BranchAndBoundResult bnb =
+        baselines::best_integral_multi_bnb(model);
+    EXPECT_NEAR(bnb.best.cost, brute.cost, 1e-9) << "seed " << seed;
+    EXPECT_EQ(bnb.best.hosts, brute.hosts) << "seed " << seed;
+  }
+}
+
+TEST(BranchAndBound, PruningCutsTheSearchSpace) {
+  const core::MultiFileModel model(random_multi_problem(7, 8, 6));
+  const baselines::BranchAndBoundResult result =
+      baselines::best_integral_multi_bnb(model);
+  // Full tree would have Σ 8^d ≈ 300k nodes; pruning must do much better.
+  EXPECT_LT(result.stats.nodes_explored, 50000u);
+  EXPECT_GT(result.stats.pruned, 0u);
+}
+
+TEST(BranchAndBound, SolvesInstancesBeyondEnumeration) {
+  // 10 files over 10 nodes = 10^10 assignments: enumeration refuses, the
+  // bound makes it tractable, and the result is a valid assignment no
+  // worse than a strong heuristic (every file at its standalone-best
+  // node).
+  const core::MultiFileModel model(random_multi_problem(11, 10, 10));
+  EXPECT_THROW(baselines::best_integral_multi(model),
+               fap::util::PreconditionError);
+  const baselines::BranchAndBoundResult result =
+      baselines::best_integral_multi_bnb(model);
+  ASSERT_EQ(result.best.hosts.size(), 10u);
+  EXPECT_NEAR(model.cost(result.best.x), result.best.cost, 1e-9);
+
+  std::vector<double> heuristic(model.dimension(), 0.0);
+  for (std::size_t f = 0; f < 10; ++f) {
+    std::size_t best_node = 0;
+    double best = 1e300;
+    for (std::size_t i = 0; i < 10; ++i) {
+      const double standalone =
+          model.access_cost(f, i) +
+          model.problem().k *
+              model.problem().delay.sojourn(model.file_rate(f),
+                                            model.problem().mu[i]);
+      if (standalone < best) {
+        best = standalone;
+        best_node = i;
+      }
+    }
+    heuristic[model.index(f, best_node)] = 1.0;
+  }
+  EXPECT_LE(result.best.cost, model.cost(heuristic) + 1e-9);
+}
+
+TEST(BranchAndBound, RespectsSearchBudget) {
+  const core::MultiFileModel model(random_multi_problem(13, 9, 8));
+  EXPECT_THROW(baselines::best_integral_multi_bnb(model, /*node_cap=*/10),
+               fap::util::InvariantError);
+}
+
+// --- Casey -------------------------------------------------------------------
+
+baselines::CaseyProblem ring_casey(double update_scale, double storage) {
+  const net::Topology ring = net::make_ring(6, 1.0);
+  baselines::CaseyProblem problem{net::all_pairs_shortest_paths(ring),
+                                  std::vector<double>(6, 1.0),
+                                  std::vector<double>(6, update_scale),
+                                  storage};
+  return problem;
+}
+
+TEST(Casey, CostHandComputed) {
+  // 6-ring, copy at node 0 only: queries pay ring distances
+  // (0+1+2+3+2+1) = 9; updates the same; storage σ.
+  const baselines::CaseyProblem problem = ring_casey(0.5, 2.0);
+  std::vector<bool> hosts(6, false);
+  hosts[0] = true;
+  EXPECT_NEAR(baselines::casey_cost(problem, hosts),
+              9.0 + 0.5 * 9.0 + 2.0, 1e-12);
+}
+
+TEST(Casey, NoUpdatesAndFreeStorageMeansFullReplication) {
+  const baselines::CaseyProblem problem = ring_casey(0.0, 0.0);
+  const baselines::CaseyResult best = baselines::casey_optimal(problem);
+  EXPECT_EQ(best.copies, 6u);  // a copy everywhere: queries cost zero
+  EXPECT_NEAR(best.cost, 0.0, 1e-12);
+}
+
+TEST(Casey, HeavyUpdatesCollapseToASingleCopy) {
+  const baselines::CaseyProblem problem = ring_casey(10.0, 0.0);
+  const baselines::CaseyResult best = baselines::casey_optimal(problem);
+  EXPECT_EQ(best.copies, 1u);
+}
+
+TEST(Casey, CopyCountDecreasesWithUpdateTraffic) {
+  std::size_t previous = 7;
+  for (const double updates : {0.0, 0.1, 0.5, 2.0, 10.0}) {
+    const baselines::CaseyResult best =
+        baselines::casey_optimal(ring_casey(updates, 0.2));
+    EXPECT_LE(best.copies, previous) << "updates " << updates;
+    previous = best.copies;
+  }
+}
+
+TEST(Casey, LocalSearchMatchesExhaustiveOnRandomInstances) {
+  fap::util::Rng rng(31);
+  int matched = 0;
+  constexpr int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const net::Topology topology = net::make_random_metric(8, 2, rng);
+    baselines::CaseyProblem problem{
+        net::all_pairs_shortest_paths(topology),
+        std::vector<double>(8, 0.0), std::vector<double>(8, 0.0),
+        rng.uniform(0.0, 1.0)};
+    for (std::size_t j = 0; j < 8; ++j) {
+      problem.query_rate[j] = rng.uniform(0.1, 1.0);
+      problem.update_rate[j] = rng.uniform(0.0, 0.4);
+    }
+    const baselines::CaseyResult exact = baselines::casey_optimal(problem);
+    const baselines::CaseyResult local =
+        baselines::casey_local_search(problem);
+    EXPECT_LE(exact.cost, local.cost + 1e-9);
+    EXPECT_LE(local.cost, 1.05 * exact.cost) << "trial " << trial;
+    if (std::fabs(local.cost - exact.cost) < 1e-9) {
+      ++matched;
+    }
+  }
+  // The add/drop/swap neighborhood finds the exact optimum most of the
+  // time on these instances.
+  EXPECT_GE(matched, kTrials / 2);
+}
+
+TEST(Casey, RejectsBadInput) {
+  const baselines::CaseyProblem problem = ring_casey(0.5, 1.0);
+  EXPECT_THROW(baselines::casey_cost(problem, std::vector<bool>(6, false)),
+               fap::util::PreconditionError);
+  EXPECT_THROW(baselines::casey_cost(problem, std::vector<bool>(4, true)),
+               fap::util::PreconditionError);
+  baselines::CaseyProblem bad = problem;
+  bad.storage_cost = -1.0;
+  EXPECT_THROW(baselines::casey_optimal(bad), fap::util::PreconditionError);
+}
+
+}  // namespace

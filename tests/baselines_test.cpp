@@ -1,0 +1,332 @@
+// Tests for the baselines: integral enumeration, the centralized projected
+// gradient solver, the simple heuristics, and the price-directed FAP
+// adapter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/heuristics.hpp"
+#include "baselines/integral.hpp"
+#include "baselines/price_directed_fap.hpp"
+#include "baselines/projected_gradient.hpp"
+#include "core/allocator.hpp"
+#include "core/multi_file.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace baselines = fap::baselines;
+namespace core = fap::core;
+namespace net = fap::net;
+
+core::SingleFileModel paper_model() {
+  return core::SingleFileModel(core::make_paper_ring_problem());
+}
+
+// --- project_simplex -------------------------------------------------------
+
+TEST(ProjectSimplex, FeasiblePointIsFixed) {
+  const std::vector<double> x{0.2, 0.3, 0.5};
+  const std::vector<double> p = baselines::project_simplex(x, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p[i], x[i], 1e-12);
+  }
+}
+
+TEST(ProjectSimplex, ProjectsOntoScaledSimplex) {
+  for (const double total : {1.0, 2.5}) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      fap::util::Rng rng(seed);
+      std::vector<double> v(6);
+      for (double& value : v) {
+        value = rng.uniform(-2.0, 3.0);
+      }
+      const std::vector<double> p = baselines::project_simplex(v, total);
+      EXPECT_NEAR(fap::util::sum(p), total, 1e-9);
+      for (const double xi : p) {
+        EXPECT_GE(xi, 0.0);
+      }
+      // Idempotence.
+      const std::vector<double> pp = baselines::project_simplex(p, total);
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        EXPECT_NEAR(pp[i], p[i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ProjectSimplex, KnownProjection) {
+  // Projecting (1, 0.5) onto the unit simplex: subtract 0.25 from each.
+  const std::vector<double> p = baselines::project_simplex({1.0, 0.5}, 1.0);
+  EXPECT_NEAR(p[0], 0.75, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+}
+
+TEST(ProjectSimplex, OptimalityViaVariationalInequality) {
+  // For the Euclidean projection p of v: (v - p)·(z - p) <= 0 for every
+  // feasible z; verify against random feasible z.
+  fap::util::Rng rng(77);
+  std::vector<double> v(5);
+  for (double& value : v) {
+    value = rng.uniform(-1.0, 2.0);
+  }
+  const std::vector<double> p = baselines::project_simplex(v, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> z(5);
+    double sum = 0.0;
+    for (double& zi : z) {
+      zi = rng.exponential(1.0);
+      sum += zi;
+    }
+    for (double& zi : z) {
+      zi /= sum;
+    }
+    double inner = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      inner += (v[i] - p[i]) * (z[i] - p[i]);
+    }
+    EXPECT_LE(inner, 1e-9);
+  }
+}
+
+// --- projected gradient ----------------------------------------------------
+
+TEST(ProjectedGradient, SolvesThePaperRing) {
+  const core::SingleFileModel model = paper_model();
+  const auto result = baselines::projected_gradient_solve(
+      model, {1.0, 0.0, 0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, 1.8, 1e-6);
+  for (const double xi : result.x) {
+    EXPECT_NEAR(xi, 0.25, 1e-4);
+  }
+}
+
+TEST(ProjectedGradient, HandlesInfeasibleStartByProjecting) {
+  const core::SingleFileModel model = paper_model();
+  const auto result = baselines::projected_gradient_solve(
+      model, {5.0, 5.0, 5.0, 5.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, 1.8, 1e-6);
+}
+
+TEST(ProjectedGradient, AgreesWithDecentralizedOnRandomProblems) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const core::SingleFileModel model(
+        fap::testing::random_single_file_problem(seed, 7));
+    const auto pg = baselines::projected_gradient_solve(
+        model, core::uniform_allocation(model));
+    core::AllocatorOptions options;
+    options.alpha = 0.1;
+    options.epsilon = 1e-7;
+    options.max_iterations = 300000;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    const auto rd = allocator.run(core::uniform_allocation(model));
+    ASSERT_TRUE(rd.converged);
+    EXPECT_NEAR(pg.cost, rd.cost, 1e-5 * (1.0 + std::fabs(pg.cost)));
+  }
+}
+
+// --- integral baselines ----------------------------------------------------
+
+TEST(IntegralSingle, PicksTheCheapestHost) {
+  // Make node 2 the uniquely cheapest host by giving it a fast server.
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.mu = {1.5, 1.5, 30.0, 1.5};
+  const core::SingleFileModel model(std::move(problem));
+  const baselines::IntegralResult result =
+      baselines::best_integral_single(model);
+  ASSERT_EQ(result.hosts.size(), 1u);
+  EXPECT_EQ(result.hosts[0], 2u);
+  EXPECT_NEAR(result.x[2], 1.0, 1e-12);
+  EXPECT_NEAR(result.cost, model.cost(result.x), 1e-12);
+}
+
+TEST(IntegralSingle, MatchesBruteForceOnRandomProblems) {
+  for (const std::uint64_t seed : {3u, 5u, 8u}) {
+    const core::SingleFileModel model(
+        fap::testing::random_single_file_problem(seed, 6));
+    const baselines::IntegralResult best =
+        baselines::best_integral_single(model);
+    for (std::size_t host = 0; host < 6; ++host) {
+      std::vector<double> x(6, 0.0);
+      x[host] = 1.0;
+      EXPECT_GE(model.cost(x), best.cost - 1e-12);
+    }
+  }
+}
+
+TEST(IntegralMulti, AccountsForQueueContention) {
+  // Two files on a star: hosting both at the hub minimizes communication
+  // but saturates its queue; the exact enumeration must separate them when
+  // delay dominates.
+  const net::Topology star = net::make_star(4, 1.0);
+  core::MultiFileProblem problem{
+      net::all_pairs_shortest_paths(star),
+      {{0.2, 0.1, 0.1, 0.1}, {0.2, 0.1, 0.1, 0.1}},
+      {1.2, 1.2, 1.2, 1.2},
+      /*k=*/30.0,  // delay strongly weighted
+      fap::queueing::DelayModel()};
+  const core::MultiFileModel model(problem);
+  const baselines::IntegralResult result = baselines::best_integral_multi(model);
+  ASSERT_EQ(result.hosts.size(), 2u);
+  EXPECT_NE(result.hosts[0], result.hosts[1]);
+}
+
+TEST(IntegralMulti, RejectsCombinatorialBlowup) {
+  const net::Topology ring = net::make_ring(10, 1.0);
+  core::MultiFileProblem problem{
+      net::all_pairs_shortest_paths(ring),
+      std::vector<std::vector<double>>(
+          8, std::vector<double>(10, 0.01)),
+      std::vector<double>(10, 2.0),
+      1.0,
+      fap::queueing::DelayModel()};
+  const core::MultiFileModel model(problem);
+  EXPECT_THROW(baselines::best_integral_multi(model, /*cap=*/1000),
+               fap::util::PreconditionError);
+}
+
+TEST(IntegralRing, EnumeratesAllPlacements) {
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  const baselines::IntegralResult best = baselines::best_integral_ring(model);
+  ASSERT_EQ(best.hosts.size(), 2u);
+  // Brute-check every 2-subset.
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      std::vector<double> x(4, 0.0);
+      x[a] = 1.0;
+      x[b] = 1.0;
+      EXPECT_GE(model.cost(x), best.cost - 1e-12);
+    }
+  }
+}
+
+TEST(IntegralRing, RejectsFractionalCopyCount) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(7, 5, 2.5));
+  EXPECT_THROW(baselines::best_integral_ring(model),
+               fap::util::PreconditionError);
+}
+
+// --- heuristics -------------------------------------------------------------
+
+TEST(Heuristics, MinCommCostConcentratesAtCheapestNode) {
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  // Bias communication toward node 1 by raising λ of its neighbors.
+  problem.lambda = {0.1, 0.7, 0.1, 0.1};
+  const core::SingleFileModel model(std::move(problem));
+  const std::vector<double> x = baselines::min_comm_cost_allocation(model);
+  EXPECT_NEAR(fap::util::sum(x), 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);  // C_1 minimal: the busiest node's home
+}
+
+TEST(Heuristics, ProportionalAllocationTracksDemand) {
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.lambda = {0.4, 0.3, 0.2, 0.1};
+  const core::SingleFileModel model(std::move(problem));
+  const std::vector<double> x =
+      baselines::proportional_to_demand_allocation(model);
+  EXPECT_NEAR(x[0], 0.4, 1e-12);
+  EXPECT_NEAR(x[3], 0.1, 1e-12);
+}
+
+TEST(Heuristics, GreedyChunksApproachTheContinuousOptimum) {
+  const core::SingleFileModel model = paper_model();
+  const double optimal = 1.8;
+  const double coarse = model.cost(baselines::greedy_chunk_allocation(model, 4));
+  const double fine = model.cost(baselines::greedy_chunk_allocation(model, 64));
+  EXPECT_GE(coarse, fine - 1e-12);
+  EXPECT_NEAR(fine, optimal, 0.01);
+  EXPECT_LE(coarse, model.cost({1.0, 0.0, 0.0, 0.0}));  // beats integral
+}
+
+TEST(Heuristics, RoundToRecordsPreservesTotalsAndGranularity) {
+  const core::SingleFileModel model = paper_model();
+  const std::vector<double> x{0.37, 0.23, 0.29, 0.11};
+  for (const std::size_t records : {10u, 100u, 1000u}) {
+    const std::vector<double> rounded =
+        baselines::round_to_records(model, x, records);
+    EXPECT_NEAR(fap::util::sum(rounded), 1.0, 1e-9);
+    for (const double xi : rounded) {
+      const double in_units = xi * static_cast<double>(records);
+      EXPECT_NEAR(in_units, std::round(in_units), 1e-9);
+    }
+    // Error shrinks with record count.
+    EXPECT_LE(fap::util::linf_distance(rounded, x),
+              1.0 / static_cast<double>(records) + 1e-12);
+  }
+}
+
+TEST(Heuristics, RoundingCostApproachesFractionalCost) {
+  // "the larger the number of records the closer ... to optimality"
+  // (Section 8.1).
+  const core::SingleFileModel model = paper_model();
+  core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.epsilon = 1e-6;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const auto result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  const double fractional = model.cost(result.x);
+  const double rounded10 =
+      model.cost(baselines::round_to_records(model, result.x, 10));
+  const double rounded1000 =
+      model.cost(baselines::round_to_records(model, result.x, 1000));
+  EXPECT_GE(rounded10, fractional - 1e-9);
+  EXPECT_LE(rounded1000 - fractional, rounded10 - fractional + 1e-9);
+}
+
+// --- price-directed FAP ------------------------------------------------------
+
+TEST(PriceDirectedFap, EquilibriumMatchesResourceDirectedOptimum) {
+  const core::SingleFileModel model = paper_model();
+  const fap::econ::Equilibrium eq =
+      baselines::price_directed_fap_equilibrium(model);
+  EXPECT_NEAR(fap::util::sum(eq.x), 1.0, 1e-5);
+  for (const double xi : eq.x) {
+    EXPECT_NEAR(xi, 0.25, 1e-4);  // symmetric optimum
+  }
+}
+
+TEST(PriceDirectedFap, EquilibriumOnAsymmetricProblem) {
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(13, 5));
+  const fap::econ::Equilibrium eq =
+      baselines::price_directed_fap_equilibrium(model);
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-8;
+  options.max_iterations = 300000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const auto rd = allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(rd.converged);
+  EXPECT_NEAR(model.cost(eq.x), rd.cost, 1e-4 * (1.0 + std::fabs(rd.cost)));
+}
+
+TEST(PriceDirectedFap, TatonnementPathIsInfeasibleBeforeConvergence) {
+  const core::SingleFileModel model = paper_model();
+  fap::econ::TatonnementOptions options;
+  options.gamma = 0.05;
+  options.initial_price = -10.0;  // far from the clearing price
+  options.record_trace = true;
+  options.tol = 1e-7;
+  options.max_iterations = 100000;
+  const fap::econ::TatonnementResult result =
+      baselines::price_directed_fap(model, options);
+  bool saw_infeasible = false;
+  for (const auto& rec : result.trace) {
+    if (std::fabs(rec.excess_demand) > 1e-2) {
+      saw_infeasible = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_infeasible);
+}
+
+}  // namespace

@@ -1,0 +1,351 @@
+// Tests for the Section 5.2 algorithm: the four formally proven properties
+// (optimality at convergence, feasibility, monotonicity, convergence) plus
+// the reproduction of the paper's iteration counts, as unit and
+// parameterized property tests.
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/projected_gradient.hpp"
+#include "core/single_file.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+using fap::util::PreconditionError;
+
+core::SingleFileModel paper_model() {
+  return core::SingleFileModel(core::make_paper_ring_problem());
+}
+
+core::AllocatorOptions paper_options(double alpha) {
+  core::AllocatorOptions options;
+  options.alpha = alpha;
+  options.epsilon = 1e-3;
+  options.record_trace = true;
+  return options;
+}
+
+// --- Reproduction of the paper's Figure 3 iteration counts -------------
+
+struct Figure3Case {
+  double alpha;
+  std::size_t paper_iterations;
+};
+
+class Figure3Test : public ::testing::TestWithParam<Figure3Case> {};
+
+TEST_P(Figure3Test, IterationCountMatchesPaperWithinTolerance) {
+  const Figure3Case c = GetParam();
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model,
+                                                  paper_options(c.alpha));
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  // Paper: 4 / 10 / 20 / 51 iterations. Allow ±2 for the ε bookkeeping
+  // difference between "iterations plotted" and "reallocation steps".
+  EXPECT_NEAR(static_cast<double>(result.iterations),
+              static_cast<double>(c.paper_iterations), 2.0)
+      << "alpha=" << c.alpha;
+  for (const double xi : result.x) {
+    EXPECT_NEAR(xi, 0.25, 2e-3);
+  }
+  EXPECT_NEAR(result.cost, 1.8, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, Figure3Test,
+                         ::testing::Values(Figure3Case{0.67, 4},
+                                           Figure3Case{0.30, 10},
+                                           Figure3Case{0.19, 20},
+                                           Figure3Case{0.08, 51}),
+                         [](const auto& info) {
+                           return "alpha_" +
+                                  std::to_string(static_cast<int>(
+                                      info.param.alpha * 100));
+                         });
+
+// --- Theorem 1: feasibility at every iteration ---------------------------
+
+class AllocatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorPropertyTest, FeasibilityMaintainedAtEveryIteration) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(seed, 4 + seed % 8));
+  core::AllocatorOptions options = paper_options(0.2);
+  options.max_iterations = 400;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(fap::testing::random_feasible(model, seed * 7 + 1));
+  ASSERT_FALSE(result.trace.empty());
+  for (const core::IterationRecord& rec : result.trace) {
+    EXPECT_NEAR(fap::util::sum(rec.x), 1.0, 1e-9)
+        << "iteration " << rec.iteration;
+    for (const double xi : rec.x) {
+      EXPECT_GE(xi, 0.0) << "iteration " << rec.iteration;
+    }
+  }
+}
+
+// --- Theorem 2: strict monotonicity -------------------------------------
+
+TEST_P(AllocatorPropertyTest, CostStrictlyDecreasesUntilConvergence) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(seed, 4 + seed % 8));
+  // Moderate α keeps the second-order argument valid on these instances.
+  core::AllocatorOptions options = paper_options(0.05);
+  options.max_iterations = 3000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(fap::testing::random_feasible(model, seed * 13 + 5));
+  for (std::size_t t = 1; t < result.trace.size(); ++t) {
+    EXPECT_LE(result.trace[t].cost, result.trace[t - 1].cost + 1e-12)
+        << "iteration " << t << " seed " << seed;
+  }
+}
+
+TEST(Allocator, Theorem2AlphaBoundGuaranteesMonotonicity) {
+  const core::SingleFileModel model = paper_model();
+  // Even at 100x the appendix bound (still tiny), every step must improve.
+  core::AllocatorOptions options =
+      paper_options(100.0 * model.theorem2_alpha_bound(1e-3));
+  options.max_iterations = 200;  // far from convergence at this α — fine
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  for (std::size_t t = 1; t < result.trace.size(); ++t) {
+    EXPECT_LT(result.trace[t].cost, result.trace[t - 1].cost);
+  }
+}
+
+// --- Optimality at convergence (Section 5.3 conditions) ------------------
+
+TEST_P(AllocatorPropertyTest, ConvergesToProjectedGradientOptimum) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(seed, 4 + seed % 8));
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-6;
+  options.max_iterations = 200000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult decentralized =
+      allocator.run(fap::testing::random_feasible(model, seed + 11));
+  ASSERT_TRUE(decentralized.converged) << "seed " << seed;
+
+  const fap::baselines::ProjectedGradientResult centralized =
+      fap::baselines::projected_gradient_solve(
+          model, core::uniform_allocation(model));
+  EXPECT_NEAR(decentralized.cost, centralized.cost,
+              1e-5 * (1.0 + std::fabs(centralized.cost)))
+      << "seed " << seed;
+}
+
+TEST_P(AllocatorPropertyTest, KktConditionsHoldAtConvergence) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(seed, 4 + seed % 8));
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-7;
+  options.max_iterations = 500000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(fap::testing::random_feasible(model, seed + 17));
+  ASSERT_TRUE(result.converged);
+  // Section 5.3: ∂U/∂x_i = q for x_i > 0 and ∂U/∂x_i <= q for x_i = 0.
+  const std::vector<double> du = model.marginal_utilities(result.x);
+  double q = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < result.x.size(); ++i) {
+    if (result.x[i] > 1e-6) {
+      q += du[i];
+      weight += 1.0;
+    }
+  }
+  ASSERT_GT(weight, 0.0);
+  q /= weight;
+  for (std::size_t i = 0; i < result.x.size(); ++i) {
+    if (result.x[i] > 1e-6) {
+      EXPECT_NEAR(du[i], q, 1e-4 * (1.0 + std::fabs(q))) << "i=" << i;
+    } else {
+      EXPECT_LE(du[i], q + 1e-4 * (1.0 + std::fabs(q))) << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, AllocatorPropertyTest,
+                         ::testing::Range(1, 11));
+
+// --- Initial allocation does not affect the final optimum ---------------
+
+TEST(Allocator, FinalAllocationIndependentOfStartingPoint) {
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(99, 6));
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-7;
+  options.max_iterations = 500000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult a =
+      allocator.run(fap::testing::random_feasible(model, 1));
+  const core::AllocationResult b =
+      allocator.run(fap::testing::random_feasible(model, 2));
+  const core::AllocationResult c = allocator.run({1, 0, 0, 0, 0, 0});
+  ASSERT_TRUE(a.converged && b.converged && c.converged);
+  EXPECT_NEAR(a.cost, b.cost, 1e-6);
+  EXPECT_NEAR(a.cost, c.cost, 1e-6);
+}
+
+// --- Boundary handling ----------------------------------------------------
+
+TEST(Allocator, Figure4StartDoesNotFreezeTheLoadedNode) {
+  // Start with the whole file at node 4 and a step large enough that the
+  // literal set-A rule would exclude (and freeze) node 4 immediately.
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model, paper_options(0.3));
+  const core::AllocationResult result = allocator.run({0.0, 0.0, 0.0, 1.0});
+  ASSERT_TRUE(result.converged);
+  for (const double xi : result.x) {
+    EXPECT_NEAR(xi, 0.25, 2e-3);
+  }
+}
+
+TEST(Allocator, LargeAlphaStillReachesTheOptimum) {
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model, paper_options(0.67));
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, 1.8, 1e-4);
+}
+
+TEST(Allocator, NodesAtZeroWithLowMarginalUtilityStayAtZero) {
+  // Make node 3 very expensive to reach so its optimal share is zero.
+  fap::core::SingleFileProblem problem = core::make_paper_ring_problem();
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (j != 3) {
+      problem.comm.set_cost(j, 3, 50.0);
+    }
+  }
+  const core::SingleFileModel model(std::move(problem));
+  core::AllocatorOptions options = paper_options(0.1);
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run({0.34, 0.33, 0.33, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[3], 0.0, 1e-9);
+  EXPECT_NEAR(fap::util::sum(result.x), 1.0, 1e-9);
+}
+
+// --- Step rules -----------------------------------------------------------
+
+TEST(Allocator, DynamicStepRuleConvergesFastOnThePaperRing) {
+  const core::SingleFileModel model = paper_model();
+  core::AllocatorOptions options = paper_options(0.1);
+  options.step_rule = core::StepRule::kDynamic;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, 1.8, 1e-4);
+  // Should be competitive with the best fixed α the paper found (4 iters).
+  EXPECT_LE(result.iterations, 25u);
+}
+
+TEST(Allocator, DynamicAlphaBoundIsPositiveAwayFromOptimum) {
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model, paper_options(0.1));
+  std::vector<std::size_t> all(model.dimension());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  EXPECT_GT(allocator.dynamic_alpha_bound({0.8, 0.1, 0.1, 0.0}, all), 0.0);
+}
+
+// --- Mechanics ------------------------------------------------------------
+
+TEST(Allocator, TerminatesImmediatelyAtTheOptimum) {
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model, paper_options(0.3));
+  const core::AllocationResult result =
+      allocator.run({0.25, 0.25, 0.25, 0.25});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Allocator, StepOutcomeReportsSpreadAndActiveSet) {
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model, paper_options(0.3));
+  const auto outcome = allocator.step({0.8, 0.1, 0.1, 0.0});
+  EXPECT_FALSE(outcome.terminal);
+  EXPECT_GT(outcome.marginal_spread, 0.0);
+  EXPECT_EQ(outcome.active_set_size, 4u);
+  EXPECT_GT(outcome.alpha_used, 0.0);
+  EXPECT_NEAR(fap::util::sum(outcome.x), 1.0, 1e-12);
+}
+
+TEST(Allocator, RespectsIterationCap) {
+  const core::SingleFileModel model = paper_model();
+  core::AllocatorOptions options = paper_options(1e-4);  // extremely slow
+  options.max_iterations = 5;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 5u);
+  // Even when stopped early the intermediate allocation is feasible and
+  // strictly better than the start — the property Section 5.3 highlights.
+  EXPECT_NEAR(fap::util::sum(result.x), 1.0, 1e-9);
+  EXPECT_LT(result.cost, model.cost({0.8, 0.1, 0.1, 0.0}));
+}
+
+TEST(Allocator, TraceDisabledByDefault) {
+  const core::SingleFileModel model = paper_model();
+  core::AllocatorOptions options;
+  options.alpha = 0.3;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Allocator, RejectsInvalidOptionsAndInputs) {
+  const core::SingleFileModel model = paper_model();
+  core::AllocatorOptions bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(core::ResourceDirectedAllocator(model, bad),
+               PreconditionError);
+  bad = core::AllocatorOptions{};
+  bad.epsilon = 0.0;
+  EXPECT_THROW(core::ResourceDirectedAllocator(model, bad),
+               PreconditionError);
+  const core::ResourceDirectedAllocator allocator(model,
+                                                  core::AllocatorOptions{});
+  EXPECT_THROW(allocator.run({0.5, 0.5, 0.5, 0.5}), PreconditionError);
+  EXPECT_THROW(allocator.run({1.0, 0.0, 0.0}), PreconditionError);
+}
+
+TEST(Allocator, ActiveSetExcludesOnlyBoundaryNodes) {
+  const core::SingleFileModel model = paper_model();
+  const core::ResourceDirectedAllocator allocator(model, paper_options(0.3));
+  const core::ConstraintGroup group = model.constraint_groups().front();
+  // At (0,0,0,1) the three empty nodes all have above-average marginal
+  // utility; all four nodes stay active (node 3 is interior).
+  const std::vector<double> x{0.0, 0.0, 0.0, 1.0};
+  const std::vector<double> du = model.marginal_utilities(x);
+  const auto active = allocator.active_set(group, x, du, 0.3);
+  EXPECT_EQ(active.size(), 4u);
+  // Flip the sign structure: an empty node with *below*-average marginal
+  // utility must be excluded.
+  const std::vector<double> du_low{-1.0, -1.0, -1.0, -10.0};
+  const std::vector<double> x_zero{0.4, 0.3, 0.3, 0.0};
+  const auto active2 = allocator.active_set(group, x_zero, du_low, 0.3);
+  EXPECT_EQ(active2.size(), 3u);
+  EXPECT_TRUE(std::find(active2.begin(), active2.end(), 3u) == active2.end());
+}
+
+}  // namespace

@@ -1,0 +1,264 @@
+// Storage-capacity constraints (x_i <= s_i) — the Suri [33]
+// generalization from the Section 3 survey, and the in-algorithm version
+// of Section 7.2's one-whole-copy cap on the ring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/projected_gradient.hpp"
+#include "core/allocator.hpp"
+#include "core/multicopy_allocator.hpp"
+#include "core/newton_allocator.hpp"
+#include "core/ring_model.hpp"
+#include "core/single_file.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+using fap::util::PreconditionError;
+
+core::SingleFileProblem capped_ring(std::vector<double> caps) {
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.storage_capacity = std::move(caps);
+  return problem;
+}
+
+// --- Capped simplex projection ---------------------------------------------
+
+TEST(CappedProjection, MatchesUncappedWhenCapsAreLoose) {
+  fap::util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(6);
+    for (double& value : v) {
+      value = rng.uniform(-1.0, 2.0);
+    }
+    const std::vector<double> loose(6, 10.0);
+    const std::vector<double> capped =
+        fap::baselines::project_capped_simplex(v, 1.0, loose);
+    const std::vector<double> plain =
+        fap::baselines::project_simplex(v, 1.0);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(capped[i], plain[i], 1e-8);
+    }
+  }
+}
+
+TEST(CappedProjection, FeasibilityAndVariationalOptimality) {
+  fap::util::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v(5);
+    std::vector<double> caps(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      v[i] = rng.uniform(-1.0, 2.0);
+      caps[i] = rng.uniform(0.25, 0.6);
+    }
+    const std::vector<double> p =
+        fap::baselines::project_capped_simplex(v, 1.0, caps);
+    EXPECT_NEAR(fap::util::sum(p), 1.0, 1e-9);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_GE(p[i], -1e-12);
+      EXPECT_LE(p[i], caps[i] + 1e-12);
+    }
+    // (v - p)·(z - p) <= 0 for feasible z.
+    for (int probe = 0; probe < 30; ++probe) {
+      std::vector<double> raw(5);
+      for (double& zi : raw) {
+        zi = rng.uniform(0.0, 1.0);
+      }
+      const std::vector<double> z =
+          fap::baselines::project_capped_simplex(raw, 1.0, caps);
+      double inner = 0.0;
+      for (std::size_t i = 0; i < 5; ++i) {
+        inner += (v[i] - p[i]) * (z[i] - p[i]);
+      }
+      EXPECT_LE(inner, 1e-7);
+    }
+  }
+}
+
+TEST(CappedProjection, RejectsInsufficientCapacity) {
+  EXPECT_THROW(fap::baselines::project_capped_simplex({1.0, 1.0}, 1.0,
+                                                      {0.3, 0.3}),
+               PreconditionError);
+}
+
+// --- Model plumbing ----------------------------------------------------------
+
+TEST(Capacity, CheckFeasibleEnforcesCaps) {
+  const core::SingleFileModel model(capped_ring({0.3, 0.3, 0.3, 0.3}));
+  EXPECT_NO_THROW(model.check_feasible({0.3, 0.3, 0.3, 0.1}));
+  EXPECT_THROW(model.check_feasible({0.4, 0.2, 0.2, 0.2}),
+               PreconditionError);
+}
+
+TEST(Capacity, ModelRejectsInsufficientTotalCapacity) {
+  EXPECT_THROW(core::SingleFileModel{capped_ring({0.2, 0.2, 0.2, 0.2})},
+               PreconditionError);
+}
+
+TEST(Capacity, UniformAllocationWaterFillsAroundCaps) {
+  const core::SingleFileModel model(capped_ring({0.1, 1.0, 1.0, 1.0}));
+  const std::vector<double> x = core::uniform_allocation(model);
+  EXPECT_NEAR(x[0], 0.1, 1e-12);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(x[i], 0.3, 1e-12);
+  }
+  EXPECT_NO_THROW(model.check_feasible(x));
+}
+
+// --- The algorithm under caps -------------------------------------------------
+
+TEST(Capacity, BindingCapSpillsToTheNextBestNodes) {
+  // Symmetric ring, but node 0 can store at most 10% of the file. The
+  // unconstrained optimum (0.25 each) is infeasible; the capped optimum
+  // pins node 0 at its cap and splits the remainder evenly.
+  const core::SingleFileModel model(capped_ring({0.1, 1.0, 1.0, 1.0}));
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 0.1, 1e-6);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(result.x[i], 0.3, 1e-4);
+  }
+}
+
+TEST(Capacity, MatchesCappedProjectedGradientOnRandomProblems) {
+  for (const std::uint64_t seed : {2u, 5u, 11u}) {
+    core::SingleFileProblem problem =
+        fap::testing::random_single_file_problem(seed, 6);
+    fap::util::Rng rng(seed + 40);
+    problem.storage_capacity.assign(6, 0.0);
+    for (double& cap : problem.storage_capacity) {
+      cap = rng.uniform(0.2, 0.5);
+    }
+    const core::SingleFileModel model(std::move(problem));
+
+    core::AllocatorOptions options;
+    options.alpha = 0.1;
+    options.epsilon = 1e-7;
+    options.max_iterations = 300000;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    const core::AllocationResult decentralized =
+        allocator.run(core::uniform_allocation(model));
+    ASSERT_TRUE(decentralized.converged) << seed;
+
+    const auto centralized = fap::baselines::projected_gradient_solve(
+        model, core::uniform_allocation(model));
+    EXPECT_NEAR(decentralized.cost, centralized.cost,
+                1e-4 * (1.0 + std::fabs(centralized.cost)))
+        << seed;
+  }
+}
+
+TEST(Capacity, TraceStaysWithinBoundsAndMonotone) {
+  const core::SingleFileModel model(capped_ring({0.1, 0.4, 1.0, 1.0}));
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-6;
+  options.record_trace = true;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  const std::vector<double> caps = model.upper_bounds();
+  for (std::size_t t = 0; t < result.trace.size(); ++t) {
+    EXPECT_NEAR(fap::util::sum(result.trace[t].x), 1.0, 1e-9);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(result.trace[t].x[i], -1e-12);
+      EXPECT_LE(result.trace[t].x[i], caps[i] + 1e-12);
+    }
+    if (t > 0) {
+      EXPECT_LE(result.trace[t].cost, result.trace[t - 1].cost + 1e-10);
+    }
+  }
+}
+
+TEST(Capacity, KktHoldsAtCaps) {
+  // At a capped optimum: interior nodes share marginal utility q; a
+  // cap-pinned node has dU >= q (it wants more than it may hold).
+  const core::SingleFileModel model(capped_ring({0.1, 1.0, 1.0, 1.0}));
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-8;
+  options.max_iterations = 300000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  const std::vector<double> du = model.marginal_utilities(result.x);
+  const double q = du[1];  // interior node
+  EXPECT_NEAR(du[2], q, 1e-5);
+  EXPECT_NEAR(du[3], q, 1e-5);
+  EXPECT_GE(du[0], q - 1e-6);  // pinned at its cap
+}
+
+TEST(Capacity, RingInAlgorithmCapIsCompetitiveWithPostHocTrim) {
+  // Section 7.2 trims to one copy per node AFTER optimizing; the capped
+  // model enforces it DURING optimization. On this discontinuous
+  // objective both drivers stop at "best seen" points, so neither
+  // strictly dominates — but the in-algorithm cap must be competitive
+  // (within a fraction of a percent) while guaranteeing feasibility at
+  // EVERY iterate, which the trim-after approach cannot.
+  core::RingProblem uncapped =
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0});
+  core::RingProblem capped = uncapped;
+  capped.max_per_node = 1.0;
+
+  core::MultiCopyOptions options;
+  options.alpha = 0.08;
+  options.max_iterations = 3000;
+
+  const core::RingModel uncapped_model(uncapped);
+  const core::MultiCopyResult raw =
+      core::MultiCopyAllocator(uncapped_model, options)
+          .run({0.9, 0.5, 0.35, 0.25});
+  const std::vector<double> trimmed =
+      core::trim_to_whole_copy(uncapped_model, raw.best_x);
+
+  const core::RingModel capped_model(capped);
+  const core::MultiCopyResult capped_run =
+      core::MultiCopyAllocator(capped_model, options)
+          .run({0.9, 0.5, 0.35, 0.25});
+  for (const double xi : capped_run.best_x) {
+    EXPECT_LE(xi, 1.0 + 1e-9);
+  }
+  EXPECT_LE(capped_model.cost(capped_run.best_x),
+            1.005 * uncapped_model.cost(trimmed));
+  // And every capped iterate (not just the end state) respected the cap.
+  EXPECT_LE(*std::max_element(capped_run.final_x.begin(),
+                              capped_run.final_x.end()),
+            1.0 + 1e-9);
+}
+
+TEST(Capacity, UnsupportedAllocatorsRejectCappedModels) {
+  const core::SingleFileModel model(capped_ring({0.5, 0.5, 0.5, 0.5}));
+  EXPECT_THROW(
+      core::NewtonAllocator(model, core::NewtonAllocatorOptions{}),
+      PreconditionError);
+}
+
+TEST(Capacity, UncappedBehaviorUnchanged) {
+  // Regression guard: the paper's headline numbers survive the capacity
+  // machinery.
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  core::AllocatorOptions options;
+  options.alpha = 0.67;
+  options.epsilon = 1e-3;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 4u);
+  EXPECT_NEAR(result.cost, 1.8, 1e-4);
+}
+
+}  // namespace

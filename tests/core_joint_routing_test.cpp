@@ -1,0 +1,179 @@
+// Tests for the joint allocation + routing optimizer (Section 8.2).
+#include "core/joint_routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocator.hpp"
+#include "net/generators.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace net = fap::net;
+
+core::JointRoutingProblem ring_problem(double congestion) {
+  return core::JointRoutingProblem{net::make_ring(4, 1.0),
+                                   core::Workload::uniform(4, 1.0),
+                                   std::vector<double>(4, 1.5),
+                                   /*k=*/1.0,
+                                   fap::queueing::DelayModel(),
+                                   congestion};
+}
+
+core::JointRoutingOptions default_options() {
+  core::JointRoutingOptions options;
+  options.allocator.alpha = 0.3;
+  options.allocator.epsilon = 1e-6;
+  options.allocator.max_iterations = 100000;
+  return options;
+}
+
+TEST(JointRouting, ZeroCongestionReproducesThePlainAlgorithm) {
+  const core::JointRoutingOptimizer optimizer(ring_problem(0.0),
+                                              default_options());
+  const core::JointRoutingResult result =
+      optimizer.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.cost, 1.8, 1e-4);
+  for (const double xi : result.x) {
+    EXPECT_NEAR(xi, 0.25, 1e-3);
+  }
+  // With γ = 0 the routing never changes: two outer passes suffice
+  // (the second only confirms the fixed point).
+  EXPECT_LE(result.outer_iterations, 3u);
+}
+
+TEST(JointRouting, LinkFlowsAccountForAllRemoteTraffic) {
+  const core::JointRoutingProblem problem = ring_problem(0.0);
+  const core::JointRoutingOptimizer optimizer(problem, default_options());
+  const std::vector<double> x{0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> flow =
+      optimizer.link_flows(problem.topology, x);
+  ASSERT_EQ(flow.size(), 4u);
+  // Total link traversals: per source, remote traffic 0.25·0.25 to each
+  // of three nodes over 1+2+1 hops = 0.25; times 4 sources = 1.0. The
+  // opposite-node traffic has two equal-cost routes and deterministic
+  // tie-breaking distributes it unevenly, so only the total is exact.
+  EXPECT_NEAR(fap::util::sum(flow), 1.0, 1e-9);
+  for (const double f : flow) {
+    EXPECT_GE(f, 0.25 * 0.25 * 3 - 1e-9);  // at least the adjacent traffic
+  }
+}
+
+TEST(JointRouting, FlowsFollowCheapestRoutes) {
+  // Line 0-1-2 plus expensive direct 0-2: flow 0->2 takes the two-hop
+  // route.
+  net::Topology topology(3);
+  topology.add_edge(0, 1, 1.0);
+  topology.add_edge(1, 2, 1.0);
+  topology.add_edge(0, 2, 10.0);
+  core::JointRoutingProblem problem{topology,
+                                    core::Workload::uniform(3, 0.9),
+                                    std::vector<double>(3, 1.5),
+                                    1.0,
+                                    fap::queueing::DelayModel(),
+                                    0.0};
+  const core::JointRoutingOptimizer optimizer(problem, default_options());
+  const std::vector<double> flow =
+      optimizer.link_flows(topology, {0.0, 0.0, 1.0});
+  // All of node 0's and node 1's traffic to node 2 avoids the 0-2 link.
+  EXPECT_NEAR(flow[2], 0.0, 1e-12);           // edge 0-2
+  EXPECT_NEAR(flow[0], 0.3, 1e-9);            // edge 0-1 carries node 0's
+  EXPECT_NEAR(flow[1], 0.3 + 0.3, 1e-9);      // edge 1-2 carries 0's + 1's
+}
+
+TEST(JointRouting, CongestionConsolidatesTheFileOnTheHeavyClusterSide) {
+  // Dumbbell: cluster A {0,1,2} and cluster B {3,4,5} joined by the
+  // single bridge 2-3; A generates 2x B's traffic. Without congestion a
+  // little file mass sits in B (delay balancing). Pricing links by load
+  // makes every *crossing* expensive, and crossings are minimized by
+  // consolidating the file where most demand originates: B's share
+  // shrinks and the bridge carries less flow. (Counter to naive
+  // intuition, congestion pushes the file *away* from the minority
+  // cluster — the bridge is cheapest when only B's minority traffic
+  // crosses it.)
+  net::Topology dumbbell(6);
+  dumbbell.add_edge(0, 1, 1.0);
+  dumbbell.add_edge(0, 2, 1.0);
+  dumbbell.add_edge(1, 2, 1.0);
+  dumbbell.add_edge(3, 4, 1.0);
+  dumbbell.add_edge(3, 5, 1.0);
+  dumbbell.add_edge(4, 5, 1.0);
+  dumbbell.add_edge(2, 3, 1.0);  // the bridge
+
+  core::JointRoutingProblem problem{dumbbell,
+                                    core::Workload{{0.2, 0.2, 0.2,
+                                                    0.1, 0.1, 0.1}},
+                                    std::vector<double>(6, 1.5),
+                                    /*k=*/0.2,
+                                    fap::queueing::DelayModel(),
+                                    /*congestion=*/0.0};
+  core::JointRoutingOptions options = default_options();
+  options.max_outer_iterations = 300;
+  options.tol = 1e-5;
+  const core::JointRoutingOptimizer decoupled(problem, options);
+  const auto base = decoupled.run(std::vector<double>(6, 1.0 / 6.0));
+
+  problem.congestion_factor = 6.0;
+  const core::JointRoutingOptimizer coupled(problem, options);
+  const auto congested = coupled.run(std::vector<double>(6, 1.0 / 6.0));
+
+  ASSERT_TRUE(base.converged);
+  ASSERT_TRUE(congested.converged);
+  const auto cluster_b_share = [](const std::vector<double>& x) {
+    return x[3] + x[4] + x[5];
+  };
+  EXPECT_LT(cluster_b_share(congested.x), cluster_b_share(base.x) - 0.01);
+  // The bridge (edge index 6) carries less flow after consolidation.
+  const std::vector<double> base_flow =
+      decoupled.link_flows(dumbbell, base.x);
+  const std::vector<double> congested_flow =
+      coupled.link_flows(dumbbell, congested.x);
+  EXPECT_LT(congested_flow[6], base_flow[6]);
+}
+
+TEST(JointRouting, ConvergesOnRandomNetworks) {
+  for (const std::uint64_t seed : {3u, 7u, 19u}) {
+    fap::util::Rng rng(seed);
+    const net::Topology topology = net::make_erdos_renyi(8, 0.4, 0.5, 2.0,
+                                                         rng);
+    core::Workload workload;
+    workload.lambda.assign(8, 0.0);
+    for (double& rate : workload.lambda) {
+      rate = rng.uniform(0.05, 0.15);
+    }
+    core::JointRoutingProblem problem{topology, workload,
+                                      std::vector<double>(8, 2.0), 1.0,
+                                      fap::queueing::DelayModel(), 0.5};
+    core::JointRoutingOptions options = default_options();
+    options.max_outer_iterations = 500;
+    options.damping = 0.3;  // strong smoothing against route flapping
+    options.tol = 1e-5;
+    const core::JointRoutingOptimizer optimizer(problem, options);
+    const auto result =
+        optimizer.run(std::vector<double>(8, 0.125));
+    EXPECT_TRUE(result.converged) << "seed " << seed;
+    EXPECT_NEAR(fap::util::sum(result.x), 1.0, 1e-9);
+    // Costs along the outer trace settle (no persistent flapping).
+    const auto& last = result.trace.back();
+    EXPECT_LT(last.allocation_delta, 1e-5);
+  }
+}
+
+TEST(JointRouting, RejectsBadConfiguration) {
+  core::JointRoutingProblem problem = ring_problem(-1.0);
+  EXPECT_THROW(core::JointRoutingOptimizer(problem, default_options()),
+               fap::util::PreconditionError);
+  problem = ring_problem(0.0);
+  core::JointRoutingOptions options = default_options();
+  options.damping = 0.0;
+  EXPECT_THROW(core::JointRoutingOptimizer(problem, options),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

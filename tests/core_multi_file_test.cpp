@@ -1,0 +1,214 @@
+// Tests for the Section 5.4 multi-file generalization, including the
+// queue-sharing contention the paper highlights.
+#include "core/multi_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/projected_gradient.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace net = fap::net;
+
+core::MultiFileProblem two_file_ring_problem() {
+  const net::Topology ring = net::make_ring(4, 1.0);
+  core::MultiFileProblem problem{
+      net::all_pairs_shortest_paths(ring),
+      {{0.125, 0.125, 0.125, 0.125},   // file 0: uniform, λ⁰ = 0.5
+       {0.05, 0.05, 0.2, 0.2}},        // file 1: skewed, λ¹ = 0.5
+      std::vector<double>(4, 1.5),
+      /*k=*/1.0,
+      fap::queueing::DelayModel()};
+  return problem;
+}
+
+TEST(MultiFileModel, LayoutAndGroups) {
+  const core::MultiFileModel model(two_file_ring_problem());
+  EXPECT_EQ(model.node_count(), 4u);
+  EXPECT_EQ(model.file_count(), 2u);
+  EXPECT_EQ(model.dimension(), 8u);
+  EXPECT_EQ(model.index(1, 2), 6u);
+  const auto groups = model.constraint_groups();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].indices.size(), 4u);
+  EXPECT_DOUBLE_EQ(groups[0].total, 1.0);
+  EXPECT_DOUBLE_EQ(model.file_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(model.file_rate(1), 0.5);
+}
+
+TEST(MultiFileModel, SingleFileSpecialCaseMatchesSingleFileModel) {
+  // With M = 1 the multi-file cost must equal the single-file cost.
+  const net::Topology ring = net::make_ring(4, 1.0);
+  core::MultiFileProblem mf{
+      net::all_pairs_shortest_paths(ring),
+      {{0.25, 0.25, 0.25, 0.25}},
+      std::vector<double>(4, 1.5),
+      1.0,
+      fap::queueing::DelayModel()};
+  const core::MultiFileModel multi(mf);
+  const core::SingleFileModel single(core::make_paper_ring_problem());
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::vector<double> x = fap::testing::random_feasible(single, seed);
+    EXPECT_NEAR(multi.cost(x), single.cost(x), 1e-12);
+    const auto g1 = multi.gradient(x);
+    const auto g2 = single.gradient(x);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_NEAR(g1[i], g2[i], 1e-12);
+    }
+  }
+}
+
+TEST(MultiFileModel, ArrivalRateCombinesFiles) {
+  const core::MultiFileModel model(two_file_ring_problem());
+  std::vector<double> x(8, 0.0);
+  x[model.index(0, 0)] = 1.0;  // file 0 entirely at node 0
+  x[model.index(1, 0)] = 0.5;  // half of file 1 at node 0
+  x[model.index(1, 1)] = 0.5;
+  EXPECT_NEAR(model.node_arrival_rate(x, 0), 0.5 * 1.0 + 0.5 * 0.5, 1e-12);
+  EXPECT_NEAR(model.node_arrival_rate(x, 1), 0.25, 1e-12);
+  EXPECT_NEAR(model.node_arrival_rate(x, 2), 0.0, 1e-12);
+}
+
+class MultiFileDerivativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiFileDerivativeTest, GradientMatchesNumeric) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  fap::util::Rng rng(seed);
+  const net::Topology topology = net::make_random_metric(5, 2, rng);
+  core::MultiFileProblem problem{
+      net::all_pairs_shortest_paths(topology), {}, {}, rng.uniform(0.5, 2.0),
+      fap::queueing::DelayModel()};
+  const std::size_t files = 2 + seed % 2;
+  double total = 0.0;
+  for (std::size_t f = 0; f < files; ++f) {
+    std::vector<double> lambda(5);
+    for (double& rate : lambda) {
+      rate = rng.uniform(0.02, 0.15);
+      total += rate;
+    }
+    problem.per_file_lambda.push_back(std::move(lambda));
+  }
+  problem.mu.assign(5, total * 1.5);
+  const core::MultiFileModel model(problem);
+  const std::vector<double> x = fap::testing::random_feasible(model, seed + 9);
+  const auto f = [&model](const std::vector<double>& v) {
+    return model.cost(v);
+  };
+  const std::vector<double> numeric = fap::util::numeric_gradient(f, x);
+  const std::vector<double> analytic = model.gradient(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-4 * (1.0 + std::fabs(numeric[i])))
+        << "seed=" << seed << " i=" << i;
+  }
+  const std::vector<double> hess = model.second_derivative(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double numeric2 = fap::util::numeric_second_derivative(f, x, i);
+    EXPECT_NEAR(hess[i], numeric2, 2e-2 * (1.0 + std::fabs(numeric2)))
+        << "seed=" << seed << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, MultiFileDerivativeTest,
+                         ::testing::Range(1, 9));
+
+TEST(MultiFileModel, AllocatorConvergesToCentralizedOptimum) {
+  const core::MultiFileModel model(two_file_ring_problem());
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-7;
+  options.max_iterations = 200000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  const auto reference = fap::baselines::projected_gradient_solve(
+      model, core::uniform_allocation(model));
+  EXPECT_NEAR(result.cost, reference.cost, 1e-5);
+  // Per-file feasibility.
+  double sum0 = 0.0;
+  double sum1 = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sum0 += result.x[model.index(0, i)];
+    sum1 += result.x[model.index(1, i)];
+  }
+  EXPECT_NEAR(sum0, 1.0, 1e-9);
+  EXPECT_NEAR(sum1, 1.0, 1e-9);
+}
+
+TEST(MultiFileModel, QueueSharingPenalizesColocation) {
+  // Contention: concentrating both files at one node must cost strictly
+  // more than the sum of each file alone there — the "real-world resource
+  // contention phenomenon" the paper's formulation captures.
+  const core::MultiFileModel model(two_file_ring_problem());
+  std::vector<double> both(8, 0.0);
+  both[model.index(0, 0)] = 1.0;
+  both[model.index(1, 0)] = 1.0;
+
+  // Single-file costs, each alone at node 0 with the other file parked at
+  // the far node 2.
+  std::vector<double> only0(8, 0.0);
+  only0[model.index(0, 0)] = 1.0;
+  only0[model.index(1, 2)] = 1.0;
+  std::vector<double> only1(8, 0.0);
+  only1[model.index(1, 0)] = 1.0;
+  only1[model.index(0, 2)] = 1.0;
+
+  // Delay portion at node 0 when colocated exceeds the sum of the delay
+  // portions when separated (superadditivity of a T(a)).
+  const double colocated_arrival = model.node_arrival_rate(both, 0);
+  EXPECT_NEAR(colocated_arrival, 1.0, 1e-12);
+  const double t_colocated =
+      colocated_arrival *
+      model.problem().delay.sojourn(colocated_arrival, 1.5);
+  const double t_separate =
+      2.0 * (0.5 * model.problem().delay.sojourn(0.5, 1.5));
+  EXPECT_GT(t_colocated, t_separate);
+}
+
+TEST(MultiFileModel, OptimalAllocationSeparatesHotFiles) {
+  // Two identical uniformly-accessed files on a symmetric ring: by
+  // symmetry + contention, the optimum cannot stack both files on the
+  // same node harder than on others.
+  const net::Topology ring = net::make_ring(4, 1.0);
+  core::MultiFileProblem problem{
+      net::all_pairs_shortest_paths(ring),
+      {{0.1, 0.1, 0.1, 0.1}, {0.1, 0.1, 0.1, 0.1}},
+      std::vector<double>(4, 1.5),
+      1.0,
+      fap::queueing::DelayModel()};
+  const core::MultiFileModel model(problem);
+  const auto reference = fap::baselines::projected_gradient_solve(
+      model, core::uniform_allocation(model));
+  // Symmetric optimum: every variable = 1/4.
+  for (const double xi : reference.x) {
+    EXPECT_NEAR(xi, 0.25, 1e-4);
+  }
+}
+
+TEST(MultiFileModel, RejectsInvalidConstruction) {
+  core::MultiFileProblem problem = two_file_ring_problem();
+  problem.per_file_lambda.clear();
+  EXPECT_THROW(core::MultiFileModel{problem}, fap::util::PreconditionError);
+
+  problem = two_file_ring_problem();
+  problem.per_file_lambda[0] = {0.1, 0.1};  // wrong size
+  EXPECT_THROW(core::MultiFileModel{problem}, fap::util::PreconditionError);
+
+  problem = two_file_ring_problem();
+  problem.mu.assign(4, 0.9);  // below Σλ = 1.0 with pure M/M/1
+  EXPECT_THROW(core::MultiFileModel{problem}, fap::util::PreconditionError);
+  problem.delay = fap::queueing::DelayModel::mm1(0.9);
+  EXPECT_NO_THROW(core::MultiFileModel{problem});
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Tests for the Section 7.3 multicopy driver: oscillation detection, α
+// decay, cost-difference halting, and the lowest-observed-point fallback.
+#include "core/multicopy_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/integral.hpp"
+#include "core/ring_model.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+
+core::MultiCopyOptions default_options() {
+  core::MultiCopyOptions options;
+  options.alpha = 0.1;
+  options.record_trace = true;
+  options.max_iterations = 3000;
+  return options;
+}
+
+TEST(MultiCopyAllocator, DelayDominatedUnitRingConvergesSmoothly) {
+  // Section 7.3: with unit link costs "the delay term dominates the
+  // communication cost" and the profile is smooth.
+  const core::RingModel model{
+      core::make_paper_ring_problem({1.0, 1.0, 1.0, 1.0})};
+  const core::MultiCopyAllocator allocator(model, default_options());
+  const core::MultiCopyResult result =
+      allocator.run({0.9, 0.5, 0.35, 0.25});
+  EXPECT_TRUE(result.converged);
+  // By symmetry the optimum is uniform: x_i = 0.5 each.
+  for (const double xi : result.best_x) {
+    EXPECT_NEAR(xi, 0.5, 0.05);
+  }
+  EXPECT_LT(result.best_cost, model.cost({0.9, 0.5, 0.35, 0.25}));
+}
+
+TEST(MultiCopyAllocator, CommDominatedRingOscillates) {
+  // Link costs (4,1,1,1): "a dominant communication cost is likely to
+  // result in greater oscillation".
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  core::MultiCopyOptions options = default_options();
+  options.decay_interval = 1000000;  // disable decay to observe raw behavior
+  options.cost_epsilon = 1e-12;      // and the ΔC halting rule
+  options.max_iterations = 300;
+  const core::MultiCopyAllocator allocator(model, options);
+  const core::MultiCopyResult result =
+      allocator.run({0.9, 0.5, 0.35, 0.25});
+  EXPECT_GT(result.oscillation_count, 0u);
+}
+
+TEST(MultiCopyAllocator, UnitRingOscillatesLessThanCommDominatedRing) {
+  // Section 7.3's claim is about oscillation *magnitude*: the
+  // communication-dominated ring swings by whole link costs, while the
+  // delay-dominated unit ring shows only small ripples. Compare the cost
+  // amplitude over the tail of each run.
+  core::MultiCopyOptions options = default_options();
+  options.decay_interval = 1000000;
+  options.cost_epsilon = 1e-12;
+  options.max_iterations = 300;
+
+  const auto tail_amplitude = [&options](const core::RingModel& model) {
+    const core::MultiCopyResult result =
+        core::MultiCopyAllocator(model, options).run({0.9, 0.5, 0.35, 0.25});
+    double lo = 1e300;
+    double hi = -1e300;
+    for (std::size_t t = result.trace.size() / 2; t < result.trace.size();
+         ++t) {
+      lo = std::min(lo, result.trace[t].cost);
+      hi = std::max(hi, result.trace[t].cost);
+    }
+    return hi - lo;
+  };
+  const core::RingModel comm_ring{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  const core::RingModel unit_ring{
+      core::make_paper_ring_problem({1.0, 1.0, 1.0, 1.0})};
+  EXPECT_LT(tail_amplitude(unit_ring), tail_amplitude(comm_ring));
+}
+
+TEST(MultiCopyAllocator, SmallerAlphaGivesSmallerOscillations) {
+  // Figure 9: decreasing α from 0.1 to 0.05 shrinks the oscillation
+  // amplitude around the optimum.
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  auto amplitude_with_alpha = [&model](double alpha) {
+    core::MultiCopyOptions options;
+    options.alpha = alpha;
+    options.decay_interval = 1000000;  // no decay: raw oscillation
+    options.cost_epsilon = 1e-12;
+    options.max_iterations = 400;
+    options.record_trace = true;
+    const core::MultiCopyAllocator allocator(model, options);
+    const core::MultiCopyResult result =
+        allocator.run({0.9, 0.5, 0.35, 0.25});
+    // Amplitude over the tail (after the rapid phase).
+    double lo = 1e300;
+    double hi = -1e300;
+    for (std::size_t t = result.trace.size() / 2; t < result.trace.size();
+         ++t) {
+      lo = std::min(lo, result.trace[t].cost);
+      hi = std::max(hi, result.trace[t].cost);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(amplitude_with_alpha(0.05), amplitude_with_alpha(0.1) + 1e-12);
+}
+
+TEST(MultiCopyAllocator, AlphaDecayEnablesHalting) {
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  core::MultiCopyOptions options = default_options();
+  options.decay_interval = 20;
+  options.alpha_decay = 0.5;
+  options.cost_epsilon = 1e-7;
+  options.max_iterations = 5000;
+  const core::MultiCopyAllocator allocator(model, options);
+  const core::MultiCopyResult result =
+      allocator.run({0.9, 0.5, 0.35, 0.25});
+  EXPECT_TRUE(result.converged);
+  // α must have decayed below its initial value.
+  EXPECT_LT(result.final_alpha, options.alpha);
+}
+
+TEST(MultiCopyAllocator, BestCostIsMinimumOfTrace) {
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  const core::MultiCopyAllocator allocator(model, default_options());
+  const core::MultiCopyResult result =
+      allocator.run({0.9, 0.5, 0.35, 0.25});
+  for (const core::IterationRecord& rec : result.trace) {
+    EXPECT_GE(rec.cost, result.best_cost - 1e-12);
+  }
+  EXPECT_LE(result.best_cost, result.final_cost + 1e-12);
+  EXPECT_NEAR(model.cost(result.best_x), result.best_cost, 1e-12);
+}
+
+TEST(MultiCopyAllocator, FeasibilityMaintainedThroughout) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(17, 6, 2.0));
+  const core::MultiCopyAllocator allocator(model, default_options());
+  const core::MultiCopyResult result =
+      allocator.run(fap::testing::random_feasible(model, 5));
+  for (const core::IterationRecord& rec : result.trace) {
+    EXPECT_NEAR(fap::util::sum(rec.x), 2.0, 1e-9);
+    for (const double xi : rec.x) {
+      EXPECT_GE(xi, 0.0);
+    }
+  }
+}
+
+TEST(MultiCopyAllocator, FragmentedBeatsBestIntegralPlacement) {
+  // The continuous optimum found by the algorithm must cost no more than
+  // the best placement of two whole copies (the integral baseline).
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  core::MultiCopyOptions options = default_options();
+  options.max_iterations = 5000;
+  const core::MultiCopyAllocator allocator(model, options);
+  const core::MultiCopyResult result =
+      allocator.run({0.5, 0.5, 0.5, 0.5});
+  const fap::baselines::IntegralResult integral =
+      fap::baselines::best_integral_ring(model);
+  EXPECT_LE(result.best_cost, integral.cost + 1e-9);
+}
+
+TEST(MultiCopyAllocator, RandomRingsImproveFromRandomStarts) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const core::RingModel model(
+        fap::testing::random_ring_problem(seed, 5, 2.0));
+    const core::MultiCopyAllocator allocator(model, default_options());
+    const std::vector<double> start =
+        fap::testing::random_feasible(model, seed + 50);
+    const core::MultiCopyResult result = allocator.run(start);
+    EXPECT_LE(result.best_cost, model.cost(start) + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(MultiCopyAllocator, RejectsInvalidOptions) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(3, 4, 2.0));
+  core::MultiCopyOptions bad;
+  bad.alpha_decay = 1.0;
+  EXPECT_THROW(core::MultiCopyAllocator(model, bad),
+               fap::util::PreconditionError);
+  bad = core::MultiCopyOptions{};
+  bad.decay_interval = 0;
+  EXPECT_THROW(core::MultiCopyAllocator(model, bad),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Tests for the Section 7 multicopy virtual-ring model, including an exact
+// pin of the paper's worked example (Section 7.2).
+#include "core/ring_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace net = fap::net;
+
+// The Section 7.2 worked example: a 7-node unidirectional ring (paper
+// nodes 1..7 = indices 0..6) with forward hop costs chosen so that
+// d(3→4)=2, d(2→4)=5, d(1→4)=7, d(7→4)=11, and the allocation
+//   x = (0.4, 0.1, 0.2, 0.8, 0.2, 0.1, 0.2),  Σx = 2 (m = 2 copies).
+// The paper computes: communication cost of accesses directed to node 4
+// (index 3) = 11·0.1 + 7·0.3 + 5·0.7 + 2·0.8 + 0·0.8 = 8.3, and the
+// arrival rate there = 0.1 + 0.3 + 0.7 + 0.8 + 0.8 = 2.7 (λ_j = 1).
+core::RingProblem worked_example_problem() {
+  // Hop costs position p -> p+1: 1→2: 2, 2→3: 3, 3→4: 2, then 1,1,1 and
+  // 7→1: 4 to close the ring.
+  const net::VirtualRing ring(std::vector<double>{2, 3, 2, 1, 1, 1, 4});
+  return core::RingProblem{ring,
+                           /*copies=*/2.0,
+                           std::vector<double>(7, 1.0),
+                           std::vector<double>(7, 3.5),
+                           /*k=*/1.0,
+                           fap::queueing::DelayModel::mm1(0.95),
+                           /*max_per_node=*/0.0};
+}
+
+const std::vector<double> kWorkedExampleX{0.4, 0.1, 0.2, 0.8, 0.2, 0.1, 0.2};
+
+TEST(RingModel, WorkedExampleAccessWeightsToNode4) {
+  const core::RingModel model(worked_example_problem());
+  const auto w = model.access_weights(kWorkedExampleX);
+  // Paper: node 7 needs 0.1 at node 4; node 1 needs 0.3; node 2 needs
+  // 0.7; node 3 needs 0.8; node 4 serves 0.8 of itself; nodes 5,6 nothing.
+  EXPECT_NEAR(w[6][3], 0.1, 1e-12);
+  EXPECT_NEAR(w[0][3], 0.3, 1e-12);
+  EXPECT_NEAR(w[1][3], 0.7, 1e-12);
+  EXPECT_NEAR(w[2][3], 0.8, 1e-12);
+  EXPECT_NEAR(w[3][3], 0.8, 1e-12);
+  EXPECT_NEAR(w[4][3], 0.0, 1e-12);
+  EXPECT_NEAR(w[5][3], 0.0, 1e-12);
+}
+
+TEST(RingModel, WorkedExampleCommunicationCostIs8Point3) {
+  const core::RingModel model(worked_example_problem());
+  const auto w = model.access_weights(kWorkedExampleX);
+  const net::VirtualRing& ring = model.problem().ring;
+  double comm_to_node4 = 0.0;
+  for (std::size_t j = 0; j < 7; ++j) {
+    comm_to_node4 += w[j][3] * ring.forward_distance(j, 3);
+  }
+  EXPECT_NEAR(comm_to_node4, 8.3, 1e-12);
+}
+
+TEST(RingModel, WorkedExampleArrivalRateIs2Point7) {
+  const core::RingModel model(worked_example_problem());
+  const std::vector<double> arrivals = model.arrival_rates(kWorkedExampleX);
+  EXPECT_NEAR(arrivals[3], 2.7, 1e-12);
+}
+
+TEST(RingModel, EveryRowOfAccessWeightsSumsToOneCopy) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(3, 6, /*copies=*/2.0));
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const std::vector<double> x = fap::testing::random_feasible(model, seed);
+    const auto w = model.access_weights(x);
+    for (std::size_t j = 0; j < 6; ++j) {
+      double row = 0.0;
+      for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_GE(w[j][i], 0.0);
+        row += w[j][i];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-9) << "source " << j;
+    }
+  }
+}
+
+TEST(RingModel, TotalArrivalsConserveTotalRate) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(5, 7, /*copies=*/2.5));
+  double total_rate = 0.0;
+  for (const double rate : model.problem().lambda) {
+    total_rate += rate;
+  }
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const std::vector<double> x = fap::testing::random_feasible(model, seed);
+    const std::vector<double> arrivals = model.arrival_rates(x);
+    EXPECT_NEAR(fap::util::sum(arrivals), total_rate, 1e-9);
+  }
+}
+
+TEST(RingModel, SingleCopyWeightsEqualAllocation) {
+  // With m = 1, every source accesses exactly x_i at node i (the routing
+  // reduces to the Section 4 model up to the ring-distance convention).
+  const core::RingModel model(
+      fap::testing::random_ring_problem(7, 5, /*copies=*/1.0));
+  const std::vector<double> x = fap::testing::random_feasible(model, 3);
+  const auto w = model.access_weights(x);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(w[j][i], x[i], 1e-9);
+    }
+  }
+}
+
+TEST(RingModel, CostSplitsIntoCommPlusDelay) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(11, 6, 2.0));
+  const std::vector<double> x = fap::testing::random_feasible(model, 4);
+  EXPECT_NEAR(model.cost(x),
+              model.communication_cost(x) + model.delay_cost(x), 1e-12);
+  EXPECT_GT(model.communication_cost(x), 0.0);
+  EXPECT_GT(model.delay_cost(x), 0.0);
+}
+
+class RingDerivativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingDerivativeTest, GradientMatchesForwardDifferences) {
+  // The objective is piecewise smooth; at a random interior point the
+  // right-hand analytic derivative matches a small forward difference.
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::RingModel model(
+      fap::testing::random_ring_problem(seed, 5 + seed % 4, 2.0));
+  const std::vector<double> x =
+      fap::testing::random_feasible(model, seed + 100);
+  const std::vector<double> analytic = model.gradient(x);
+  const double h = 1e-7;
+  const double base = model.cost(x);
+  for (std::size_t l = 0; l < x.size(); ++l) {
+    std::vector<double> bumped = x;
+    bumped[l] += h;  // leaves feasibility by h; cost() does not re-validate
+    const double numeric = (model.cost(bumped) - base) / h;
+    EXPECT_NEAR(analytic[l], numeric, 1e-4 * (1.0 + std::fabs(numeric)))
+        << "seed=" << seed << " l=" << l;
+  }
+}
+
+TEST_P(RingDerivativeTest, SecondDerivativeMatchesNumeric) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::RingModel model(
+      fap::testing::random_ring_problem(seed, 5 + seed % 4, 2.0));
+  const std::vector<double> x =
+      fap::testing::random_feasible(model, seed + 200);
+  const std::vector<double> analytic = model.second_derivative(x);
+  const auto f = [&model](const std::vector<double>& v) {
+    return model.cost(v);
+  };
+  for (std::size_t l = 0; l < x.size(); ++l) {
+    const double numeric =
+        fap::util::numeric_second_derivative(f, x, l, 1e-5);
+    EXPECT_NEAR(analytic[l], numeric, 2e-2 * (1.0 + std::fabs(numeric)))
+        << "seed=" << seed << " l=" << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRings, RingDerivativeTest,
+                         ::testing::Values(1, 2, 5, 7, 12, 15));
+
+TEST(RingModel, CommunicationTermIsPiecewiseLinear) {
+  // Within a region of fixed copy boundaries the communication cost is
+  // linear: moving mass between two nodes in equal and opposite amounts
+  // changes it proportionally.
+  const core::RingModel model(worked_example_problem());
+  std::vector<double> x = kWorkedExampleX;
+  const double c0 = model.communication_cost(x);
+  std::vector<double> x1 = x;
+  x1[0] += 0.01;
+  x1[4] -= 0.01;
+  const double c1 = model.communication_cost(x1);
+  std::vector<double> x2 = x;
+  x2[0] += 0.02;
+  x2[4] -= 0.02;
+  const double c2 = model.communication_cost(x2);
+  EXPECT_NEAR(c2 - c0, 2.0 * (c1 - c0), 1e-9);
+}
+
+TEST(RingModel, MarginalUtilityJumpsByWholeLinkCosts) {
+  // Crossing a copy boundary changes the communication gradient in jumps:
+  // "the jumps being whole link costs" (Section 7.2). Compare the
+  // communication part of the gradient on either side of a boundary.
+  const net::VirtualRing ring(std::vector<double>{4, 1, 1, 1});
+  core::RingProblem problem{ring, 2.0, std::vector<double>(4, 0.25),
+                            std::vector<double>(4, 1.5), 0.0,  // k = 0: comm only
+                            fap::queueing::DelayModel::mm1(0.95), 0.0};
+  const core::RingModel model(problem);
+  // At x = (0.5, 0.5, 0.5, 0.5) every source's copy boundary sits exactly
+  // on a node; nudging x_0 across it must change some marginal by a whole
+  // link cost.
+  std::vector<double> below{0.49, 0.51, 0.5, 0.5};
+  std::vector<double> above{0.51, 0.49, 0.5, 0.5};
+  const std::vector<double> grad_below = model.gradient(below);
+  const std::vector<double> grad_above = model.gradient(above);
+  double max_jump = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    max_jump = std::max(max_jump,
+                        std::fabs(grad_below[i] - grad_above[i]));
+  }
+  EXPECT_GT(max_jump, 0.2);  // an O(link-cost·λ) discontinuity, not O(0.02)
+}
+
+TEST(RingModel, AllowsMoreThanAWholeCopyAtOneNode) {
+  // Section 7.2: "a node can be allocated more than a whole file, if that
+  // is what is cheaper for the system" — the model must accept x_i > 1.
+  const core::RingModel model(
+      fap::testing::random_ring_problem(21, 4, 2.0));
+  const std::vector<double> x{1.7, 0.1, 0.1, 0.1};
+  EXPECT_NO_THROW(model.check_feasible(x));
+  EXPECT_GT(model.cost(x), 0.0);
+}
+
+TEST(RingModel, TrimToWholeCopyCapsAndRedistributes) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(23, 4, 2.0));
+  const std::vector<double> x{1.7, 0.1, 0.1, 0.1};
+  const std::vector<double> trimmed = core::trim_to_whole_copy(model, x);
+  EXPECT_NEAR(fap::util::sum(trimmed), 2.0, 1e-9);
+  for (const double xi : trimmed) {
+    EXPECT_LE(xi, 1.0 + 1e-12);
+    EXPECT_GE(xi, 0.0);
+  }
+  EXPECT_NEAR(trimmed[0], 1.0, 1e-12);
+}
+
+TEST(RingModel, TrimIsIdentityWhenAlreadyCapped) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(29, 4, 2.0));
+  const std::vector<double> x{0.5, 0.5, 0.5, 0.5};
+  const std::vector<double> trimmed = core::trim_to_whole_copy(model, x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(trimmed[i], x[i]);
+  }
+}
+
+TEST(RingModel, ConstraintGroupCarriesCopyCount) {
+  const core::RingModel model(
+      fap::testing::random_ring_problem(31, 5, 2.5));
+  const auto groups = model.constraint_groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(groups[0].total, 2.5);
+  EXPECT_EQ(groups[0].indices.size(), 5u);
+}
+
+TEST(RingModel, RejectsFewerThanOneCopy) {
+  core::RingProblem problem = fap::testing::random_ring_problem(33, 4, 2.0);
+  problem.copies = 0.5;
+  EXPECT_THROW(core::RingModel{problem}, fap::util::PreconditionError);
+}
+
+TEST(RingModel, PaperRingFactoryMatchesSection73Setup) {
+  const core::RingProblem problem =
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(problem.ring.size(), 4u);
+  EXPECT_DOUBLE_EQ(problem.ring.forward_cost(0), 4.0);
+  EXPECT_DOUBLE_EQ(problem.copies, 2.0);
+  EXPECT_DOUBLE_EQ(problem.mu[0], 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Tests for the Section 8.2 volume-transfer cost model.
+#include "core/volume_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/projected_gradient.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "test_helpers.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+
+TEST(VolumeModel, ReducesToBaseModelWhenVolumeFactorIsZero) {
+  const core::VolumeTransferModel volume(core::make_paper_ring_problem(),
+                                         /*base_volume=*/1.0,
+                                         /*volume_factor=*/0.0);
+  const core::SingleFileModel base(core::make_paper_ring_problem());
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const std::vector<double> x = fap::testing::random_feasible(base, seed);
+    EXPECT_NEAR(volume.cost(x), base.cost(x), 1e-12);
+    const auto g1 = volume.gradient(x);
+    const auto g2 = base.gradient(x);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(g1[i], g2[i], 1e-12);
+    }
+  }
+}
+
+TEST(VolumeModel, CostHandComputed) {
+  // Paper ring, b = 1, v = 2, uniform allocation: per node,
+  // x (C (b + v x) + k/(μ - λx)) = 0.25 (1·1.5 + 0.8) = 0.575; total 2.3.
+  const core::VolumeTransferModel model(core::make_paper_ring_problem(), 1.0,
+                                        2.0);
+  EXPECT_NEAR(model.cost({0.25, 0.25, 0.25, 0.25}), 2.3, 1e-12);
+}
+
+class VolumeDerivativeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VolumeDerivativeTest, DerivativesMatchNumeric) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  fap::util::Rng rng(seed);
+  const core::VolumeTransferModel model(
+      fap::testing::random_single_file_problem(seed, 4 + seed % 6),
+      rng.uniform(0.1, 2.0), rng.uniform(0.1, 3.0));
+  const std::vector<double> x = fap::testing::random_feasible(model, seed + 4);
+  const auto f = [&model](const std::vector<double>& v) {
+    return model.cost(v);
+  };
+  const std::vector<double> numeric = fap::util::numeric_gradient(f, x);
+  const std::vector<double> analytic = model.gradient(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-4 * (1.0 + std::fabs(numeric[i])));
+    const double numeric2 = fap::util::numeric_second_derivative(f, x, i);
+    EXPECT_NEAR(model.second_derivative(x)[i], numeric2,
+                2e-2 * (1.0 + std::fabs(numeric2)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, VolumeDerivativeTest,
+                         ::testing::Range(1, 7));
+
+TEST(VolumeModel, VolumePenaltySpreadsTheFileEvenWithoutDelay) {
+  // k = 0 and asymmetric communication: the Section 4 model concentrates
+  // everything at the cheapest node, but a volume term makes the
+  // communication cost quadratic and fragmentation optimal.
+  fap::core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.k = 0.0;
+  // Asymmetric workload with a *unique* cheapest node (C_0 = 0.65 beats
+  // every other C_i), so the linear optimum is a single vertex.
+  problem.lambda = {0.5, 0.25, 0.15, 0.1};
+
+  const core::SingleFileModel linear(problem);
+  const auto linear_opt = fap::baselines::projected_gradient_solve(
+      linear, core::uniform_allocation(linear));
+  const double linear_max =
+      *std::max_element(linear_opt.x.begin(), linear_opt.x.end());
+  EXPECT_NEAR(linear_max, 1.0, 1e-6);  // concentration
+
+  const core::VolumeTransferModel quadratic(problem, /*b=*/0.2, /*v=*/2.0);
+  const auto quadratic_opt = fap::baselines::projected_gradient_solve(
+      quadratic, core::uniform_allocation(quadratic));
+  const double quadratic_max =
+      *std::max_element(quadratic_opt.x.begin(), quadratic_opt.x.end());
+  EXPECT_LT(quadratic_max, 0.9);  // fragmentation
+}
+
+TEST(VolumeModel, LargerVolumeFactorSpreadsMore) {
+  fap::core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.lambda = {0.4, 0.3, 0.2, 0.1};
+  auto spread_at = [&problem](double v) {
+    const core::VolumeTransferModel model(problem, 1.0, v);
+    const auto opt = fap::baselines::projected_gradient_solve(
+        model, core::uniform_allocation(model));
+    return *std::max_element(opt.x.begin(), opt.x.end());
+  };
+  EXPECT_GE(spread_at(0.0), spread_at(1.0) - 1e-9);
+  EXPECT_GE(spread_at(1.0), spread_at(5.0) - 1e-9);
+}
+
+TEST(VolumeModel, DecentralizedAlgorithmHandlesIt) {
+  const core::VolumeTransferModel model(core::make_paper_ring_problem(), 1.0,
+                                        2.0);
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  const auto reference = fap::baselines::projected_gradient_solve(
+      model, core::uniform_allocation(model));
+  EXPECT_NEAR(result.cost, reference.cost, 1e-5);
+}
+
+TEST(VolumeModel, RejectsBadParameters) {
+  EXPECT_THROW(core::VolumeTransferModel(core::make_paper_ring_problem(),
+                                         -1.0, 1.0),
+               fap::util::PreconditionError);
+  EXPECT_THROW(
+      core::VolumeTransferModel(core::make_paper_ring_problem(), 0.0, 0.0),
+      fap::util::PreconditionError);
+}
+
+}  // namespace

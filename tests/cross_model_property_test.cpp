@@ -1,0 +1,156 @@
+// Cross-cutting property sweeps: every allocator against every compatible
+// objective, across queueing disciplines — the library's invariants must
+// hold for any combination a user can legally assemble.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "baselines/projected_gradient.hpp"
+#include "core/allocator.hpp"
+#include "core/newton_allocator.hpp"
+#include "core/ring_model.hpp"
+#include "core/single_file.hpp"
+#include "core/volume_model.hpp"
+#include "test_helpers.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace queueing = fap::queueing;
+
+// --- Allocator x delay-discipline sweep -----------------------------------
+
+struct DisciplineCase {
+  const char* name;
+  queueing::Discipline discipline;
+  double scv;
+};
+
+class DisciplineSweepTest : public ::testing::TestWithParam<DisciplineCase> {
+};
+
+TEST_P(DisciplineSweepTest, AllocatorInvariantsHoldForEveryQueueModel) {
+  const DisciplineCase c = GetParam();
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.lambda = {0.4, 0.3, 0.2, 0.1};
+  problem.delay = queueing::DelayModel(c.discipline, c.scv);
+  const core::SingleFileModel model(std::move(problem));
+
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-6;
+  options.record_trace = true;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.7, 0.1, 0.1, 0.1});
+  ASSERT_TRUE(result.converged) << c.name;
+  for (std::size_t t = 1; t < result.trace.size(); ++t) {
+    EXPECT_NEAR(fap::util::sum(result.trace[t].x), 1.0, 1e-9);
+    EXPECT_LE(result.trace[t].cost, result.trace[t - 1].cost + 1e-12)
+        << c.name << " iteration " << t;
+  }
+  const auto reference = fap::baselines::projected_gradient_solve(
+      model, core::uniform_allocation(model));
+  EXPECT_NEAR(result.cost, reference.cost, 1e-5 * (1.0 + reference.cost))
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Disciplines, DisciplineSweepTest,
+    ::testing::Values(DisciplineCase{"mm1", queueing::Discipline::kMM1, 1.0},
+                      DisciplineCase{"md1", queueing::Discipline::kMD1, 0.0},
+                      DisciplineCase{"mg1_low", queueing::Discipline::kMG1,
+                                     0.4},
+                      DisciplineCase{"mg1_high", queueing::Discipline::kMG1,
+                                     2.5}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// --- Newton allocator on every objective -----------------------------------
+
+TEST(CrossModel, NewtonOnVolumeModelMatchesProjectedGradient) {
+  const core::VolumeTransferModel model(core::make_paper_ring_problem(),
+                                        /*base_volume=*/1.0,
+                                        /*volume_factor=*/2.0);
+  core::NewtonAllocatorOptions options;
+  options.alpha = 0.5;
+  options.epsilon = 1e-7;
+  options.max_iterations = 100000;
+  const core::NewtonAllocator newton(model, options);
+  const core::AllocationResult result = newton.run({0.7, 0.1, 0.1, 0.1});
+  ASSERT_TRUE(result.converged);
+  const auto reference = fap::baselines::projected_gradient_solve(
+      model, core::uniform_allocation(model));
+  EXPECT_NEAR(result.cost, reference.cost, 1e-5);
+}
+
+TEST(CrossModel, NewtonOnDelayDominatedRingConverges) {
+  // The unit-cost ring's objective is smooth enough near the optimum for
+  // the curvature-weighted update; it must reach the uniform optimum.
+  const core::RingModel model{
+      core::make_paper_ring_problem({1.0, 1.0, 1.0, 1.0})};
+  core::NewtonAllocatorOptions options;
+  options.alpha = 0.3;
+  options.epsilon = 5e-3;
+  options.max_iterations = 5000;
+  const core::NewtonAllocator newton(model, options);
+  const core::AllocationResult result =
+      newton.run({0.9, 0.5, 0.35, 0.25});
+  EXPECT_LT(model.cost(result.x), model.cost({0.9, 0.5, 0.35, 0.25}));
+  EXPECT_NEAR(fap::util::sum(result.x), 2.0, 1e-9);
+  for (const double xi : result.x) {
+    EXPECT_GE(xi, 0.0);
+  }
+}
+
+TEST(CrossModel, DynamicStepOnVolumeModel) {
+  const core::VolumeTransferModel model(core::make_paper_ring_problem(),
+                                        0.5, 4.0);
+  core::AllocatorOptions options;
+  options.step_rule = core::StepRule::kDynamic;
+  options.epsilon = 1e-7;
+  options.record_trace = true;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({1.0, 0.0, 0.0, 0.0});
+  ASSERT_TRUE(result.converged);
+  for (std::size_t t = 1; t < result.trace.size(); ++t) {
+    EXPECT_LE(result.trace[t].cost, result.trace[t - 1].cost + 1e-12);
+  }
+}
+
+// --- Random cross-product stress -------------------------------------------
+
+class RandomStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomStressTest, BothAllocatorsAgreeOnRandomInstances) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(seed, 4 + seed % 10));
+  const std::vector<double> start =
+      fap::testing::random_feasible(model, seed + 77);
+
+  core::AllocatorOptions first;
+  first.alpha = 0.1;
+  first.epsilon = 1e-7;
+  first.max_iterations = 300000;
+  const auto gradient_result =
+      core::ResourceDirectedAllocator(model, first).run(start);
+
+  core::NewtonAllocatorOptions second;
+  second.alpha = 0.5;
+  second.epsilon = 1e-7;
+  second.max_iterations = 300000;
+  const auto newton_result = core::NewtonAllocator(model, second).run(start);
+
+  ASSERT_TRUE(gradient_result.converged) << seed;
+  ASSERT_TRUE(newton_result.converged) << seed;
+  EXPECT_NEAR(gradient_result.cost, newton_result.cost,
+              1e-4 * (1.0 + std::fabs(gradient_result.cost)))
+      << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStressTest, ::testing::Range(100, 112));
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Lock-manager tests, including a verbatim reproduction of the Section 8.1
+// predicate-lock deadlock scenario and the read-parallelism counterpoint.
+#include "fs/lock_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using fap::fs::LockManager;
+using fap::fs::LockMode;
+using fap::fs::LockOutcome;
+using fap::fs::TxnId;
+
+TEST(LockManager, SharedLocksCoexist) {
+  LockManager locks;
+  EXPECT_EQ(locks.acquire(1, 10, LockMode::kShared), LockOutcome::kGranted);
+  EXPECT_EQ(locks.acquire(2, 10, LockMode::kShared), LockOutcome::kGranted);
+  EXPECT_EQ(locks.holders(10).size(), 2u);
+}
+
+TEST(LockManager, ExclusiveExcludesEverything) {
+  LockManager locks;
+  EXPECT_EQ(locks.acquire(1, 5, LockMode::kExclusive),
+            LockOutcome::kGranted);
+  EXPECT_EQ(locks.acquire(2, 5, LockMode::kShared), LockOutcome::kQueued);
+  EXPECT_EQ(locks.acquire(3, 5, LockMode::kExclusive), LockOutcome::kQueued);
+  EXPECT_EQ(locks.waiters(5), (std::vector<TxnId>{2, 3}));
+}
+
+TEST(LockManager, ReleaseGrantsFifo) {
+  LockManager locks;
+  locks.acquire(1, 5, LockMode::kExclusive);
+  locks.acquire(2, 5, LockMode::kShared);
+  locks.acquire(3, 5, LockMode::kShared);
+  locks.release_all(1);
+  // Both queued shared requests become holders together.
+  EXPECT_TRUE(locks.holds(2, 5));
+  EXPECT_TRUE(locks.holds(3, 5));
+}
+
+TEST(LockManager, FifoFairnessBlocksLateSharedBehindExclusive) {
+  LockManager locks;
+  locks.acquire(1, 5, LockMode::kShared);
+  locks.acquire(2, 5, LockMode::kExclusive);  // queued
+  // A later shared request must not jump the queued exclusive.
+  EXPECT_EQ(locks.acquire(3, 5, LockMode::kShared), LockOutcome::kQueued);
+  locks.release_all(1);
+  EXPECT_TRUE(locks.holds(2, 5));
+  EXPECT_FALSE(locks.holds(3, 5));
+  locks.release_all(2);
+  EXPECT_TRUE(locks.holds(3, 5));
+}
+
+TEST(LockManager, ReentrantAcquireAndUpgrade) {
+  LockManager locks;
+  EXPECT_EQ(locks.acquire(1, 7, LockMode::kShared), LockOutcome::kGranted);
+  EXPECT_EQ(locks.acquire(1, 7, LockMode::kShared), LockOutcome::kGranted);
+  // Sole holder: upgrade succeeds.
+  EXPECT_EQ(locks.acquire(1, 7, LockMode::kExclusive),
+            LockOutcome::kGranted);
+  // Exclusive holder asking for shared is trivially granted.
+  EXPECT_EQ(locks.acquire(1, 7, LockMode::kShared), LockOutcome::kGranted);
+  EXPECT_EQ(locks.held_count(), 1u);
+}
+
+TEST(LockManager, UpgradeWaitsWhenShared) {
+  LockManager locks;
+  locks.acquire(1, 7, LockMode::kShared);
+  locks.acquire(2, 7, LockMode::kShared);
+  EXPECT_EQ(locks.acquire(1, 7, LockMode::kExclusive), LockOutcome::kQueued);
+  locks.release_all(2);
+  // With txn 2 gone, the queued upgrade is granted.
+  EXPECT_TRUE(locks.holds(1, 7));
+  EXPECT_TRUE(locks.waiters(7).empty());
+}
+
+TEST(LockManager, Section81DeadlockScenario) {
+  // The paper's scenario: ten records, five at node A (0-4) and five at
+  // node B (5-9). Transactions C (id 1) and D (id 2) each need all ten.
+  // Message order at A: C_A then D_A; at B: D_B then C_B.
+  LockManager locks;  // one logical lock space; records model both nodes
+
+  // C_A arrives at A: C locks records 0-4.
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(locks.acquire(1, r, LockMode::kExclusive),
+              LockOutcome::kGranted);
+  }
+  // D_B arrives at B first: D locks records 5-9.
+  for (std::size_t r = 5; r < 10; ++r) {
+    EXPECT_EQ(locks.acquire(2, r, LockMode::kExclusive),
+              LockOutcome::kGranted);
+  }
+  // D_A arrives at A: D must wait on C.
+  EXPECT_EQ(locks.acquire(2, 0, LockMode::kExclusive), LockOutcome::kQueued);
+  // C_B arrives at B: C must wait on D. "This would create a deadlock."
+  EXPECT_EQ(locks.acquire(1, 5, LockMode::kExclusive), LockOutcome::kQueued);
+
+  const std::vector<TxnId> cycle = locks.find_deadlock();
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), 1u) != cycle.end());
+  EXPECT_TRUE(std::find(cycle.begin(), cycle.end(), 2u) != cycle.end());
+
+  // The paper's remedy: abort one transaction (or pre-order lock
+  // acquisition); releasing D breaks the cycle and C proceeds.
+  locks.release_all(2);
+  EXPECT_TRUE(locks.find_deadlock().empty());
+  EXPECT_TRUE(locks.holds(1, 5));
+}
+
+TEST(LockManager, OrderedAcquisitionPreventsTheDeadlock) {
+  // The same workload with a global lock order (both transactions lock
+  // records in increasing order, waiting as needed) cannot deadlock.
+  LockManager locks;
+  for (std::size_t r = 0; r < 10; ++r) {
+    locks.acquire(1, r, LockMode::kExclusive);
+  }
+  for (std::size_t r = 0; r < 10; ++r) {
+    locks.acquire(2, r, LockMode::kExclusive);  // all queue behind txn 1
+  }
+  EXPECT_TRUE(locks.find_deadlock().empty());
+  locks.release_all(1);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_TRUE(locks.holds(2, r));
+  }
+}
+
+TEST(LockManager, ParallelReadsAcrossFragments) {
+  // The paper's counterpoint: "read operations can be executed in
+  // parallel at nodes A and B". Readers on disjoint and shared records
+  // all proceed concurrently.
+  LockManager locks;
+  for (TxnId reader = 1; reader <= 4; ++reader) {
+    for (std::size_t r = 0; r < 10; ++r) {
+      EXPECT_EQ(locks.acquire(reader, r, LockMode::kShared),
+                LockOutcome::kGranted);
+    }
+  }
+  EXPECT_EQ(locks.held_count(), 40u);
+  EXPECT_TRUE(locks.find_deadlock().empty());
+}
+
+TEST(LockManager, ThreeWayDeadlockDetected) {
+  LockManager locks;
+  locks.acquire(1, 100, LockMode::kExclusive);
+  locks.acquire(2, 200, LockMode::kExclusive);
+  locks.acquire(3, 300, LockMode::kExclusive);
+  locks.acquire(1, 200, LockMode::kExclusive);  // 1 waits on 2
+  locks.acquire(2, 300, LockMode::kExclusive);  // 2 waits on 3
+  locks.acquire(3, 100, LockMode::kExclusive);  // 3 waits on 1
+  const std::vector<TxnId> cycle = locks.find_deadlock();
+  EXPECT_EQ(cycle.size(), 3u);
+}
+
+TEST(LockManager, NoFalsePositiveDeadlocks) {
+  LockManager locks;
+  locks.acquire(1, 1, LockMode::kExclusive);
+  locks.acquire(2, 1, LockMode::kExclusive);  // simple wait, no cycle
+  locks.acquire(2, 2, LockMode::kExclusive);
+  locks.acquire(3, 2, LockMode::kShared);     // chain 3 -> 2 -> 1
+  EXPECT_TRUE(locks.find_deadlock().empty());
+}
+
+TEST(LockManager, ReleaseAllRemovesWaits) {
+  LockManager locks;
+  locks.acquire(1, 1, LockMode::kExclusive);
+  locks.acquire(2, 1, LockMode::kExclusive);
+  locks.release_all(2);  // waiting txn gives up
+  EXPECT_TRUE(locks.waiters(1).empty());
+  EXPECT_TRUE(locks.holds(1, 1));
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Tests for migration planning: plan completeness/minimality and
+// bandwidth-limited wave scheduling.
+#include "fs/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fs/directory.hpp"
+#include "fs/fragment_map.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = fap::fs;
+
+TEST(MigrationPlan, IdenticalLayoutsNeedNoTransfers) {
+  const fs::FragmentMap layout =
+      fs::FragmentMap::from_allocation(100, {0.5, 0.5});
+  EXPECT_TRUE(fs::plan_migration(layout, layout).empty());
+}
+
+TEST(MigrationPlan, BoundaryShiftMovesExactlyTheDelta) {
+  const fs::FragmentMap from =
+      fs::FragmentMap::from_allocation(100, {0.5, 0.5});
+  const fs::FragmentMap to =
+      fs::FragmentMap::from_allocation(100, {0.7, 0.3});
+  const std::vector<fs::Transfer> plan = fs::plan_migration(from, to);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].range.begin, 50u);
+  EXPECT_EQ(plan[0].range.end, 70u);
+  EXPECT_EQ(plan[0].source, 1u);
+  EXPECT_EQ(plan[0].target, 0u);
+  EXPECT_EQ(fs::migration_volume(plan), 20u);
+}
+
+TEST(MigrationPlan, VolumeMatchesDirectoryAccounting) {
+  fap::util::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t nodes = 3 + rng.uniform_index(5);
+    auto random_fractions = [&]() {
+      std::vector<double> x(nodes, 0.0);
+      double sum = 0.0;
+      for (double& xi : x) {
+        xi = rng.exponential(1.0);
+        sum += xi;
+      }
+      for (double& xi : x) {
+        xi /= sum;
+      }
+      return x;
+    };
+    const fs::FragmentMap from =
+        fs::FragmentMap::from_allocation(500, random_fractions());
+    const fs::FragmentMap to =
+        fs::FragmentMap::from_allocation(500, random_fractions());
+    const fs::Directory directory(from);
+    EXPECT_EQ(fs::migration_volume(fs::plan_migration(from, to)),
+              directory.migration_records(to))
+        << "trial " << trial;
+  }
+}
+
+TEST(MigrationPlan, EveryMovedRecordCoveredExactlyOnce) {
+  const fs::FragmentMap from =
+      fs::FragmentMap::from_allocation(200, {0.4, 0.3, 0.2, 0.1});
+  const fs::FragmentMap to =
+      fs::FragmentMap::from_allocation(200, {0.1, 0.2, 0.3, 0.4});
+  const std::vector<fs::Transfer> plan = fs::plan_migration(from, to);
+  std::vector<int> covered(200, 0);
+  for (const fs::Transfer& transfer : plan) {
+    EXPECT_NE(transfer.source, transfer.target);
+    for (std::size_t r = transfer.range.begin; r < transfer.range.end;
+         ++r) {
+      EXPECT_EQ(from.node_of(r), transfer.source);
+      EXPECT_EQ(to.node_of(r), transfer.target);
+      ++covered[r];
+    }
+  }
+  for (std::size_t r = 0; r < 200; ++r) {
+    const bool moved = from.node_of(r) != to.node_of(r);
+    EXPECT_EQ(covered[r], moved ? 1 : 0) << "record " << r;
+  }
+}
+
+TEST(MigrationSchedule, RespectsPerNodeTransferLimit) {
+  const fs::FragmentMap from =
+      fs::FragmentMap::from_allocation(400, {0.25, 0.25, 0.25, 0.25});
+  const fs::FragmentMap to =
+      fs::FragmentMap::from_allocation(400, {0.05, 0.45, 0.05, 0.45});
+  const std::vector<fs::Transfer> plan = fs::plan_migration(from, to);
+  for (const std::size_t limit : {1u, 2u}) {
+    const fs::MigrationSchedule schedule =
+        fs::schedule_waves(plan, 4, limit);
+    ASSERT_EQ(schedule.wave_of.size(), plan.size());
+    for (std::size_t wave = 0; wave < schedule.wave_count; ++wave) {
+      std::vector<std::size_t> participation(4, 0);
+      for (std::size_t t = 0; t < plan.size(); ++t) {
+        if (schedule.wave_of[t] == wave) {
+          ++participation[plan[t].source];
+          ++participation[plan[t].target];
+        }
+      }
+      for (const std::size_t count : participation) {
+        EXPECT_LE(count, limit) << "wave " << wave << " limit " << limit;
+      }
+    }
+    // Total volume is preserved across waves.
+    std::size_t scheduled = 0;
+    for (const std::size_t volume : schedule.wave_volume) {
+      scheduled += volume;
+    }
+    EXPECT_EQ(scheduled, fs::migration_volume(plan));
+  }
+}
+
+TEST(MigrationSchedule, HigherLimitNeedsNoMoreWaves) {
+  const fs::FragmentMap from = fs::FragmentMap::from_allocation(
+      600, {0.3, 0.25, 0.2, 0.15, 0.05, 0.05});
+  const fs::FragmentMap to = fs::FragmentMap::from_allocation(
+      600, {0.05, 0.05, 0.15, 0.2, 0.25, 0.3});
+  const std::vector<fs::Transfer> plan = fs::plan_migration(from, to);
+  const auto strict = fs::schedule_waves(plan, 6, 1);
+  const auto loose = fs::schedule_waves(plan, 6, 3);
+  EXPECT_GE(strict.wave_count, loose.wave_count);
+}
+
+TEST(MigrationSchedule, RejectsBadInput) {
+  std::vector<fs::Transfer> self_move{
+      {fs::RecordRange{0, 10}, 1, 1}};
+  EXPECT_THROW(fs::schedule_waves(self_move, 4),
+               fap::util::PreconditionError);
+  std::vector<fs::Transfer> out_of_range{
+      {fs::RecordRange{0, 10}, 0, 9}};
+  EXPECT_THROW(fs::schedule_waves(out_of_range, 4),
+               fap::util::PreconditionError);
+  EXPECT_THROW(fs::schedule_waves({}, 4, 0),
+               fap::util::PreconditionError);
+}
+
+TEST(MigrationPlan, RejectsMismatchedLayouts) {
+  const fs::FragmentMap a = fs::FragmentMap::from_allocation(100, {1.0});
+  const fs::FragmentMap b =
+      fs::FragmentMap::from_allocation(100, {0.5, 0.5});
+  EXPECT_THROW(fs::plan_migration(a, b), fap::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,229 @@
+// Cross-module integration scenarios: topology -> model -> decentralized
+// algorithm -> discrete-event validation; workload drift; scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fap.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+namespace baselines = fap::baselines;
+namespace core = fap::core;
+namespace net = fap::net;
+namespace sim = fap::sim;
+
+TEST(Integration, OptimizeThenValidateWithDes) {
+  // Build a 9-node random-metric network, optimize the allocation with the
+  // decentralized algorithm, and verify with the discrete-event simulator
+  // that the optimized allocation really measures cheaper than uniform.
+  fap::util::Rng rng(2026);
+  const net::Topology topology = net::make_random_metric(9, 3, rng);
+  core::Workload workload;
+  workload.lambda.assign(9, 0.0);
+  for (double& rate : workload.lambda) {
+    rate = rng.uniform(0.02, 0.12);
+  }
+  const core::SingleFileModel model(
+      core::make_problem(topology, workload, /*mu=*/1.4, /*k=*/2.0));
+
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult optimized =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(optimized.converged);
+
+  auto measure = [&model](const std::vector<double>& x) {
+    sim::DesConfig config = sim::des_config_for(model, x);
+    config.measured_accesses = 120000;
+    config.seed = 99;
+    return sim::run_des(config).measured_cost;
+  };
+  const double measured_uniform = measure(core::uniform_allocation(model));
+  const double measured_optimized = measure(optimized.x);
+  EXPECT_LT(measured_optimized, measured_uniform);
+  // And the analytic model predicts the measured values.
+  EXPECT_NEAR(measured_optimized, optimized.cost, 0.05 * optimized.cost);
+}
+
+TEST(Integration, NightlyAdaptationToWorkloadDrift) {
+  // Section 8: "the algorithm is run occasionally at night ... to
+  // gradually improve the allocation". Start from the optimum for one
+  // workload, shift the workload, resume from the current allocation, and
+  // confirm a strictly better allocation for the new workload with few
+  // iterations.
+  const net::Topology ring = net::make_ring(6, 1.0);
+  core::Workload before;
+  before.lambda = {0.30, 0.02, 0.02, 0.02, 0.02, 0.02};
+  core::Workload after;
+  after.lambda = {0.02, 0.02, 0.02, 0.30, 0.02, 0.02};
+
+  const core::SingleFileModel model_before(
+      core::make_problem(ring, before, 1.0, 1.0));
+  const core::SingleFileModel model_after(
+      core::make_problem(ring, after, 1.0, 1.0));
+
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator night1(model_before, options);
+  const core::AllocationResult first =
+      night1.run(core::uniform_allocation(model_before));
+  ASSERT_TRUE(first.converged);
+
+  const core::ResourceDirectedAllocator night2(model_after, options);
+  const core::AllocationResult second = night2.run(first.x);
+  ASSERT_TRUE(second.converged);
+  EXPECT_LT(second.cost, model_after.cost(first.x));
+  // The hot node moved from 0 to 3; the allocation must have followed.
+  EXPECT_GT(second.x[3], second.x[0]);
+}
+
+TEST(Integration, IterationCountIsFlatInNetworkSize) {
+  // The Figure 6 property as a test: iterations to converge (at a fixed
+  // reasonable α) must grow far slower than the node count.
+  core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.epsilon = 1e-3;
+  options.max_iterations = 10000;
+  std::vector<std::size_t> iteration_counts;
+  for (const std::size_t n : {4u, 8u, 16u}) {
+    const net::Topology topology = net::make_complete(n, 1.0);
+    const core::SingleFileModel model(
+        core::make_problem(topology, core::Workload::uniform(n, 1.0),
+                           /*mu=*/1.5, /*k=*/1.0));
+    std::vector<double> start(n, 0.0);
+    start[0] = 0.8;
+    start[1] = 0.1;
+    start[2] = 0.1;
+    const core::ResourceDirectedAllocator allocator(model, options);
+    const core::AllocationResult result = allocator.run(start);
+    ASSERT_TRUE(result.converged) << "n=" << n;
+    iteration_counts.push_back(result.iterations);
+  }
+  // 4x more nodes must cost less than 3x the iterations (paper: ~flat).
+  EXPECT_LT(iteration_counts[2],
+            3 * std::max<std::size_t>(iteration_counts[0], 1));
+}
+
+TEST(Integration, MultiFileOptimizationAndProtocolAgree) {
+  const net::Topology grid = net::make_grid(2, 3, 1.0);
+  core::MultiFileProblem problem{
+      net::all_pairs_shortest_paths(grid),
+      {{0.05, 0.05, 0.2, 0.05, 0.05, 0.05},
+       {0.2, 0.05, 0.05, 0.05, 0.05, 0.05}},
+      std::vector<double>(6, 1.5),
+      1.0,
+      fap::queueing::DelayModel()};
+  const core::MultiFileModel model(problem);
+
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-5;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult central =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(central.converged);
+
+  sim::ProtocolConfig config;
+  config.algorithm = options;
+  const sim::ProtocolResult protocol = sim::run_protocol(
+      model, core::uniform_allocation(model), config);
+  ASSERT_TRUE(protocol.converged);
+  for (std::size_t i = 0; i < model.dimension(); ++i) {
+    EXPECT_EQ(protocol.x[i], central.x[i]);
+  }
+}
+
+TEST(Integration, RecordRoundingAfterConvergence) {
+  // The full Section 5.1/8.1 pipeline: converge, round to record
+  // granularity, and confirm the rounded allocation is feasible and close
+  // in cost.
+  const core::SingleFileModel model(
+      fap::testing::random_single_file_problem(7, 8));
+  core::AllocatorOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  const std::vector<double> rounded =
+      baselines::round_to_records(model, result.x, 500);
+  EXPECT_NO_THROW(model.check_feasible(rounded));
+  EXPECT_NEAR(model.cost(rounded), result.cost,
+              0.01 * (1.0 + std::fabs(result.cost)));
+}
+
+TEST(Integration, MulticopyPipelineWithTrimAndDes) {
+  // Multicopy: optimize on the ring, trim to at most one copy per node,
+  // and validate the trimmed allocation in the simulator.
+  const core::RingModel model{
+      core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
+  core::MultiCopyOptions options;
+  options.alpha = 0.1;
+  options.max_iterations = 3000;
+  const core::MultiCopyAllocator allocator(model, options);
+  const core::MultiCopyResult result =
+      allocator.run({0.9, 0.5, 0.35, 0.25});
+  const std::vector<double> deployable =
+      core::trim_to_whole_copy(model, result.best_x);
+  for (const double xi : deployable) {
+    EXPECT_LE(xi, 1.0 + 1e-12);
+  }
+  sim::DesConfig config = sim::des_config_for(model, deployable);
+  config.measured_accesses = 100000;
+  const sim::DesResult des = sim::run_des(config);
+  const double analytic = model.cost(deployable);  // λ_total = 1
+  EXPECT_NEAR(des.measured_cost, analytic, 0.06 * analytic);
+}
+
+TEST(Integration, HeterogeneousServiceRatesShiftTheOptimum) {
+  // A fast node should end up holding more of the file than slow ones.
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.mu = {4.0, 1.5, 1.5, 1.5};
+  const core::SingleFileModel model(std::move(problem));
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.x[0], result.x[1]);
+  EXPECT_GT(result.x[0], result.x[2]);
+  EXPECT_GT(result.x[0], result.x[3]);
+}
+
+TEST(Integration, MG1ModelChangesTheOptimumButNotTheInvariants) {
+  // Section 5.4: alternate queueing models slot in without affecting
+  // feasibility or monotonicity.
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.delay = fap::queueing::DelayModel::md1();
+  const core::SingleFileModel model(std::move(problem));
+  core::AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  options.record_trace = true;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run({0.8, 0.1, 0.1, 0.0});
+  ASSERT_TRUE(result.converged);
+  for (std::size_t t = 1; t < result.trace.size(); ++t) {
+    EXPECT_NEAR(fap::util::sum(result.trace[t].x), 1.0, 1e-9);
+    EXPECT_LE(result.trace[t].cost, result.trace[t - 1].cost + 1e-12);
+  }
+  // Symmetric ring: still the uniform optimum, at lower absolute cost
+  // (deterministic service queues less).
+  EXPECT_LT(result.cost, 1.8);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include "queueing/delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace queueing = fap::queueing;
+using fap::util::PreconditionError;
+using queueing::DelayModel;
+
+TEST(MM1Formulas, ClassicValues) {
+  // ρ = 0.5: T = 1/(μ-λ) = 2/μ; L = ρ/(1-ρ) = 1.
+  EXPECT_DOUBLE_EQ(queueing::mm1_sojourn_time(0.5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(queueing::mm1_waiting_time(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(queueing::mm1_mean_queue_length(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(queueing::mm1_utilization(0.5, 1.0), 0.5);
+}
+
+TEST(MM1Formulas, LittleLawConsistency) {
+  // L = λ T must hold.
+  const double lambda = 0.7;
+  const double mu = 1.3;
+  EXPECT_NEAR(queueing::mm1_mean_queue_length(lambda, mu),
+              lambda * queueing::mm1_sojourn_time(lambda, mu), 1e-12);
+}
+
+TEST(MM1Formulas, RejectsUnstableInput) {
+  EXPECT_THROW(queueing::mm1_sojourn_time(2.0, 1.0), PreconditionError);
+  EXPECT_THROW(queueing::mm1_mean_queue_length(1.0, 1.0), PreconditionError);
+}
+
+TEST(DelayModel, MM1MatchesClosedForm) {
+  const DelayModel model = DelayModel::mm1();
+  EXPECT_DOUBLE_EQ(model.sojourn(0.25, 1.5), 1.0 / 1.25);
+  EXPECT_DOUBLE_EQ(model.d_sojourn(0.25, 1.5), 1.0 / (1.25 * 1.25));
+  EXPECT_DOUBLE_EQ(model.d2_sojourn(0.25, 1.5), 2.0 / (1.25 * 1.25 * 1.25));
+}
+
+TEST(DelayModel, MG1WithScvOneIsMM1) {
+  const DelayModel mg1 = DelayModel::mg1(1.0);
+  const DelayModel mm1 = DelayModel::mm1();
+  for (const double a : {0.0, 0.3, 0.9, 1.2}) {
+    EXPECT_NEAR(mg1.sojourn(a, 1.5), mm1.sojourn(a, 1.5), 1e-12);
+    EXPECT_NEAR(mg1.d_sojourn(a, 1.5), mm1.d_sojourn(a, 1.5), 1e-12);
+  }
+}
+
+TEST(DelayModel, MD1HasHalfTheQueueingDelay) {
+  // Pollaczek–Khinchine: M/D/1 waiting time is half of M/M/1's.
+  const DelayModel md1 = DelayModel::md1();
+  const DelayModel mm1 = DelayModel::mm1();
+  const double a = 0.8;
+  const double mu = 1.5;
+  const double wait_md1 = md1.sojourn(a, mu) - 1.0 / mu;
+  const double wait_mm1 = mm1.sojourn(a, mu) - 1.0 / mu;
+  EXPECT_NEAR(wait_md1, 0.5 * wait_mm1, 1e-12);
+}
+
+TEST(DelayModel, DerivativesMatchNumericDifferentiation) {
+  for (const double scv : {0.0, 0.5, 1.0, 2.5}) {
+    const DelayModel model = DelayModel::mg1(scv);
+    const double mu = 1.5;
+    for (const double a : {0.1, 0.6, 1.1}) {
+      const auto f = [&](const std::vector<double>& v) {
+        return model.sojourn(v[0], mu);
+      };
+      EXPECT_NEAR(model.d_sojourn(a, mu),
+                  fap::util::numeric_gradient(f, {a})[0], 1e-5)
+          << "scv=" << scv << " a=" << a;
+      EXPECT_NEAR(model.d2_sojourn(a, mu),
+                  fap::util::numeric_second_derivative(f, {a}, 0), 1e-4)
+          << "scv=" << scv << " a=" << a;
+    }
+  }
+}
+
+TEST(DelayModel, SojournIncreasingAndConvex) {
+  const DelayModel model = DelayModel::mm1();
+  double previous = model.sojourn(0.0, 2.0);
+  double previous_slope = model.d_sojourn(0.0, 2.0);
+  for (double a = 0.1; a < 1.9; a += 0.1) {
+    const double value = model.sojourn(a, 2.0);
+    const double slope = model.d_sojourn(a, 2.0);
+    EXPECT_GT(value, previous);
+    EXPECT_GE(slope, previous_slope);
+    previous = value;
+    previous_slope = slope;
+  }
+}
+
+TEST(DelayModel, LinearExtensionIsContinuousAndSmoothAtTheKnee) {
+  const DelayModel pure = DelayModel::mm1();
+  const DelayModel extended = DelayModel::mm1(/*rho_max=*/0.8);
+  const double mu = 2.0;
+  const double knee = 0.8 * mu;
+  // Value and slope continuous at the knee.
+  EXPECT_NEAR(extended.sojourn(knee, mu), pure.sojourn(knee, mu), 1e-12);
+  EXPECT_NEAR(extended.d_sojourn(knee, mu), pure.d_sojourn(knee, mu), 1e-12);
+  EXPECT_NEAR(extended.sojourn(knee - 1e-9, mu),
+              extended.sojourn(knee + 1e-9, mu), 1e-6);
+  // Beyond the knee: linear (zero curvature), finite even past μ.
+  EXPECT_DOUBLE_EQ(extended.d2_sojourn(knee + 0.5, mu), 0.0);
+  EXPECT_GT(extended.sojourn(3.0 * mu, mu), extended.sojourn(knee, mu));
+  EXPECT_TRUE(std::isfinite(extended.sojourn(10.0 * mu, mu)));
+}
+
+TEST(DelayModel, BelowKneeMatchesPureModel) {
+  const DelayModel pure = DelayModel::mm1();
+  const DelayModel extended = DelayModel::mm1(0.9);
+  for (const double a : {0.0, 0.5, 1.0, 1.7}) {
+    EXPECT_DOUBLE_EQ(extended.sojourn(a, 2.0), pure.sojourn(a, 2.0));
+  }
+}
+
+TEST(DelayModel, PureModelRejectsOverload) {
+  const DelayModel pure = DelayModel::mm1();
+  EXPECT_THROW(pure.sojourn(2.0, 2.0), PreconditionError);
+  EXPECT_THROW(pure.d_sojourn(2.5, 2.0), PreconditionError);
+  const DelayModel extended = DelayModel::mm1(0.9);
+  EXPECT_NO_THROW(extended.sojourn(2.5, 2.0));
+}
+
+TEST(DelayModel, RejectsBadParameters) {
+  EXPECT_THROW(DelayModel(queueing::Discipline::kMG1, -1.0),
+               PreconditionError);
+  EXPECT_THROW(DelayModel(queueing::Discipline::kMM1, 1.0, 0.0),
+               PreconditionError);
+  EXPECT_THROW(DelayModel(queueing::Discipline::kMM1, 1.0, 1.5),
+               PreconditionError);
+  const DelayModel model = DelayModel::mm1();
+  EXPECT_THROW(model.sojourn(-0.1, 1.0), PreconditionError);
+  EXPECT_THROW(model.sojourn(0.1, 0.0), PreconditionError);
+}
+
+TEST(DelayModel, DisciplineForcesScv) {
+  EXPECT_DOUBLE_EQ(DelayModel(queueing::Discipline::kMM1, 7.0).scv(), 1.0);
+  EXPECT_DOUBLE_EQ(DelayModel(queueing::Discipline::kMD1, 7.0).scv(), 0.0);
+  EXPECT_DOUBLE_EQ(DelayModel::mg1(2.5).scv(), 2.5);
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Laptop-scale stress: the library's headline operations at sizes well
+// beyond the paper's experiments, asserting correctness (not wall-clock,
+// which micro_perf covers) stays intact at scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocator.hpp"
+#include "core/ring_model.hpp"
+#include "core/single_file.hpp"
+#include "fs/fragment_map.hpp"
+#include "fs/popularity.hpp"
+#include "fs/weighted_assignment.hpp"
+#include "net/generators.hpp"
+#include "sim/des.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace net = fap::net;
+
+TEST(Scale, TwoHundredNodeCompleteNetworkConvergesQuickly) {
+  const std::size_t n = 200;
+  const net::Topology topology = net::make_complete(n, 1.0);
+  const core::SingleFileModel model(core::make_problem(
+      topology, core::Workload::uniform(n, 1.0), /*mu=*/1.5, /*k=*/1.0));
+  std::vector<double> start(n, 0.0);
+  start[0] = 1.0;
+  core::AllocatorOptions options;
+  options.step_rule = core::StepRule::kDynamic;
+  options.epsilon = 1e-4;
+  options.max_iterations = 1000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run(start);
+  ASSERT_TRUE(result.converged);
+  // Figure 6's flatness extends: even 200 nodes converge in few steps.
+  EXPECT_LE(result.iterations, 50u);
+  for (const double xi : result.x) {
+    EXPECT_NEAR(xi, 1.0 / static_cast<double>(n), 1e-3);
+  }
+}
+
+TEST(Scale, HundredNodeRandomMetricNetwork) {
+  fap::util::Rng rng(123);
+  const std::size_t n = 100;
+  const net::Topology topology = net::make_random_metric(n, 4, rng);
+  core::Workload workload;
+  workload.lambda.assign(n, 0.0);
+  for (double& rate : workload.lambda) {
+    rate = rng.uniform(0.005, 0.015);
+  }
+  const core::SingleFileModel model(
+      core::make_problem(topology, workload, /*mu=*/1.6, /*k=*/1.0));
+  core::AllocatorOptions options;
+  options.step_rule = core::StepRule::kDynamic;
+  options.epsilon = 1e-5;
+  options.max_iterations = 50000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result =
+      allocator.run(core::uniform_allocation(model));
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(fap::util::sum(result.x), 1.0, 1e-9);
+  // KKT spot-check at scale.
+  const std::vector<double> du = model.marginal_utilities(result.x);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.x[i] > 1e-6) {
+      lo = std::min(lo, du[i]);
+      hi = std::max(hi, du[i]);
+    }
+  }
+  EXPECT_LT(hi - lo, 1e-4);
+}
+
+TEST(Scale, SixtyFourNodeRingGradientMatchesNumeric) {
+  const std::size_t n = 64;
+  std::vector<double> costs(n, 0.0);
+  fap::util::Rng rng(9);
+  for (double& c : costs) {
+    c = rng.uniform(0.5, 2.0);
+  }
+  core::RingProblem problem{net::VirtualRing(costs),
+                            3.0,
+                            std::vector<double>(n, 1.0 / n),
+                            std::vector<double>(n, 1.5),
+                            1.0,
+                            fap::queueing::DelayModel::mm1(0.95),
+                            0.0};
+  const core::RingModel model(problem);
+  std::vector<double> x(n, 3.0 / static_cast<double>(n));
+  // Perturb to a generic point.
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    const double shift = rng.uniform(0.0, 0.02);
+    x[i] += shift;
+    x[i + 1] -= shift;
+  }
+  const std::vector<double> analytic = model.gradient(x);
+  const double base = model.cost(x);
+  for (const std::size_t l : {0u, 13u, 31u, 63u}) {
+    std::vector<double> bumped = x;
+    bumped[l] += 1e-7;
+    const double numeric = (model.cost(bumped) - base) / 1e-7;
+    EXPECT_NEAR(analytic[l], numeric, 1e-3 * (1.0 + std::fabs(numeric)));
+  }
+}
+
+TEST(Scale, MillionRecordFragmentMap) {
+  const std::size_t records = 1000000;
+  fap::util::Rng rng(77);
+  std::vector<double> x(32, 0.0);
+  double sum = 0.0;
+  for (double& xi : x) {
+    xi = rng.exponential(1.0);
+    sum += xi;
+  }
+  for (double& xi : x) {
+    xi /= sum;
+  }
+  const fap::fs::FragmentMap map =
+      fap::fs::FragmentMap::from_allocation(records, x);
+  EXPECT_EQ(map.record_count(), records);
+  EXPECT_LE(fap::util::linf_distance(map.fractions(), x),
+            1.0 / static_cast<double>(records) + 1e-12);
+  // Random lookups resolve consistently.
+  for (int probe = 0; probe < 1000; ++probe) {
+    const std::size_t record = rng.uniform_index(records);
+    EXPECT_TRUE(map.range_at(map.node_of(record)).contains(record));
+  }
+}
+
+TEST(Scale, FiftyThousandRecordZipfPacking) {
+  const std::vector<double> popularity =
+      fap::fs::zipf_popularity(50000, 1.0);
+  const std::vector<double> targets{0.4, 0.3, 0.2, 0.1};
+  const fap::fs::RecordAssignment assignment =
+      fap::fs::pack_records(popularity, targets);
+  for (std::size_t node = 0; node < 4; ++node) {
+    EXPECT_NEAR(assignment.achieved_shares[node], targets[node], 1e-3);
+  }
+}
+
+TEST(Scale, HalfMillionAccessDes) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  fap::sim::DesConfig config =
+      fap::sim::des_config_for(model, {0.25, 0.25, 0.25, 0.25});
+  config.measured_accesses = 500000;
+  config.seed = 31415;
+  const fap::sim::DesResult result = fap::sim::run_des(config);
+  EXPECT_NEAR(result.measured_cost, 1.8, 0.03);
+}
+
+}  // namespace

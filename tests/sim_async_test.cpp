@@ -1,0 +1,169 @@
+// Asynchrony tests: staleness semantics, feasibility drift of the
+// averaging update, anti-entropy correction, and the structural
+// conservation of gossip.
+#include "sim/async_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace net = fap::net;
+namespace sim = fap::sim;
+
+core::SingleFileModel paper_model() {
+  return core::SingleFileModel(core::make_paper_ring_problem());
+}
+
+std::vector<std::vector<std::size_t>> uniform_delay(std::size_t n,
+                                                    std::size_t d) {
+  std::vector<std::vector<std::size_t>> delay(
+      n, std::vector<std::size_t>(n, d));
+  for (std::size_t i = 0; i < n; ++i) {
+    delay[i][i] = 0;
+  }
+  return delay;
+}
+
+std::vector<std::vector<std::size_t>> random_delay(std::size_t n,
+                                                   std::size_t max_d,
+                                                   std::uint64_t seed) {
+  fap::util::Rng rng(seed);
+  auto delay = uniform_delay(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        delay[i][j] = rng.uniform_index(max_d + 1);
+      }
+    }
+  }
+  return delay;
+}
+
+TEST(AsyncAveraging, NoDelayMatchesSynchronousConvergence) {
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.alpha = 0.3;
+  config.rounds = 200;
+  const sim::AsyncResult result =
+      sim::run_async_averaging(model, {0.8, 0.1, 0.1, 0.0}, config);
+  EXPECT_NEAR(result.max_feasibility_drift, 0.0, 1e-9);
+  EXPECT_NEAR(result.cost, 1.8, 1e-4);
+}
+
+TEST(AsyncAveraging, EvenUniformDelayDriftsBecauseSelfIsFresh) {
+  // Each node's own marginal utility is current while everyone else's is
+  // three rounds old, so the nodes average *different* snapshots and
+  // Σ Δx ≠ 0 — uniform staleness does not save feasibility. With
+  // anti-entropy the run still lands at the optimum.
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.alpha = 0.2;
+  config.rounds = 600;
+  config.delay = uniform_delay(4, 3);
+  const sim::AsyncResult raw =
+      sim::run_async_averaging(model, {0.8, 0.1, 0.1, 0.0}, config);
+  EXPECT_GT(raw.max_feasibility_drift, 1e-3);
+
+  config.correction_interval = 10;
+  const sim::AsyncResult corrected =
+      sim::run_async_averaging(model, {0.8, 0.1, 0.1, 0.0}, config);
+  EXPECT_NEAR(corrected.cost, 1.8, 5e-3);
+}
+
+TEST(AsyncAveraging, HeterogeneousDelaysCauseFeasibilityDrift) {
+  // The structural failure: nodes averaging different snapshots makes
+  // Σ Δx ≠ 0. With strongly asymmetric delays, the drift is visible.
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.alpha = 0.3;
+  config.rounds = 120;
+  config.delay = random_delay(4, 6, 99);
+  const sim::AsyncResult result =
+      sim::run_async_averaging(model, {0.8, 0.1, 0.1, 0.0}, config);
+  EXPECT_GT(result.max_feasibility_drift, 1e-4);
+}
+
+TEST(AsyncAveraging, AntiEntropyBoundsTheDrift) {
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.alpha = 0.3;
+  config.rounds = 400;
+  config.delay = random_delay(4, 6, 99);
+
+  const sim::AsyncResult uncorrected =
+      sim::run_async_averaging(model, {0.8, 0.1, 0.1, 0.0}, config);
+  config.correction_interval = 10;
+  const sim::AsyncResult corrected =
+      sim::run_async_averaging(model, {0.8, 0.1, 0.1, 0.0}, config);
+
+  EXPECT_LT(corrected.final_feasibility_drift,
+            uncorrected.max_feasibility_drift + 1e-12);
+  // With periodic renormalization the system still lands near the
+  // optimum.
+  EXPECT_NEAR(corrected.cost, 1.8, 0.02);
+}
+
+TEST(AsyncGossip, ConservesMassExactlyUnderAnyStaleness) {
+  const core::SingleFileModel model = paper_model();
+  const net::Topology ring = net::make_ring(4, 1.0);
+  sim::AsyncConfig config;
+  config.alpha = 0.2;
+  config.rounds = 1500;
+  config.delay = random_delay(4, 8, 7);
+  const sim::AsyncResult result =
+      sim::run_async_gossip(model, ring, {0.8, 0.1, 0.1, 0.0}, config);
+  // Pairwise transfers cannot create or destroy file mass.
+  EXPECT_NEAR(result.max_feasibility_drift, 0.0, 1e-9);
+  EXPECT_NEAR(result.cost, 1.8, 5e-3);
+}
+
+TEST(AsyncGossip, StalenessSlowsButDoesNotBreakConvergence) {
+  // Delayed-feedback stability: the gain must shrink with the delay
+  // (α·delay small) or the dynamics limit-cycle around the optimum —
+  // conserving mass throughout, but never settling. With a gain matched
+  // to the staleness, gossip converges.
+  const core::SingleFileModel model = paper_model();
+  const net::Topology ring = net::make_ring(4, 1.0);
+  auto cost_after = [&](std::size_t delay_rounds, std::size_t rounds,
+                        double alpha) {
+    sim::AsyncConfig config;
+    config.alpha = alpha;
+    config.rounds = rounds;
+    config.delay = uniform_delay(4, delay_rounds);
+    return sim::run_async_gossip(model, ring, {0.8, 0.1, 0.1, 0.0}, config)
+        .cost;
+  };
+  // Same budget and gain: fresh info does at least as well as stale.
+  EXPECT_LE(cost_after(0, 120, 0.2), cost_after(8, 120, 0.2) + 1e-9);
+  // A delay-8 system with the full gain oscillates and stays away from
+  // the optimum...
+  EXPECT_GT(cost_after(8, 3000, 0.2), 1.81);
+  // ...while a delay-matched gain converges.
+  EXPECT_NEAR(cost_after(8, 3000, 0.05), 1.8, 5e-3);
+}
+
+TEST(Async, RejectsMalformedConfigs) {
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.delay = uniform_delay(3, 1);  // wrong size
+  EXPECT_THROW(
+      sim::run_async_averaging(model, {0.25, 0.25, 0.25, 0.25}, config),
+      fap::util::PreconditionError);
+  config.delay = uniform_delay(4, 1);
+  config.delay[2][2] = 3;  // a node cannot be stale about itself
+  EXPECT_THROW(
+      sim::run_async_averaging(model, {0.25, 0.25, 0.25, 0.25}, config),
+      fap::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for measurement-driven parameter estimation (Section 8 adaptive
+// scheme): estimates recover the true parameters from a DES access log,
+// and the closed estimation -> optimization loop lands near the true
+// optimum.
+#include "sim/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "sim/des.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace sim = fap::sim;
+
+sim::DesResult run_logged(const core::SingleFileModel& model,
+                          const std::vector<double>& x, std::uint64_t seed,
+                          std::size_t accesses = 120000) {
+  sim::DesConfig config = sim::des_config_for(model, x);
+  config.record_log = true;
+  config.measured_accesses = accesses;
+  config.seed = seed;
+  return sim::run_des(config);
+}
+
+TEST(Estimation, RecoversGenerationRates) {
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.lambda = {0.4, 0.3, 0.2, 0.1};
+  const core::SingleFileModel model(std::move(problem));
+  const sim::DesResult des =
+      run_logged(model, {0.25, 0.25, 0.25, 0.25}, 5);
+  const sim::EstimatedParameters estimates =
+      sim::estimate_parameters(des.log, 4);
+  EXPECT_EQ(estimates.samples, des.log.size());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(estimates.lambda[i], model.problem().lambda[i],
+                0.05 * model.problem().lambda[i] + 0.005)
+        << "node " << i;
+  }
+}
+
+TEST(Estimation, RecoversServiceRates) {
+  core::SingleFileProblem problem = core::make_paper_ring_problem();
+  problem.mu = {1.5, 2.5, 1.5, 3.0};
+  const core::SingleFileModel model(std::move(problem));
+  const sim::DesResult des =
+      run_logged(model, {0.25, 0.25, 0.25, 0.25}, 7);
+  const sim::EstimatedParameters estimates =
+      sim::estimate_parameters(des.log, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(estimates.mu_observed[i]);
+    EXPECT_NEAR(estimates.mu[i], model.problem().mu[i],
+                0.05 * model.problem().mu[i])
+        << "node " << i;
+  }
+}
+
+TEST(Estimation, ServiceMixTracksTheAllocation) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const std::vector<double> x{0.5, 0.3, 0.2, 0.0};
+  const sim::DesResult des = run_logged(model, x, 9);
+  const sim::EstimatedParameters estimates =
+      sim::estimate_parameters(des.log, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(estimates.service_mix[i], x[i], 0.02) << "node " << i;
+  }
+  // Node 3 served nothing: μ̂ must be flagged unobserved.
+  EXPECT_FALSE(estimates.mu_observed[3]);
+  EXPECT_TRUE(estimates.mu_observed[0]);
+}
+
+TEST(Estimation, MeanCommCostMatchesDesStatistics) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const sim::DesResult des = run_logged(model, {0.25, 0.25, 0.25, 0.25}, 11);
+  const sim::EstimatedParameters estimates =
+      sim::estimate_parameters(des.log, 4);
+  EXPECT_NEAR(estimates.mean_comm_cost, des.comm_cost.mean(), 1e-9);
+}
+
+TEST(Estimation, ProblemFromEstimatesUsesFallbackMu) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const sim::DesResult des = run_logged(model, {0.5, 0.5, 0.0, 0.0}, 13);
+  const sim::EstimatedParameters estimates =
+      sim::estimate_parameters(des.log, 4);
+  const core::SingleFileProblem rebuilt = sim::problem_from_estimates(
+      estimates, model.problem().comm, /*k=*/1.0, /*fallback_mu=*/1.5);
+  EXPECT_NEAR(rebuilt.mu[0], 1.5, 0.1);   // observed, close to truth
+  EXPECT_DOUBLE_EQ(rebuilt.mu[2], 1.5);   // unobserved: exact fallback
+  EXPECT_NO_THROW(core::SingleFileModel{rebuilt});
+}
+
+TEST(Estimation, ClosedLoopReachesNearTrueOptimum) {
+  // The operator does not know λ or μ. Observe the system under a uniform
+  // allocation, estimate, optimize on the estimated model, and score the
+  // result on the TRUE model.
+  core::SingleFileProblem truth = core::make_paper_ring_problem();
+  truth.lambda = {0.45, 0.25, 0.2, 0.1};
+  truth.mu = {2.0, 1.5, 1.5, 1.8};
+  const core::SingleFileModel true_model(truth);
+
+  const sim::DesResult des =
+      run_logged(true_model, {0.25, 0.25, 0.25, 0.25}, 17);
+  const sim::EstimatedParameters estimates =
+      sim::estimate_parameters(des.log, 4);
+  const core::SingleFileModel estimated_model(sim::problem_from_estimates(
+      estimates, truth.comm, truth.k, /*fallback_mu=*/1.5));
+
+  core::AllocatorOptions options;
+  options.alpha = 0.15;
+  options.epsilon = 1e-6;
+  options.max_iterations = 100000;
+  const core::ResourceDirectedAllocator allocator(estimated_model, options);
+  const core::AllocationResult adapted =
+      allocator.run(core::uniform_allocation(estimated_model));
+  ASSERT_TRUE(adapted.converged);
+
+  const core::ResourceDirectedAllocator oracle(true_model, options);
+  const core::AllocationResult optimal =
+      oracle.run(core::uniform_allocation(true_model));
+
+  const double adapted_true_cost = true_model.cost(adapted.x);
+  EXPECT_LT(adapted_true_cost,
+            true_model.cost(core::uniform_allocation(true_model)));
+  EXPECT_NEAR(adapted_true_cost, optimal.cost, 0.02 * optimal.cost);
+}
+
+TEST(Estimation, RejectsMalformedInput) {
+  EXPECT_THROW(sim::estimate_parameters({}, 4),
+               fap::util::PreconditionError);
+  std::vector<sim::AccessObservation> bad{{5, 0, 0.0, 0.1, 0.2, 1.0}};
+  EXPECT_THROW(sim::estimate_parameters(bad, 4),
+               fap::util::PreconditionError);
+  std::vector<sim::AccessObservation> out_of_order{{0, 0, 1.0, 0.5, 2.0, 1.0}};
+  EXPECT_THROW(sim::estimate_parameters(out_of_order, 4),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

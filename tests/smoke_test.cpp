@@ -1,0 +1,28 @@
+// End-to-end smoke test: the paper's headline experiment in one breath.
+// Four-node ring, μ = 1.5, k = 1, λ = 1, ε = 0.001, start (0.8,0.1,0.1,0.0)
+// — the algorithm must converge to the uniform allocation (0.25, ...).
+#include <gtest/gtest.h>
+
+#include "fap.hpp"
+
+namespace {
+
+TEST(Smoke, PaperHeadlineExperimentConverges) {
+  const fap::core::SingleFileModel model(fap::core::make_paper_ring_problem());
+
+  fap::core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.epsilon = 1e-3;
+  const fap::core::ResourceDirectedAllocator allocator(model, options);
+
+  const fap::core::AllocationResult result =
+      allocator.run({0.8, 0.1, 0.1, 0.0});
+
+  ASSERT_TRUE(result.converged);
+  for (const double xi : result.x) {
+    EXPECT_NEAR(xi, 0.25, 5e-3);
+  }
+  EXPECT_LT(result.cost, model.cost({0.8, 0.1, 0.1, 0.0}));
+}
+
+}  // namespace

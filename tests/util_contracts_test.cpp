@@ -1,0 +1,69 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using fap::util::InvariantError;
+using fap::util::PreconditionError;
+
+int checked_divide(int a, int b) {
+  FAP_EXPECTS(b != 0, "divisor must be non-zero");
+  const int q = a / b;
+  FAP_ENSURES(q * b + a % b == a, "division identity");
+  return q;
+}
+
+TEST(Contracts, ExpectsPassesOnValidInput) {
+  EXPECT_EQ(checked_divide(10, 3), 3);
+}
+
+TEST(Contracts, ExpectsThrowsPreconditionError) {
+  EXPECT_THROW(checked_divide(1, 0), PreconditionError);
+}
+
+TEST(Contracts, PreconditionIsAnInvalidArgument) {
+  // Callers catching std::invalid_argument must see contract violations.
+  EXPECT_THROW(checked_divide(1, 0), std::invalid_argument);
+}
+
+TEST(Contracts, MessageContainsExpressionLocationAndText) {
+  try {
+    checked_divide(1, 0);
+    FAIL() << "expected a throw";
+  } catch (const PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("b != 0"), std::string::npos);
+    EXPECT_NE(what.find("util_contracts_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("divisor must be non-zero"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrowsInvariantError) {
+  const auto broken = [] {
+    FAP_ENSURES(1 == 2, "math is broken");
+  };
+  EXPECT_THROW(broken(), InvariantError);
+  EXPECT_THROW(broken(), std::logic_error);
+  try {
+    broken();
+  } catch (const InvariantError& error) {
+    EXPECT_NE(std::string(error.what()).find("invariant"),
+              std::string::npos);
+  }
+}
+
+TEST(Contracts, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  const auto condition = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  FAP_EXPECTS(condition(), "side-effect counter");
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "core/trace_export.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+using fap::util::json_escape;
+using fap::util::JsonWriter;
+
+TEST(JsonEscape, EscapesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("\x01")), "\\u0001");
+}
+
+TEST(JsonWriter, SimpleObject) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name").value("fap");
+  json.key("answer").value(42LL);
+  json.key("pi").value(3.5);
+  json.key("ok").value(true);
+  json.key("nothing").null();
+  json.end_object();
+  EXPECT_EQ(json.str(),
+            R"({"name":"fap","answer":42,"pi":3.5,"ok":true,"nothing":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("series").begin_array();
+  json.value(1.0).value(2.0);
+  json.begin_object();
+  json.key("inner").value("x");
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"series":[1,2,{"inner":"x"}]})");
+}
+
+TEST(JsonWriter, DoubleVectorHelper) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("x").value(std::vector<double>{0.25, 0.75});
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"x":[0.25,0.75]})");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::nan(""));
+  json.value(std::numeric_limits<double>::infinity());
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, RoundTripPrecision) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(0.1);
+  json.end_array();
+  // %.17g round-trips doubles exactly.
+  EXPECT_NE(json.str().find("0.1"), std::string::npos);
+}
+
+TEST(JsonWriter, RejectsStructuralMisuse) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), fap::util::PreconditionError);  // unclosed
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.key("k"), fap::util::PreconditionError);  // no object
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    json.key("k");
+    EXPECT_THROW(json.key("again"), fap::util::PreconditionError);
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), fap::util::PreconditionError);
+  }
+}
+
+TEST(TraceExport, CsvHasHeaderAndOneRowPerIteration) {
+  const fap::core::SingleFileModel model(
+      fap::core::make_paper_ring_problem());
+  fap::core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.record_trace = true;
+  const fap::core::ResourceDirectedAllocator allocator(model, options);
+  const fap::core::AllocationResult result =
+      allocator.run({0.8, 0.1, 0.1, 0.0});
+  const std::string csv = fap::core::trace_to_csv(result.trace);
+  EXPECT_NE(csv.find("iteration,cost,alpha,active_set,spread,x0,x1,x2,x3"),
+            std::string::npos);
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, result.trace.size() + 1);
+}
+
+TEST(TraceExport, JsonDocumentIsWellFormedish) {
+  const fap::core::SingleFileModel model(
+      fap::core::make_paper_ring_problem());
+  fap::core::AllocatorOptions options;
+  options.alpha = 0.3;
+  options.record_trace = true;
+  const fap::core::ResourceDirectedAllocator allocator(model, options);
+  const fap::core::AllocationResult result =
+      allocator.run({0.8, 0.1, 0.1, 0.0});
+  const std::string json = fap::core::result_to_json(result);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":["), std::string::npos);
+  // Balanced braces/brackets (no strings contain them here).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceExport, EmptyTraceCsvIsJustTheHeader) {
+  EXPECT_EQ(fap::core::trace_to_csv({}),
+            "iteration,cost,alpha,active_set,spread\n");
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace util = fap::util;
+
+TEST(AlmostEqual, Basics) {
+  EXPECT_TRUE(util::almost_equal(1.0, 1.0));
+  EXPECT_TRUE(util::almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(util::almost_equal(1.0, 1.001));
+  EXPECT_TRUE(util::almost_equal(1e12, 1e12 + 1.0, 0.0, 1e-9));
+  EXPECT_TRUE(util::almost_equal(0.0, 1e-12));
+}
+
+TEST(NumericGradient, MatchesPolynomialDerivative) {
+  const auto f = [](const std::vector<double>& x) {
+    return x[0] * x[0] + 3.0 * x[1] + x[0] * x[1] * x[1];
+  };
+  const std::vector<double> point{2.0, -1.0};
+  const std::vector<double> grad = util::numeric_gradient(f, point);
+  // df/dx0 = 2 x0 + x1² = 5; df/dx1 = 3 + 2 x0 x1 = -1.
+  EXPECT_NEAR(grad[0], 5.0, 1e-6);
+  EXPECT_NEAR(grad[1], -1.0, 1e-6);
+}
+
+TEST(NumericSecondDerivative, MatchesPolynomial) {
+  const auto f = [](const std::vector<double>& x) {
+    return std::pow(x[0], 4);
+  };
+  // d²/dx² x^4 = 12 x² = 48 at x = 2.
+  EXPECT_NEAR(util::numeric_second_derivative(f, {2.0}, 0), 48.0, 1e-3);
+}
+
+TEST(GoldenSection, FindsQuadraticMinimum) {
+  const auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 0.3; };
+  const util::ScalarMinimum result =
+      util::golden_section_minimize(f, -10.0, 10.0, 1e-8);
+  EXPECT_NEAR(result.x, 1.7, 1e-6);
+  EXPECT_NEAR(result.value, 0.3, 1e-10);
+}
+
+TEST(GoldenSection, HandlesBoundaryMinimum) {
+  const auto f = [](double x) { return x; };  // minimum at the left edge
+  const util::ScalarMinimum result =
+      util::golden_section_minimize(f, 2.0, 5.0, 1e-8);
+  EXPECT_NEAR(result.x, 2.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsBadBracket) {
+  EXPECT_THROW(util::golden_section_minimize([](double x) { return x; }, 1.0,
+                                             1.0, 1e-6),
+               fap::util::PreconditionError);
+}
+
+TEST(GridMinimize, FindsBestGridPoint) {
+  const auto f = [](double x) { return std::fabs(x - 0.42); };
+  const util::GridMinimum result = util::grid_minimize(f, 0.0, 1.0, 101);
+  EXPECT_NEAR(result.x, 0.42, 0.005 + 1e-12);
+}
+
+TEST(GridMinimize, EvaluatesEndpoints) {
+  const auto f = [](double x) { return -x; };
+  const util::GridMinimum result = util::grid_minimize(f, 0.0, 2.0, 5);
+  EXPECT_DOUBLE_EQ(result.x, 2.0);
+  EXPECT_DOUBLE_EQ(result.value, -2.0);
+}
+
+TEST(Sum, AddsElements) {
+  EXPECT_DOUBLE_EQ(util::sum({}), 0.0);
+  EXPECT_DOUBLE_EQ(util::sum({1.5, 2.5, -1.0}), 3.0);
+}
+
+TEST(LinfDistance, MaxAbsoluteDifference) {
+  EXPECT_DOUBLE_EQ(util::linf_distance({1.0, 2.0}, {1.5, 1.0}), 1.0);
+  EXPECT_THROW(util::linf_distance({1.0}, {1.0, 2.0}),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using fap::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValuesWithoutBias) {
+  Rng rng(11);
+  constexpr std::uint64_t kN = 7;
+  std::vector<int> counts(kN, 0);
+  constexpr int kSamples = 70000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t idx = rng.uniform_index(kN);
+    ASSERT_LT(idx, kN);
+    ++counts[idx];
+  }
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kSamples / static_cast<int>(kN), 600);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  const double rate = 2.5;
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.exponential(rate);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kSamples, 1.0 / rate, 5e-3);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 2e-2);
+  EXPECT_NEAR(var, 4.0, 8e-2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.split();
+  // The child stream should not reproduce the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent() == child()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(23);
+  for (const std::size_t n : {1u, 2u, 5u, 64u}) {
+    const std::vector<std::size_t> perm = rng.permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::set<std::size_t> values(perm.begin(), perm.end());
+    EXPECT_EQ(values.size(), n);
+    if (n > 0) {
+      EXPECT_EQ(*values.begin(), 0u);
+      EXPECT_EQ(*values.rbegin(), n - 1);
+    }
+  }
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(29);
+  // Over many draws of permutation(4), all first elements should occur.
+  std::set<std::size_t> firsts;
+  for (int i = 0; i < 200; ++i) {
+    firsts.insert(rng.permutation(4).front());
+  }
+  EXPECT_EQ(firsts.size(), 4u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace

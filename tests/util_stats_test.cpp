@@ -1,0 +1,135 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fap::util::Histogram;
+using fap::util::RunningStats;
+using fap::util::TimeWeightedStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> data{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : data) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), data.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Population variance of this classic set is 4; sample variance = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  fap::util::Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(1.0, 3.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  fap::util::Rng rng(5);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    if (i < 100) {
+      small.add(x);
+    }
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(TimeWeightedStats, PiecewiseConstantAverage) {
+  TimeWeightedStats stats;
+  stats.record(0.0, 2.0);   // value 2 over [0, 1)
+  stats.record(1.0, 4.0);   // value 4 over [1, 3)
+  stats.record(3.0, 0.0);   // value 0 over [3, 5]
+  EXPECT_NEAR(stats.average(5.0), (2.0 * 1 + 4.0 * 2 + 0.0 * 2) / 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.last_value(), 0.0);
+}
+
+TEST(TimeWeightedStats, ExtendsLastValueToQueryTime) {
+  TimeWeightedStats stats;
+  stats.record(0.0, 1.0);
+  EXPECT_NEAR(stats.average(10.0), 1.0, 1e-12);
+}
+
+TEST(TimeWeightedStats, EmptyAverageIsZero) {
+  TimeWeightedStats stats;
+  EXPECT_EQ(stats.average(10.0), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);    // bucket 0
+  hist.add(9.99);   // bucket 9
+  hist.add(-5.0);   // clamped to bucket 0
+  hist.add(100.0);  // clamped to bucket 9
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.count(0), 2u);
+  EXPECT_EQ(hist.count(9), 2u);
+  EXPECT_DOUBLE_EQ(hist.bucket_lo(3), 3.0);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram hist(0.0, 1.0, 100);
+  fap::util::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    hist.add(rng.uniform());
+  }
+  EXPECT_NEAR(hist.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(hist.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(hist.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), fap::util::PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), fap::util::PreconditionError);
+  Histogram hist(0.0, 1.0, 4);
+  EXPECT_THROW(hist.count(4), fap::util::PreconditionError);
+  EXPECT_THROW(hist.quantile(1.5), fap::util::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+using fap::util::ascii_chart;
+using fap::util::Table;
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"alpha", "iterations"}, 2);
+  table.add_row({0.3, 10LL});
+  table.add_row({0.08, 51LL});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("0.30"), std::string::npos);
+  EXPECT_NE(out.find("51"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table table({"name", "value"});
+  table.add_row({std::string("a,b"), 1LL});
+  table.add_row({std::string("quote\"inside"), 2LL});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table table({"one", "two"});
+  EXPECT_THROW(table.add_row({1LL}), fap::util::PreconditionError);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), fap::util::PreconditionError);
+}
+
+TEST(AsciiChart, ContainsAxisAndStars) {
+  const std::vector<double> series{5.0, 4.0, 3.0, 2.0, 1.0};
+  const std::string chart = ascii_chart(series, 40, 8, "cost");
+  EXPECT_NE(chart.find("cost"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("iteration"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesEmptyAndConstantSeries) {
+  EXPECT_NE(ascii_chart({}, 10, 5, "y").find("empty"), std::string::npos);
+  // A constant series must not divide by zero.
+  const std::string chart = ascii_chart({2.0, 2.0, 2.0}, 10, 4, "y");
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+}  // namespace
