@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_alpha_bound.dir/ablation_alpha_bound.cpp.o"
+  "CMakeFiles/ablation_alpha_bound.dir/ablation_alpha_bound.cpp.o.d"
+  "ablation_alpha_bound"
+  "ablation_alpha_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_alpha_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

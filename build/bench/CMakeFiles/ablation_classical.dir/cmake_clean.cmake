@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_classical.dir/ablation_classical.cpp.o"
+  "CMakeFiles/ablation_classical.dir/ablation_classical.cpp.o.d"
+  "ablation_classical"
+  "ablation_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copy_count.dir/ablation_copy_count.cpp.o"
+  "CMakeFiles/ablation_copy_count.dir/ablation_copy_count.cpp.o.d"
+  "ablation_copy_count"
+  "ablation_copy_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copy_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

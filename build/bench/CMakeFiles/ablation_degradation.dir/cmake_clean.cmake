@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_degradation.dir/ablation_degradation.cpp.o"
+  "CMakeFiles/ablation_degradation.dir/ablation_degradation.cpp.o.d"
+  "ablation_degradation"
+  "ablation_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

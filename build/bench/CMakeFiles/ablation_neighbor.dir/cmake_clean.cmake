@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_neighbor.dir/ablation_neighbor.cpp.o"
+  "CMakeFiles/ablation_neighbor.dir/ablation_neighbor.cpp.o.d"
+  "ablation_neighbor"
+  "ablation_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_newton.dir/ablation_newton.cpp.o"
+  "CMakeFiles/ablation_newton.dir/ablation_newton.cpp.o.d"
+  "ablation_newton"
+  "ablation_newton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_price_directed.dir/ablation_price_directed.cpp.o"
+  "CMakeFiles/ablation_price_directed.dir/ablation_price_directed.cpp.o.d"
+  "ablation_price_directed"
+  "ablation_price_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_price_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

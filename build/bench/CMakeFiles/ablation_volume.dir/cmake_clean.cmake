@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_volume.dir/ablation_volume.cpp.o"
+  "CMakeFiles/ablation_volume.dir/ablation_volume.cpp.o.d"
+  "ablation_volume"
+  "ablation_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

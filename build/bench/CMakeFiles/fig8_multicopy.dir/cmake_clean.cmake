@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_multicopy.dir/fig8_multicopy.cpp.o"
+  "CMakeFiles/fig8_multicopy.dir/fig8_multicopy.cpp.o.d"
+  "fig8_multicopy"
+  "fig8_multicopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_multicopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

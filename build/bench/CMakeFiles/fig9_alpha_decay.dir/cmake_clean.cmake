@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_alpha_decay.dir/fig9_alpha_decay.cpp.o"
+  "CMakeFiles/fig9_alpha_decay.dir/fig9_alpha_decay.cpp.o.d"
+  "fig9_alpha_decay"
+  "fig9_alpha_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_alpha_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

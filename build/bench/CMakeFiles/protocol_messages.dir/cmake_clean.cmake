@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_messages.dir/protocol_messages.cpp.o"
+  "CMakeFiles/protocol_messages.dir/protocol_messages.cpp.o.d"
+  "protocol_messages"
+  "protocol_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

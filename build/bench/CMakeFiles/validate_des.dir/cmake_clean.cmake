@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_des.dir/validate_des.cpp.o"
+  "CMakeFiles/validate_des.dir/validate_des.cpp.o.d"
+  "validate_des"
+  "validate_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

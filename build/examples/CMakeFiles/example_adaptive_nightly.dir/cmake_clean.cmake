@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_nightly.dir/adaptive_nightly.cpp.o"
+  "CMakeFiles/example_adaptive_nightly.dir/adaptive_nightly.cpp.o.d"
+  "example_adaptive_nightly"
+  "example_adaptive_nightly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_nightly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_datacenter_placement.dir/datacenter_placement.cpp.o"
+  "CMakeFiles/example_datacenter_placement.dir/datacenter_placement.cpp.o.d"
+  "example_datacenter_placement"
+  "example_datacenter_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_datacenter_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

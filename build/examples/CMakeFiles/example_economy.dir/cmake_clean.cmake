@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_economy.dir/economy.cpp.o"
+  "CMakeFiles/example_economy.dir/economy.cpp.o.d"
+  "example_economy"
+  "example_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

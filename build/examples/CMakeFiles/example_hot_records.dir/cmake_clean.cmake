@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hot_records.dir/hot_records.cpp.o"
+  "CMakeFiles/example_hot_records.dir/hot_records.cpp.o.d"
+  "example_hot_records"
+  "example_hot_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hot_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

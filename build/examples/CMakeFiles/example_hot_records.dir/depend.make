@@ -1,0 +1,2 @@
+# Empty dependencies file for example_hot_records.
+# This may be replaced when dependencies are built.

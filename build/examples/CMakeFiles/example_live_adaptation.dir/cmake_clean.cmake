@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_adaptation.dir/live_adaptation.cpp.o"
+  "CMakeFiles/example_live_adaptation.dir/live_adaptation.cpp.o.d"
+  "example_live_adaptation"
+  "example_live_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

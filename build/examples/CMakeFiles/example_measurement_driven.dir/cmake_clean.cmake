@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_measurement_driven.dir/measurement_driven.cpp.o"
+  "CMakeFiles/example_measurement_driven.dir/measurement_driven.cpp.o.d"
+  "example_measurement_driven"
+  "example_measurement_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_measurement_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

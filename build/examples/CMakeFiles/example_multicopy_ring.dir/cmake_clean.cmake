@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multicopy_ring.dir/multicopy_ring.cpp.o"
+  "CMakeFiles/example_multicopy_ring.dir/multicopy_ring.cpp.o.d"
+  "example_multicopy_ring"
+  "example_multicopy_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multicopy_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_protocol_trace.dir/protocol_trace.cpp.o"
+  "CMakeFiles/example_protocol_trace.dir/protocol_trace.cpp.o.d"
+  "example_protocol_trace"
+  "example_protocol_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_protocol_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_server_pools.dir/server_pools.cpp.o"
+  "CMakeFiles/example_server_pools.dir/server_pools.cpp.o.d"
+  "example_server_pools"
+  "example_server_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_server_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/branch_and_bound.cpp" "src/CMakeFiles/fap_baselines.dir/baselines/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/fap_baselines.dir/baselines/branch_and_bound.cpp.o.d"
+  "/root/repo/src/baselines/casey.cpp" "src/CMakeFiles/fap_baselines.dir/baselines/casey.cpp.o" "gcc" "src/CMakeFiles/fap_baselines.dir/baselines/casey.cpp.o.d"
+  "/root/repo/src/baselines/heuristics.cpp" "src/CMakeFiles/fap_baselines.dir/baselines/heuristics.cpp.o" "gcc" "src/CMakeFiles/fap_baselines.dir/baselines/heuristics.cpp.o.d"
+  "/root/repo/src/baselines/integral.cpp" "src/CMakeFiles/fap_baselines.dir/baselines/integral.cpp.o" "gcc" "src/CMakeFiles/fap_baselines.dir/baselines/integral.cpp.o.d"
+  "/root/repo/src/baselines/price_directed_fap.cpp" "src/CMakeFiles/fap_baselines.dir/baselines/price_directed_fap.cpp.o" "gcc" "src/CMakeFiles/fap_baselines.dir/baselines/price_directed_fap.cpp.o.d"
+  "/root/repo/src/baselines/projected_gradient.cpp" "src/CMakeFiles/fap_baselines.dir/baselines/projected_gradient.cpp.o" "gcc" "src/CMakeFiles/fap_baselines.dir/baselines/projected_gradient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

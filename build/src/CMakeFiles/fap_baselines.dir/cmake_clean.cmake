@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_baselines.dir/baselines/branch_and_bound.cpp.o"
+  "CMakeFiles/fap_baselines.dir/baselines/branch_and_bound.cpp.o.d"
+  "CMakeFiles/fap_baselines.dir/baselines/casey.cpp.o"
+  "CMakeFiles/fap_baselines.dir/baselines/casey.cpp.o.d"
+  "CMakeFiles/fap_baselines.dir/baselines/heuristics.cpp.o"
+  "CMakeFiles/fap_baselines.dir/baselines/heuristics.cpp.o.d"
+  "CMakeFiles/fap_baselines.dir/baselines/integral.cpp.o"
+  "CMakeFiles/fap_baselines.dir/baselines/integral.cpp.o.d"
+  "CMakeFiles/fap_baselines.dir/baselines/price_directed_fap.cpp.o"
+  "CMakeFiles/fap_baselines.dir/baselines/price_directed_fap.cpp.o.d"
+  "CMakeFiles/fap_baselines.dir/baselines/projected_gradient.cpp.o"
+  "CMakeFiles/fap_baselines.dir/baselines/projected_gradient.cpp.o.d"
+  "libfap_baselines.a"
+  "libfap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fap_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/CMakeFiles/fap_core.dir/core/allocator.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/allocator.cpp.o.d"
+  "/root/repo/src/core/copy_count.cpp" "src/CMakeFiles/fap_core.dir/core/copy_count.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/copy_count.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/fap_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/joint_routing.cpp" "src/CMakeFiles/fap_core.dir/core/joint_routing.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/joint_routing.cpp.o.d"
+  "/root/repo/src/core/multi_file.cpp" "src/CMakeFiles/fap_core.dir/core/multi_file.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/multi_file.cpp.o.d"
+  "/root/repo/src/core/multicopy_allocator.cpp" "src/CMakeFiles/fap_core.dir/core/multicopy_allocator.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/multicopy_allocator.cpp.o.d"
+  "/root/repo/src/core/neighbor_allocator.cpp" "src/CMakeFiles/fap_core.dir/core/neighbor_allocator.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/neighbor_allocator.cpp.o.d"
+  "/root/repo/src/core/newton_allocator.cpp" "src/CMakeFiles/fap_core.dir/core/newton_allocator.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/newton_allocator.cpp.o.d"
+  "/root/repo/src/core/ring_model.cpp" "src/CMakeFiles/fap_core.dir/core/ring_model.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/ring_model.cpp.o.d"
+  "/root/repo/src/core/single_file.cpp" "src/CMakeFiles/fap_core.dir/core/single_file.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/single_file.cpp.o.d"
+  "/root/repo/src/core/trace_export.cpp" "src/CMakeFiles/fap_core.dir/core/trace_export.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/trace_export.cpp.o.d"
+  "/root/repo/src/core/volume_model.cpp" "src/CMakeFiles/fap_core.dir/core/volume_model.cpp.o" "gcc" "src/CMakeFiles/fap_core.dir/core/volume_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

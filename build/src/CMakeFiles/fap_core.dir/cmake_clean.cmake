@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_core.dir/core/allocator.cpp.o"
+  "CMakeFiles/fap_core.dir/core/allocator.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/copy_count.cpp.o"
+  "CMakeFiles/fap_core.dir/core/copy_count.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/fap_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/joint_routing.cpp.o"
+  "CMakeFiles/fap_core.dir/core/joint_routing.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/multi_file.cpp.o"
+  "CMakeFiles/fap_core.dir/core/multi_file.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/multicopy_allocator.cpp.o"
+  "CMakeFiles/fap_core.dir/core/multicopy_allocator.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/neighbor_allocator.cpp.o"
+  "CMakeFiles/fap_core.dir/core/neighbor_allocator.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/newton_allocator.cpp.o"
+  "CMakeFiles/fap_core.dir/core/newton_allocator.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/ring_model.cpp.o"
+  "CMakeFiles/fap_core.dir/core/ring_model.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/single_file.cpp.o"
+  "CMakeFiles/fap_core.dir/core/single_file.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/trace_export.cpp.o"
+  "CMakeFiles/fap_core.dir/core/trace_export.cpp.o.d"
+  "CMakeFiles/fap_core.dir/core/volume_model.cpp.o"
+  "CMakeFiles/fap_core.dir/core/volume_model.cpp.o.d"
+  "libfap_core.a"
+  "libfap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

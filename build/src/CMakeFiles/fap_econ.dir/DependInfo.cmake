@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/price_directed.cpp" "src/CMakeFiles/fap_econ.dir/econ/price_directed.cpp.o" "gcc" "src/CMakeFiles/fap_econ.dir/econ/price_directed.cpp.o.d"
+  "/root/repo/src/econ/resource_directed.cpp" "src/CMakeFiles/fap_econ.dir/econ/resource_directed.cpp.o" "gcc" "src/CMakeFiles/fap_econ.dir/econ/resource_directed.cpp.o.d"
+  "/root/repo/src/econ/utility.cpp" "src/CMakeFiles/fap_econ.dir/econ/utility.cpp.o" "gcc" "src/CMakeFiles/fap_econ.dir/econ/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_econ.dir/econ/price_directed.cpp.o"
+  "CMakeFiles/fap_econ.dir/econ/price_directed.cpp.o.d"
+  "CMakeFiles/fap_econ.dir/econ/resource_directed.cpp.o"
+  "CMakeFiles/fap_econ.dir/econ/resource_directed.cpp.o.d"
+  "CMakeFiles/fap_econ.dir/econ/utility.cpp.o"
+  "CMakeFiles/fap_econ.dir/econ/utility.cpp.o.d"
+  "libfap_econ.a"
+  "libfap_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

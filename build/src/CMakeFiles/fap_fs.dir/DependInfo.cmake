@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/directory.cpp" "src/CMakeFiles/fap_fs.dir/fs/directory.cpp.o" "gcc" "src/CMakeFiles/fap_fs.dir/fs/directory.cpp.o.d"
+  "/root/repo/src/fs/fragment_map.cpp" "src/CMakeFiles/fap_fs.dir/fs/fragment_map.cpp.o" "gcc" "src/CMakeFiles/fap_fs.dir/fs/fragment_map.cpp.o.d"
+  "/root/repo/src/fs/lock_manager.cpp" "src/CMakeFiles/fap_fs.dir/fs/lock_manager.cpp.o" "gcc" "src/CMakeFiles/fap_fs.dir/fs/lock_manager.cpp.o.d"
+  "/root/repo/src/fs/migration.cpp" "src/CMakeFiles/fap_fs.dir/fs/migration.cpp.o" "gcc" "src/CMakeFiles/fap_fs.dir/fs/migration.cpp.o.d"
+  "/root/repo/src/fs/popularity.cpp" "src/CMakeFiles/fap_fs.dir/fs/popularity.cpp.o" "gcc" "src/CMakeFiles/fap_fs.dir/fs/popularity.cpp.o.d"
+  "/root/repo/src/fs/weighted_assignment.cpp" "src/CMakeFiles/fap_fs.dir/fs/weighted_assignment.cpp.o" "gcc" "src/CMakeFiles/fap_fs.dir/fs/weighted_assignment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

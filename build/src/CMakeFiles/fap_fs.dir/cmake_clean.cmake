@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_fs.dir/fs/directory.cpp.o"
+  "CMakeFiles/fap_fs.dir/fs/directory.cpp.o.d"
+  "CMakeFiles/fap_fs.dir/fs/fragment_map.cpp.o"
+  "CMakeFiles/fap_fs.dir/fs/fragment_map.cpp.o.d"
+  "CMakeFiles/fap_fs.dir/fs/lock_manager.cpp.o"
+  "CMakeFiles/fap_fs.dir/fs/lock_manager.cpp.o.d"
+  "CMakeFiles/fap_fs.dir/fs/migration.cpp.o"
+  "CMakeFiles/fap_fs.dir/fs/migration.cpp.o.d"
+  "CMakeFiles/fap_fs.dir/fs/popularity.cpp.o"
+  "CMakeFiles/fap_fs.dir/fs/popularity.cpp.o.d"
+  "CMakeFiles/fap_fs.dir/fs/weighted_assignment.cpp.o"
+  "CMakeFiles/fap_fs.dir/fs/weighted_assignment.cpp.o.d"
+  "libfap_fs.a"
+  "libfap_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfap_fs.a"
+)

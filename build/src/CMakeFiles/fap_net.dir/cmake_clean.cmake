@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_net.dir/net/generators.cpp.o"
+  "CMakeFiles/fap_net.dir/net/generators.cpp.o.d"
+  "CMakeFiles/fap_net.dir/net/shortest_paths.cpp.o"
+  "CMakeFiles/fap_net.dir/net/shortest_paths.cpp.o.d"
+  "CMakeFiles/fap_net.dir/net/topology.cpp.o"
+  "CMakeFiles/fap_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/fap_net.dir/net/virtual_ring.cpp.o"
+  "CMakeFiles/fap_net.dir/net/virtual_ring.cpp.o.d"
+  "libfap_net.a"
+  "libfap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_queueing.dir/queueing/delay.cpp.o"
+  "CMakeFiles/fap_queueing.dir/queueing/delay.cpp.o.d"
+  "libfap_queueing.a"
+  "libfap_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

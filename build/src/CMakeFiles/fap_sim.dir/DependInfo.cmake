@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/async_protocol.cpp" "src/CMakeFiles/fap_sim.dir/sim/async_protocol.cpp.o" "gcc" "src/CMakeFiles/fap_sim.dir/sim/async_protocol.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/CMakeFiles/fap_sim.dir/sim/des.cpp.o" "gcc" "src/CMakeFiles/fap_sim.dir/sim/des.cpp.o.d"
+  "/root/repo/src/sim/des_system.cpp" "src/CMakeFiles/fap_sim.dir/sim/des_system.cpp.o" "gcc" "src/CMakeFiles/fap_sim.dir/sim/des_system.cpp.o.d"
+  "/root/repo/src/sim/estimation.cpp" "src/CMakeFiles/fap_sim.dir/sim/estimation.cpp.o" "gcc" "src/CMakeFiles/fap_sim.dir/sim/estimation.cpp.o.d"
+  "/root/repo/src/sim/protocol_sim.cpp" "src/CMakeFiles/fap_sim.dir/sim/protocol_sim.cpp.o" "gcc" "src/CMakeFiles/fap_sim.dir/sim/protocol_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

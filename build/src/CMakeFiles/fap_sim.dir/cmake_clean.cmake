@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_sim.dir/sim/async_protocol.cpp.o"
+  "CMakeFiles/fap_sim.dir/sim/async_protocol.cpp.o.d"
+  "CMakeFiles/fap_sim.dir/sim/des.cpp.o"
+  "CMakeFiles/fap_sim.dir/sim/des.cpp.o.d"
+  "CMakeFiles/fap_sim.dir/sim/des_system.cpp.o"
+  "CMakeFiles/fap_sim.dir/sim/des_system.cpp.o.d"
+  "CMakeFiles/fap_sim.dir/sim/estimation.cpp.o"
+  "CMakeFiles/fap_sim.dir/sim/estimation.cpp.o.d"
+  "CMakeFiles/fap_sim.dir/sim/protocol_sim.cpp.o"
+  "CMakeFiles/fap_sim.dir/sim/protocol_sim.cpp.o.d"
+  "libfap_sim.a"
+  "libfap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fap_util.dir/util/contracts.cpp.o"
+  "CMakeFiles/fap_util.dir/util/contracts.cpp.o.d"
+  "CMakeFiles/fap_util.dir/util/json.cpp.o"
+  "CMakeFiles/fap_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/fap_util.dir/util/numeric.cpp.o"
+  "CMakeFiles/fap_util.dir/util/numeric.cpp.o.d"
+  "CMakeFiles/fap_util.dir/util/rng.cpp.o"
+  "CMakeFiles/fap_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/fap_util.dir/util/stats.cpp.o"
+  "CMakeFiles/fap_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/fap_util.dir/util/table.cpp.o"
+  "CMakeFiles/fap_util.dir/util/table.cpp.o.d"
+  "libfap_util.a"
+  "libfap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

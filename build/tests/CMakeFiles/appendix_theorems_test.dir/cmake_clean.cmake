@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_theorems_test.dir/appendix_theorems_test.cpp.o"
+  "CMakeFiles/appendix_theorems_test.dir/appendix_theorems_test.cpp.o.d"
+  "appendix_theorems_test"
+  "appendix_theorems_test.pdb"
+  "appendix_theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_search_test.dir/baselines_search_test.cpp.o"
+  "CMakeFiles/baselines_search_test.dir/baselines_search_test.cpp.o.d"
+  "baselines_search_test"
+  "baselines_search_test.pdb"
+  "baselines_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

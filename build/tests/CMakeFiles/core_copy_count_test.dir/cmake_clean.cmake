@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_copy_count_test.dir/core_copy_count_test.cpp.o"
+  "CMakeFiles/core_copy_count_test.dir/core_copy_count_test.cpp.o.d"
+  "core_copy_count_test"
+  "core_copy_count_test.pdb"
+  "core_copy_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_copy_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_joint_routing_test.cpp" "tests/CMakeFiles/core_joint_routing_test.dir/core_joint_routing_test.cpp.o" "gcc" "tests/CMakeFiles/core_joint_routing_test.dir/core_joint_routing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fap_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_queueing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

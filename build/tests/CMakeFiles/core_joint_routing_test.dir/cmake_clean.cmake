@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_joint_routing_test.dir/core_joint_routing_test.cpp.o"
+  "CMakeFiles/core_joint_routing_test.dir/core_joint_routing_test.cpp.o.d"
+  "core_joint_routing_test"
+  "core_joint_routing_test.pdb"
+  "core_joint_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_joint_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

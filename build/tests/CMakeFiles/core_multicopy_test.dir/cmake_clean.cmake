@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multicopy_test.dir/core_multicopy_test.cpp.o"
+  "CMakeFiles/core_multicopy_test.dir/core_multicopy_test.cpp.o.d"
+  "core_multicopy_test"
+  "core_multicopy_test.pdb"
+  "core_multicopy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multicopy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

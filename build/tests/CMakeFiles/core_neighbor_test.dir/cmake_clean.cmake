@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_neighbor_test.dir/core_neighbor_test.cpp.o"
+  "CMakeFiles/core_neighbor_test.dir/core_neighbor_test.cpp.o.d"
+  "core_neighbor_test"
+  "core_neighbor_test.pdb"
+  "core_neighbor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_neighbor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

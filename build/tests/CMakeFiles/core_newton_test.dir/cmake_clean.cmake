@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_newton_test.dir/core_newton_test.cpp.o"
+  "CMakeFiles/core_newton_test.dir/core_newton_test.cpp.o.d"
+  "core_newton_test"
+  "core_newton_test.pdb"
+  "core_newton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_newton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_lock_test.dir/fs_lock_test.cpp.o"
+  "CMakeFiles/fs_lock_test.dir/fs_lock_test.cpp.o.d"
+  "fs_lock_test"
+  "fs_lock_test.pdb"
+  "fs_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queueing_mmc_test.dir/queueing_mmc_test.cpp.o"
+  "CMakeFiles/queueing_mmc_test.dir/queueing_mmc_test.cpp.o.d"
+  "queueing_mmc_test"
+  "queueing_mmc_test.pdb"
+  "queueing_mmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queueing_mmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

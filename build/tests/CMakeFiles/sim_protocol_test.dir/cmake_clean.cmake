@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_protocol_test.dir/sim_protocol_test.cpp.o"
+  "CMakeFiles/sim_protocol_test.dir/sim_protocol_test.cpp.o.d"
+  "sim_protocol_test"
+  "sim_protocol_test.pdb"
+  "sim_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_store_forward_test.dir/sim_store_forward_test.cpp.o"
+  "CMakeFiles/sim_store_forward_test.dir/sim_store_forward_test.cpp.o.d"
+  "sim_store_forward_test"
+  "sim_store_forward_test.pdb"
+  "sim_store_forward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_store_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

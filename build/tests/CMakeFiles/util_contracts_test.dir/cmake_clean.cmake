@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_contracts_test.dir/util_contracts_test.cpp.o"
+  "CMakeFiles/util_contracts_test.dir/util_contracts_test.cpp.o.d"
+  "util_contracts_test"
+  "util_contracts_test.pdb"
+  "util_contracts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_contracts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
