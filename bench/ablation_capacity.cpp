@@ -11,6 +11,7 @@
 #include "core/multicopy_allocator.hpp"
 #include "core/ring_model.hpp"
 #include "core/single_file.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -31,14 +32,21 @@ int main(int argc, char** argv) {
       core::ResourceDirectedAllocator(uncapped, options)
           .run({0.8, 0.1, 0.1, 0.0})
           .cost;
-  for (const double cap : {0.25, 0.2, 0.15, 0.1, 0.05, 0.01}) {
-    core::SingleFileProblem problem = core::make_paper_ring_problem();
-    problem.storage_capacity = {cap, 1.0, 1.0, 1.0};
-    const core::SingleFileModel model(std::move(problem));
-    const core::ResourceDirectedAllocator allocator(model, options);
-    const core::AllocationResult result =
-        allocator.run(core::uniform_allocation(model));
-    sweep.add_row({cap, result.x[0], result.x[1], result.cost, base_cost,
+  // Every cap is an independent constrained problem: fan the sweep out
+  // through the runtime (order and output independent of --jobs).
+  const std::vector<double> caps{0.25, 0.2, 0.15, 0.1, 0.05, 0.01};
+  const std::vector<core::AllocationResult> capped_results = runtime::sweep(
+      caps.size(), bench::sweep_options("ablation_capacity"),
+      [&](std::size_t index, std::uint64_t /*seed*/) {
+        core::SingleFileProblem problem = core::make_paper_ring_problem();
+        problem.storage_capacity = {caps[index], 1.0, 1.0, 1.0};
+        const core::SingleFileModel model(std::move(problem));
+        const core::ResourceDirectedAllocator allocator(model, options);
+        return allocator.run(core::uniform_allocation(model));
+      });
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const core::AllocationResult& result = capped_results[i];
+    sweep.add_row({caps[i], result.x[0], result.x[1], result.cost, base_cost,
                    100.0 * (result.cost / base_cost - 1.0)});
   }
   std::cout << bench::render(sweep)

@@ -10,6 +10,7 @@
 #include "core/allocator.hpp"
 #include "core/single_file.hpp"
 #include "core/volume_model.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -28,23 +29,35 @@ int main(int argc, char** argv) {
                      "optimal cost", "cost at concentration",
                      "fragmentation gain %", "algo iterations"},
                     4);
-  for (const double v : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    const core::VolumeTransferModel model(problem, /*base_volume=*/1.0, v);
+  // Each volume factor optimizes an unrelated model instance — a natural
+  // runtime::sweep (200k-iteration runs dominate; --jobs N divides them).
+  struct VolumeRow {
+    core::AllocationResult result;
+    double concentrated_cost = 0.0;
+  };
+  const std::vector<double> volumes{0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<VolumeRow> rows = runtime::sweep(
+      volumes.size(), bench::sweep_options("ablation_volume"),
+      [&](std::size_t index, std::uint64_t /*seed*/) {
+        const core::VolumeTransferModel model(problem, /*base_volume=*/1.0,
+                                              volumes[index]);
 
-    core::AllocatorOptions options;
-    options.step_rule = core::StepRule::kDynamic;  // v-independent tuning
-    options.epsilon = 1e-6;
-    options.max_iterations = 200000;
-    const core::ResourceDirectedAllocator allocator(model, options);
-    const core::AllocationResult result =
-        allocator.run(core::uniform_allocation(model));
+        core::AllocatorOptions options;
+        options.step_rule = core::StepRule::kDynamic;  // v-independent tuning
+        options.epsilon = 1e-6;
+        options.max_iterations = 200000;
+        const core::ResourceDirectedAllocator allocator(model, options);
 
-    std::vector<double> concentrated(4, 0.0);
-    concentrated[0] = 1.0;  // the cheapest node for this workload
-    const double concentrated_cost = model.cost(concentrated);
-
+        std::vector<double> concentrated(4, 0.0);
+        concentrated[0] = 1.0;  // the cheapest node for this workload
+        return VolumeRow{allocator.run(core::uniform_allocation(model)),
+                         model.cost(concentrated)};
+      });
+  for (std::size_t i = 0; i < volumes.size(); ++i) {
+    const core::AllocationResult& result = rows[i].result;
+    const double concentrated_cost = rows[i].concentrated_cost;
     table.add_row(
-        {v, *std::max_element(result.x.begin(), result.x.end()),
+        {volumes[i], *std::max_element(result.x.begin(), result.x.end()),
          result.cost, concentrated_cost,
          100.0 * (1.0 - result.cost / concentrated_cost),
          static_cast<long long>(result.iterations)});

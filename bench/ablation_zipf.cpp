@@ -10,6 +10,7 @@
 #include "fs/fragment_map.hpp"
 #include "fs/popularity.hpp"
 #include "fs/weighted_assignment.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -33,19 +34,35 @@ int main(int argc, char** argv) {
                           "fractional cost", "packed cost", "gap %",
                           "naive even-split cost"},
                          4);
-  for (const double s : {0.0, 0.5, 0.9, 1.1, 1.3, 1.6, 2.0}) {
-    const std::vector<double> popularity = fs::zipf_popularity(2000, s);
-    const fs::WeightedPlacement placement =
-        fs::optimize_record_placement(model, popularity, options);
-    const fs::FragmentMap naive =
-        fs::FragmentMap::from_allocation(2000, {0.25, 0.25, 0.25, 0.25});
-    const double naive_cost =
-        model.cost(fs::node_access_shares(naive, popularity));
+  // Both sweeps below fan out through the runtime: every point builds its
+  // own popularity vector and placement, nothing is shared.
+  struct SkewRow {
+    double head_share = 0.0;
+    fs::WeightedPlacement placement;
+    double naive_cost = 0.0;
+  };
+  const std::vector<double> skews{0.0, 0.5, 0.9, 1.1, 1.3, 1.6, 2.0};
+  const std::vector<SkewRow> skew_rows = runtime::sweep(
+      skews.size(), bench::sweep_options("ablation_zipf.skew"),
+      [&](std::size_t index, std::uint64_t /*seed*/) {
+        const std::vector<double> popularity =
+            fs::zipf_popularity(2000, skews[index]);
+        const fs::FragmentMap naive =
+            fs::FragmentMap::from_allocation(2000, {0.25, 0.25, 0.25, 0.25});
+        return SkewRow{
+            popularity.front(),
+            fs::optimize_record_placement(model, popularity, options),
+            model.cost(fs::node_access_shares(naive, popularity))};
+      });
+  for (std::size_t i = 0; i < skews.size(); ++i) {
+    const SkewRow& row = skew_rows[i];
     skew_table.add_row(
-        {s, 100.0 * popularity.front(), placement.fractional_cost,
-         placement.achieved_cost,
-         100.0 * (placement.achieved_cost / placement.fractional_cost - 1.0),
-         naive_cost});
+        {skews[i], 100.0 * row.head_share, row.placement.fractional_cost,
+         row.placement.achieved_cost,
+         100.0 * (row.placement.achieved_cost /
+                      row.placement.fractional_cost -
+                  1.0),
+         row.naive_cost});
   }
   std::cout << bench::render(skew_table) << '\n';
 
@@ -53,12 +70,18 @@ int main(int argc, char** argv) {
   util::Table size_table({"records", "fractional cost", "packed cost",
                           "gap %"},
                          6);
-  for (const std::size_t records : {20u, 100u, 500u, 2000u, 10000u}) {
-    const fs::WeightedPlacement placement = fs::optimize_record_placement(
-        model, fs::zipf_popularity(records, 1.1), options);
+  const std::vector<std::size_t> record_counts{20, 100, 500, 2000, 10000};
+  const std::vector<fs::WeightedPlacement> placements = runtime::sweep(
+      record_counts.size(), bench::sweep_options("ablation_zipf.records"),
+      [&](std::size_t index, std::uint64_t /*seed*/) {
+        return fs::optimize_record_placement(
+            model, fs::zipf_popularity(record_counts[index], 1.1), options);
+      });
+  for (std::size_t i = 0; i < record_counts.size(); ++i) {
+    const fs::WeightedPlacement& placement = placements[i];
     size_table.add_row(
-        {static_cast<long long>(records), placement.fractional_cost,
-         placement.achieved_cost,
+        {static_cast<long long>(record_counts[i]),
+         placement.fractional_cost, placement.achieved_cost,
          100.0 *
              (placement.achieved_cost / placement.fractional_cost - 1.0)});
   }

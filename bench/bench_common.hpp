@@ -1,15 +1,25 @@
 // Shared helpers for the figure-reproduction bench binaries.
 //
-// Every bench accepts `--csv`: tables are then emitted as CSV (for
-// plotting) instead of aligned ASCII. Invoke as `bench_binary --csv`.
+// Every bench accepts:
+//   --csv            emit tables as CSV (for plotting) instead of ASCII
+//   --jobs N         worker threads for parallel sweeps (0 = hardware)
+//   --seed S         master seed for stochastic sweep points
+//   --metrics PATH   append per-task JSONL records (runtime::MetricsSink)
+//   --help           print usage and exit
+// Unknown flags are an error (usage + exit 2), so a typo like `--cvs`
+// cannot silently produce a serial/ASCII run that looks plausible.
 #pragma once
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 namespace fap::bench {
@@ -19,15 +29,113 @@ inline bool& csv_mode() {
   static bool mode = false;
   return mode;
 }
+
+inline std::size_t& jobs_setting() {
+  static std::size_t jobs = 1;
+  return jobs;
+}
+
+inline bool& seed_overridden() {
+  static bool overridden = false;
+  return overridden;
+}
+
+inline std::uint64_t& seed_setting() {
+  static std::uint64_t seed = 0;
+  return seed;
+}
+
+inline std::unique_ptr<runtime::MetricsSink>& metrics_sink() {
+  static std::unique_ptr<runtime::MetricsSink> sink;
+  return sink;
+}
+
+[[noreturn]] inline void usage(const char* binary, int exit_code) {
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: " << binary << " [options]\n"
+      << "  --csv            emit tables as CSV instead of aligned ASCII\n"
+      << "  --jobs N         worker threads for parallel sweeps "
+         "(default 1, 0 = all cores)\n"
+      << "  --seed S         master seed for stochastic sweep points\n"
+      << "  --metrics PATH   write per-task JSONL metrics to PATH\n"
+      << "  --help           show this message\n";
+  std::exit(exit_code);
+}
+
+/// Parses the value of a `--flag VALUE` pair, erroring out on a missing
+/// or non-numeric value.
+inline std::uint64_t numeric_flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::cerr << argv[0] << ": " << argv[i] << " requires a value\n";
+    usage(argv[0], 2);
+  }
+  char* end = nullptr;
+  const char* text = argv[++i];
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << argv[0] << ": invalid number '" << text << "' for "
+              << argv[i - 1] << "\n";
+    usage(argv[0], 2);
+  }
+  return static_cast<std::uint64_t>(value);
+}
 }  // namespace detail
 
-/// Parses bench command-line flags (currently `--csv`).
+/// Parses bench command-line flags. Rejects anything it does not know.
 inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       detail::csv_mode() = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      detail::jobs_setting() =
+          static_cast<std::size_t>(detail::numeric_flag_value(argc, argv, i));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      detail::seed_setting() = detail::numeric_flag_value(argc, argv, i);
+      detail::seed_overridden() = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": --metrics requires a path\n";
+        detail::usage(argv[0], 2);
+      }
+      try {
+        detail::metrics_sink() =
+            std::make_unique<runtime::MetricsSink>(argv[++i]);
+      } catch (const std::exception& error) {
+        std::cerr << argv[0] << ": " << error.what() << "\n";
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      detail::usage(argv[0], 0);
+    } else {
+      std::cerr << argv[0] << ": unknown flag '" << argv[i] << "'\n";
+      detail::usage(argv[0], 2);
     }
   }
+}
+
+/// Worker threads requested via --jobs (default 1 = serial).
+inline std::size_t jobs() { return detail::jobs_setting(); }
+
+/// Master seed: the --seed value if given, else the bench's default.
+inline std::uint64_t seed(std::uint64_t default_seed) {
+  return detail::seed_overridden() ? detail::seed_setting() : default_seed;
+}
+
+/// The --metrics sink, or nullptr when none was requested.
+inline runtime::MetricsSink* metrics() {
+  return detail::metrics_sink().get();
+}
+
+/// Sweep options wired to the bench flags: --jobs, --seed (with the
+/// bench's default master seed) and --metrics, stamped with `run_id`.
+inline runtime::SweepOptions sweep_options(const std::string& run_id,
+                                           std::uint64_t default_seed = 1) {
+  runtime::SweepOptions options;
+  options.jobs = jobs();
+  options.base_seed = seed(default_seed);
+  options.metrics = metrics();
+  options.run_id = run_id;
+  return options;
 }
 
 /// Renders a table per the selected output mode.

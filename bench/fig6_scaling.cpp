@@ -4,12 +4,17 @@
 //
 // Paper: "increasing the problem size does not significantly increase the
 // number of iterations required" — the curve is essentially flat.
+//
+// Each N is an independent problem (its own topology, model and α grid
+// search), so the sweep runs through runtime::sweep: `--jobs 8` fills
+// eight cores and prints byte-identical output to `--jobs 1`.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/allocator.hpp"
 #include "core/single_file.hpp"
 #include "net/generators.hpp"
+#include "runtime/sweep.hpp"
 #include "util/numeric.hpp"
 #include "util/table.hpp"
 
@@ -31,6 +36,39 @@ double iterations_for(const fap::core::SingleFileModel& model,
   return static_cast<double>(result.iterations);
 }
 
+struct ScalingPoint {
+  std::size_t n = 0;
+  double best_alpha = 0.0;
+  std::size_t iterations = 0;
+  double cost = 0.0;
+};
+
+ScalingPoint measure_scaling_point(std::size_t n) {
+  using namespace fap;
+  const net::Topology topology = net::make_complete(n, 1.0);
+  const core::SingleFileModel model(
+      core::make_problem(topology, core::Workload::uniform(n, 1.0),
+                         /*mu=*/1.5, /*k=*/1.0));
+  std::vector<double> start(n, 0.0);
+  start[0] = 0.8;
+  start[1] = 0.1;
+  start[2] = 0.1;
+
+  // Best α per N via a grid search (the paper: "using the best possible
+  // α").
+  const util::GridMinimum best = util::grid_minimize(
+      [&](double alpha) { return iterations_for(model, start, alpha); },
+      0.05, 1.2, 47);
+
+  core::AllocatorOptions options;
+  options.alpha = best.x;
+  options.epsilon = 1e-3;
+  options.max_iterations = 20000;
+  const core::ResourceDirectedAllocator allocator(model, options);
+  const core::AllocationResult result = allocator.run(start);
+  return {n, best.x, result.iterations, result.cost};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,36 +77,24 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 6",
                       "iterations (best alpha) vs number of nodes");
 
+  constexpr std::size_t kMinNodes = 4;
+  constexpr std::size_t kMaxNodes = 20;
+  const std::vector<ScalingPoint> points =
+      runtime::sweep(kMaxNodes - kMinNodes + 1,
+                     bench::sweep_options("fig6_scaling"),
+                     [](std::size_t index, std::uint64_t /*seed*/) {
+                       return measure_scaling_point(kMinNodes + index);
+                     });
+
   util::Table table({"N", "best alpha", "iterations", "final cost",
                      "optimal x_i (=1/N)"},
                     4);
   std::vector<double> iteration_series;
-  for (std::size_t n = 4; n <= 20; ++n) {
-    const net::Topology topology = net::make_complete(n, 1.0);
-    const core::SingleFileModel model(
-        core::make_problem(topology, core::Workload::uniform(n, 1.0),
-                           /*mu=*/1.5, /*k=*/1.0));
-    std::vector<double> start(n, 0.0);
-    start[0] = 0.8;
-    start[1] = 0.1;
-    start[2] = 0.1;
-
-    // Best α per N via a grid search (the paper: "using the best possible
-    // α").
-    const util::GridMinimum best = util::grid_minimize(
-        [&](double alpha) { return iterations_for(model, start, alpha); },
-        0.05, 1.2, 47);
-
-    core::AllocatorOptions options;
-    options.alpha = best.x;
-    options.epsilon = 1e-3;
-    options.max_iterations = 20000;
-    const core::ResourceDirectedAllocator allocator(model, options);
-    const core::AllocationResult result = allocator.run(start);
-    table.add_row({static_cast<long long>(n), best.x,
-                   static_cast<long long>(result.iterations), result.cost,
-                   1.0 / static_cast<double>(n)});
-    iteration_series.push_back(static_cast<double>(result.iterations));
+  for (const ScalingPoint& point : points) {
+    table.add_row({static_cast<long long>(point.n), point.best_alpha,
+                   static_cast<long long>(point.iterations), point.cost,
+                   1.0 / static_cast<double>(point.n)});
+    iteration_series.push_back(static_cast<double>(point.iterations));
   }
   std::cout << bench::render(table) << '\n';
   std::cout << util::ascii_chart(iteration_series, 34, 8,

@@ -5,11 +5,13 @@
 #
 # Builds (if needed), runs the full test suite, then every bench binary —
 # once as human-readable text and once as CSV — into results_dir
-# (default: ./results).
+# (default: ./results). JOBS=N controls bench sweep parallelism
+# (default: all cores; output is bit-identical at any JOBS value).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 RESULTS="${1:-results}"
+JOBS="${JOBS:-0}"
 
 cmake -B build -G Ninja
 cmake --build build
@@ -20,8 +22,13 @@ for bench in build/bench/*; do
   [ -f "$bench" ] && [ -x "$bench" ] || continue
   name="$(basename "$bench")"
   echo "== $name =="
-  "$bench" | tee "$RESULTS/$name.txt" > /dev/null
-  "$bench" --csv > "$RESULTS/$name.csv" 2>/dev/null || true
+  args=()
+  case "$name" in
+    micro_perf) ;;  # google-benchmark CLI, no bench_common flags
+    *) args+=(--jobs "$JOBS") ;;
+  esac
+  "$bench" "${args[@]}" | tee "$RESULTS/$name.txt" > /dev/null
+  "$bench" "${args[@]}" --csv > "$RESULTS/$name.csv" 2>/dev/null || true
 done
 
 echo

@@ -1,0 +1,52 @@
+#include "runtime/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace fap::runtime {
+
+MetricsSink::MetricsSink(const std::string& path)
+    : path_(path), out_(path, std::ios::out | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("MetricsSink: cannot open '" + path +
+                             "' for writing");
+  }
+}
+
+void MetricsSink::record(const MetricsRecord& record) {
+  const std::string line = to_json_line(record);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+  ++records_;
+}
+
+std::size_t MetricsSink::records_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::string to_json_line(const MetricsRecord& record) {
+  util::JsonWriter json;
+  json.begin_object();
+  json.key("run_id").value(record.run_id);
+  json.key("task").value(record.task);
+  json.key("task_index").value(record.task_index);
+  json.key("seed").value(static_cast<std::size_t>(record.seed));
+  json.key("wall_ms").value(record.wall_ms);
+  if (!record.values.empty()) {
+    json.key("values").begin_object();
+    for (const auto& [name, value] : record.values) {
+      json.key(name).value(value);
+    }
+    json.end_object();
+  }
+  if (!record.series.empty()) {
+    json.key("series").value(record.series);
+  }
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace fap::runtime

@@ -1,0 +1,40 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace fap::runtime {
+
+std::vector<IndexRange> static_chunks(std::size_t count, std::size_t chunks) {
+  std::vector<IndexRange> ranges;
+  if (count == 0) {
+    return ranges;
+  }
+  const std::size_t parts = std::max<std::size_t>(1, std::min(chunks, count));
+  const std::size_t base = count / parts;
+  const std::size_t remainder = count % parts;
+  ranges.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t size = base + (p < remainder ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  // One task per chunk, not per index: a sweep point is usually orders of
+  // magnitude heavier than the queue round-trip, but benches with dozens
+  // of cheap points should not pay dozens of enqueues either.
+  for (const IndexRange& range : static_chunks(count, pool.size())) {
+    pool.submit([&body, range] {
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        body(i);
+      }
+    });
+  }
+  pool.wait();
+}
+
+}  // namespace fap::runtime

@@ -1,0 +1,76 @@
+// Ordered-result parallel map over an index range.
+//
+// parallel_map(pool, count, fn) evaluates fn(0) .. fn(count-1) on the
+// pool's workers and returns the results in index order, so replacing a
+// serial `for` loop that appends table rows changes nothing about the
+// output — only the wall clock. Work is split by static chunking
+// (static_chunks): contiguous index blocks, one per worker, computed up
+// front. Static chunking keeps the execution plan a pure function of
+// (count, jobs); combined with per-task RNG seeds derived from the task
+// index (sweep.hpp) it makes parallel output bit-identical to serial.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace fap::runtime {
+
+/// Half-open index range [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Splits [0, count) into at most `chunks` contiguous ranges whose sizes
+/// differ by at most one (the first `count % chunks` ranges get the extra
+/// element). Never returns empty ranges; returns fewer than `chunks`
+/// ranges when count < chunks, and nothing when count == 0.
+std::vector<IndexRange> static_chunks(std::size_t count, std::size_t chunks);
+
+/// Runs body(i) for every i in [0, count) on the pool, blocking until all
+/// complete. Exceptions from `body` propagate (first one wins). The body
+/// must not submit to or wait on the same pool.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Ordered parallel map: element i of the result is fn(i). `fn` must be
+/// callable concurrently from multiple threads; results are written to
+/// disjoint slots, so no synchronization is needed on the caller's side.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<std::optional<Result>> slots(count);
+  parallel_for(pool, count,
+               [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<Result> results;
+  results.reserve(count);
+  for (std::optional<Result>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+/// Serial fallback with the identical contract, used by the sweep runner
+/// when jobs == 1 so single-threaded runs pay no pool setup and behave
+/// byte-for-byte like the parallel path.
+template <typename Fn>
+auto serial_map(std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::vector<Result> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    results.push_back(fn(i));
+  }
+  return results;
+}
+
+}  // namespace fap::runtime

@@ -1,0 +1,63 @@
+#include "runtime/sweep.hpp"
+
+#include <chrono>
+
+#include "util/rng.hpp"
+
+namespace fap::runtime {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t task_seed(std::uint64_t base_seed, std::size_t task_index) {
+  // Each Rng::split() consumes exactly one draw of the parent stream, so
+  // the task_index-th split's seed is the task_index-th parent draw —
+  // computable in O(task_index) without materializing the intermediate
+  // generators. Sweeps are at most thousands of points; this is free.
+  util::Rng root(base_seed);
+  std::uint64_t seed = root();
+  for (std::size_t i = 0; i < task_index; ++i) {
+    seed = root();
+  }
+  return seed;
+}
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  return jobs == 0 ? ThreadPool::hardware_jobs() : jobs;
+}
+
+void run_sweep(std::size_t count, const SweepOptions& options,
+               const std::function<void(std::size_t, std::uint64_t)>& body) {
+  const std::size_t jobs = resolve_jobs(options.jobs);
+  const auto run_task = [&](std::size_t i) {
+    const std::uint64_t seed = task_seed(options.base_seed, i);
+    const auto started = std::chrono::steady_clock::now();
+    body(i, seed);
+    if (options.metrics != nullptr) {
+      MetricsRecord record;
+      record.run_id = options.run_id;
+      record.task = "task " + std::to_string(i);
+      record.task_index = i;
+      record.seed = seed;
+      record.wall_ms = elapsed_ms(started);
+      options.metrics->record(record);
+    }
+  };
+  if (jobs == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      run_task(i);
+    }
+    return;
+  }
+  ThreadPool pool(jobs);
+  parallel_for(pool, count, run_task);
+}
+
+}  // namespace fap::runtime

@@ -1,0 +1,87 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fap::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Discard queued-but-not-started work so workers exit promptly; each
+    // discarded task still counts as "done" for any concurrent wait().
+    in_flight_ -= queue_.size();
+    queue_.clear();
+  }
+  work_available_.notify_all();
+  batch_done_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::size_t ThreadPool::hardware_jobs() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to run
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace fap::runtime

@@ -1,0 +1,69 @@
+// Fixed-size worker pool with a shared task queue.
+//
+// The pool is the execution substrate of src/runtime/: parallel_for and
+// the sweep runner submit closures here. Design constraints, in order:
+//
+//   1. Exceptions must not vanish. A task that throws stores the first
+//      exception_ptr; wait() rethrows it on the submitting thread, so a
+//      failing sweep point fails the bench/test exactly as it would
+//      serially.
+//   2. The pool must survive reuse: submit / wait / submit again is the
+//      normal life cycle (one wait() per bench table), not a corner case.
+//   3. Shutdown must be clean: the destructor drains nothing — it stops
+//      accepting work, wakes every worker, and joins them all, so no task
+//      outlives the pool's captures.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fap::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers (at least one). The pool never
+  /// grows or shrinks afterwards.
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers. Tasks still queued are discarded; tasks already
+  /// running are completed. Call wait() first if you need the results.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Must not be called concurrently with the
+  /// destructor; concurrent submit() from multiple threads is fine.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception any of them raised (clearing it, so the pool remains
+  /// usable for the next batch).
+  void wait();
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits it to report 0).
+  static std::size_t hardware_jobs() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace fap::runtime

@@ -381,4 +381,29 @@ const WindowStats& DesSystem::window() {
   return window_;
 }
 
+ReplicatedDesResult run_des_replications(const DesConfig& config,
+                                         std::size_t replications,
+                                         const runtime::SweepOptions& options) {
+  // Each replication is a complete independent run_des with its own
+  // derived seed; the per-replication DesResults come back in index order
+  // and reduce deterministically left to right.
+  const std::vector<DesResult> runs = runtime::sweep(
+      replications, options, [&config](std::size_t, std::uint64_t seed) {
+        DesConfig replication = config;
+        replication.seed = seed;
+        return run_des(replication);
+      });
+  ReplicatedDesResult result;
+  result.replications = runs.size();
+  for (const DesResult& run : runs) {
+    result.comm_cost.merge(run.comm_cost);
+    result.sojourn.merge(run.sojourn);
+    result.response_time.merge(run.response_time);
+    result.cost_per_replication.add(run.measured_cost);
+  }
+  result.measured_cost =
+      result.comm_cost.mean() + config.k * result.sojourn.mean();
+  return result;
+}
+
 }  // namespace fap::sim

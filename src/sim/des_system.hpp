@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/sweep.hpp"
 #include "sim/des.hpp"
 
 namespace fap::sim {
@@ -96,5 +97,32 @@ class DesSystem {
 
   void process_one_event();
 };
+
+/// Result of running the same DES configuration over R independent
+/// replications (distinct seeds). Pooled per-access statistics reduce via
+/// util::RunningStats::merge, which is exact, so the numbers do not
+/// depend on how many workers ran the replications.
+struct ReplicatedDesResult {
+  util::RunningStats comm_cost;      ///< pooled across all accesses
+  util::RunningStats sojourn;        ///< pooled across all accesses
+  util::RunningStats response_time;  ///< pooled across all accesses
+  /// Distribution of the per-replication measured cost — the quantity a
+  /// confidence interval on the mean cost should be built from (per-access
+  /// observations within a replication are autocorrelated; replication
+  /// means are independent).
+  util::RunningStats cost_per_replication;
+  std::size_t replications = 0;
+  /// Pooled per-access cost: mean comm + k * mean sojourn.
+  double measured_cost = 0.0;
+};
+
+/// Runs `replications` independent copies of the configuration, seeding
+/// copy r with runtime::task_seed(options.base_seed, r) (config.seed is
+/// ignored) and executing them through runtime::run_sweep — serial when
+/// options.jobs == 1, on a worker pool otherwise, bit-identical either
+/// way. `config.k` weights the pooled measured cost.
+ReplicatedDesResult run_des_replications(const DesConfig& config,
+                                         std::size_t replications,
+                                         const runtime::SweepOptions& options);
 
 }  // namespace fap::sim
