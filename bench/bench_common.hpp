@@ -50,15 +50,35 @@ inline std::unique_ptr<runtime::MetricsSink>& metrics_sink() {
   return sink;
 }
 
+/// A bench-specific `--flag N` registered before init() (see
+/// register_numeric_flag below).
+struct ExtraNumericFlag {
+  std::string name;
+  std::string help;
+  std::uint64_t* value = nullptr;
+};
+
+inline std::vector<ExtraNumericFlag>& extra_numeric_flags() {
+  static std::vector<ExtraNumericFlag> flags;
+  return flags;
+}
+
 [[noreturn]] inline void usage(const char* binary, int exit_code) {
-  (exit_code == 0 ? std::cout : std::cerr)
-      << "usage: " << binary << " [options]\n"
+  std::ostream& out = (exit_code == 0 ? std::cout : std::cerr);
+  out << "usage: " << binary << " [options]\n"
       << "  --csv            emit tables as CSV instead of aligned ASCII\n"
       << "  --jobs N         worker threads for parallel sweeps "
          "(default 1, 0 = all cores)\n"
       << "  --seed S         master seed for stochastic sweep points\n"
-      << "  --metrics PATH   write per-task JSONL metrics to PATH\n"
-      << "  --help           show this message\n";
+      << "  --metrics PATH   write per-task JSONL metrics to PATH\n";
+  for (const ExtraNumericFlag& flag : extra_numeric_flags()) {
+    out << "  " << flag.name << " N"
+        << std::string(flag.name.size() + 2 < 15 ? 15 - flag.name.size() - 2
+                                                 : 1,
+                       ' ')
+        << flag.help << "\n";
+  }
+  out << "  --help           show this message\n";
   std::exit(exit_code);
 }
 
@@ -81,8 +101,27 @@ inline std::uint64_t numeric_flag_value(int argc, char** argv, int& i) {
 }
 }  // namespace detail
 
+/// Registers a bench-specific `--flag N` option ahead of init(), keeping
+/// the strict unknown-flag rejection: the flag is parsed like the shared
+/// numeric flags, listed by --help, and written through `value` when
+/// given. `name` and `help` must outlive init() (string literals do).
+inline void register_numeric_flag(const char* name, const char* help,
+                                  std::uint64_t* value) {
+  detail::extra_numeric_flags().push_back(
+      detail::ExtraNumericFlag{name, help, value});
+}
+
 /// Parses bench command-line flags. Rejects anything it does not know.
 inline void init(int argc, char** argv) {
+  const auto match_extra = [&](int& i) {
+    for (detail::ExtraNumericFlag& flag : detail::extra_numeric_flags()) {
+      if (std::strcmp(argv[i], flag.name.c_str()) == 0) {
+        *flag.value = detail::numeric_flag_value(argc, argv, i);
+        return true;
+      }
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       detail::csv_mode() = true;
@@ -106,7 +145,7 @@ inline void init(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--help") == 0) {
       detail::usage(argv[0], 0);
-    } else {
+    } else if (!match_extra(i)) {
       std::cerr << argv[0] << ": unknown flag '" << argv[i] << "'\n";
       detail::usage(argv[0], 2);
     }

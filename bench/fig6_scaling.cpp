@@ -72,13 +72,24 @@ ScalingPoint measure_scaling_point(std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The paper's figure stops at N = 20; --max-n extends the sweep so the
+  // flatness claim (and the optimized kernels) can be exercised at larger
+  // networks, e.g. --max-n 256.
+  std::uint64_t max_nodes = 20;
+  fap::bench::register_numeric_flag(
+      "--max-n", "largest network size N to sweep (default 20)", &max_nodes);
   fap::bench::init(argc, argv);
   using namespace fap;
   bench::print_header("Figure 6",
                       "iterations (best alpha) vs number of nodes");
 
   constexpr std::size_t kMinNodes = 4;
-  constexpr std::size_t kMaxNodes = 20;
+  if (max_nodes < kMinNodes) {
+    std::cerr << argv[0] << ": --max-n must be at least " << kMinNodes
+              << "\n";
+    return 2;
+  }
+  const auto kMaxNodes = static_cast<std::size_t>(max_nodes);
   const std::vector<ScalingPoint> points =
       runtime::sweep(kMaxNodes - kMinNodes + 1,
                      bench::sweep_options("fig6_scaling"),
@@ -98,7 +109,8 @@ int main(int argc, char** argv) {
   }
   std::cout << bench::render(table) << '\n';
   std::cout << util::ascii_chart(iteration_series, 34, 8,
-                                 "iterations (x: N = 4..20)")
+                                 "iterations (x: N = 4.." +
+                                     std::to_string(kMaxNodes) + ")")
             << '\n';
   std::cout << "Flatness check: max/min iterations across N = "
             << *std::max_element(iteration_series.begin(),

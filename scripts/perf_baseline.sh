@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Captures the micro-benchmark performance baseline.
+#
+#   scripts/perf_baseline.sh
+#
+# Builds (if needed) and runs bench/micro_perf with pinned repetitions,
+# writing aggregate results (google-benchmark JSON) to OUT. Commit the
+# refreshed file whenever a PR intentionally changes hot-path performance;
+# scripts/perf_check.py compares fresh runs against it.
+#
+# Environment overrides:
+#   BUILD_DIR  build tree to use                (default: build)
+#   OUT        output JSON path                 (default: BENCH_micro.json)
+#   REPS       --benchmark_repetitions          (default: 5)
+#   MIN_TIME   --benchmark_min_time per rep     (default: 0.05; newer
+#              google-benchmark releases also accept a "0.05s" suffix)
+#   FILTER     --benchmark_filter regex         (default: all benchmarks)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_micro.json}"
+REPS="${REPS:-5}"
+MIN_TIME="${MIN_TIME:-0.05}"
+FILTER="${FILTER:-.*}"
+
+if [ ! -x "${BUILD_DIR}/bench/micro_perf" ]; then
+  cmake -B "${BUILD_DIR}" -S .
+  cmake --build "${BUILD_DIR}" --target micro_perf
+fi
+
+"${BUILD_DIR}/bench/micro_perf" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_out_format=json \
+  --benchmark_out="${OUT}"
+
+echo "wrote ${OUT}"

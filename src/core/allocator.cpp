@@ -48,7 +48,11 @@ double spread_over(const std::vector<double>& values,
 
 ResourceDirectedAllocator::ResourceDirectedAllocator(const CostModel& model,
                                                      AllocatorOptions options)
-    : model_(model), options_(options) {
+    : model_(model),
+      options_(options),
+      groups_(model.constraint_groups()),
+      caps_(model.upper_bounds()),
+      dim_(model.dimension()) {
   FAP_EXPECTS(options_.alpha > 0.0, "step size must be positive");
   FAP_EXPECTS(options_.epsilon > 0.0, "epsilon must be positive");
   FAP_EXPECTS(options_.max_iterations > 0, "need at least one iteration");
@@ -78,7 +82,61 @@ double ResourceDirectedAllocator::dynamic_alpha_bound(
   return 2.0 * numerator / denominator;
 }
 
+double ResourceDirectedAllocator::dynamic_alpha_bound_cached(
+    const std::vector<std::size_t>& active) const {
+  // Same arithmetic as dynamic_alpha_bound, reading the derivatives already
+  // computed into the workspace for the current allocation.
+  const double avg = mean_over(ws_.du, active);
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (const std::size_t i : active) {
+    const double dev = ws_.du[i] - avg;
+    numerator += dev * dev;
+    denominator += std::fabs(ws_.d2c[i]) * dev * dev;
+  }
+  if (denominator <= 0.0) {
+    return options_.alpha;
+  }
+  return 2.0 * numerator / denominator;
+}
+
+void ResourceDirectedAllocator::check_feasible_cached(
+    const std::vector<double>& x) const {
+  // CostModel::check_feasible against the cached constraint structure:
+  // identical checks, messages, and default tolerance, but no
+  // constraint_groups()/upper_bounds() round trips.
+  constexpr double tol = 1e-9;
+  FAP_EXPECTS(x.size() == dim_, "allocation has wrong dimension");
+  for (const double xi : x) {
+    FAP_EXPECTS(xi >= -tol, "allocation must be non-negative");
+  }
+  if (!caps_.empty()) {
+    FAP_EXPECTS(caps_.size() == x.size(),
+                "one upper bound per variable when bounds are present");
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      FAP_EXPECTS(x[i] <= caps_[i] + tol,
+                  "allocation exceeds a storage capacity");
+    }
+  }
+  for (const ConstraintGroup& group : groups_) {
+    double sum = 0.0;
+    for (const std::size_t i : group.indices) {
+      FAP_EXPECTS(i < x.size(), "constraint index out of range");
+      sum += x[i];
+    }
+    FAP_EXPECTS(std::fabs(sum - group.total) <= tol,
+                "allocation violates a resource-conservation constraint");
+  }
+}
+
 std::vector<std::size_t> ResourceDirectedAllocator::active_set(
+    const ConstraintGroup& group, const std::vector<double>& x,
+    const std::vector<double>& marginal_u, double alpha) const {
+  active_set_fast(group, x, marginal_u, alpha);
+  return ws_.active;
+}
+
+std::vector<std::size_t> ResourceDirectedAllocator::active_set_reference(
     const ConstraintGroup& group, const std::vector<double>& x,
     const std::vector<double>& marginal_u, double alpha) const {
   FAP_EXPECTS(!group.indices.empty(), "constraint group must be non-empty");
@@ -185,70 +243,302 @@ std::vector<std::size_t> ResourceDirectedAllocator::active_set(
   return active;
 }
 
-ResourceDirectedAllocator::StepOutcome ResourceDirectedAllocator::step(
-    const std::vector<double>& x) const {
-  model_.check_feasible(x);
-  const std::vector<double> du = model_.marginal_utilities(x);
-  const std::vector<ConstraintGroup> groups = model_.constraint_groups();
+void ResourceDirectedAllocator::active_set_fast(
+    const ConstraintGroup& group, const std::vector<double>& x,
+    const std::vector<double>& marginal_u, double alpha) const {
+  FAP_EXPECTS(!group.indices.empty(), "constraint group must be non-empty");
+  const std::vector<std::size_t>& members = group.indices;
+  const std::size_t m = members.size();
 
-  StepOutcome outcome;
-  outcome.x = x;
-
-  // First pass: determine the active set and step size per group and check
-  // the global termination criterion.
-  struct GroupPlan {
-    std::vector<std::size_t> active;
-    double alpha = 0.0;
+  const auto cap_of = [this](std::size_t i) {
+    return caps_.empty() ? std::numeric_limits<double>::infinity() : caps_[i];
   };
-  std::vector<GroupPlan> plans;
-  plans.reserve(groups.size());
+  const auto pinned = [&](std::size_t i, double d) {
+    if (x[i] <= kBoundaryTol && d < 0.0 && x[i] + d <= 0.0) {
+      return true;  // at the floor, being decreased
+    }
+    const double cap = cap_of(i);
+    return x[i] >= cap - kBoundaryTol && d > 0.0 && x[i] + d >= cap;
+  };
+
+  std::vector<std::size_t>& active = ws_.active;
+  active.clear();
+
+  // Step (i): the reference recomputes mean_over(marginal_u, group.indices)
+  // for every candidate; the sum is the same left-to-right sum each time,
+  // so computing it once is bit-identical.
+  double sum_full = 0.0;
+  for (const std::size_t i : members) {
+    sum_full += marginal_u[i];
+  }
+  const double avg_full = sum_full / static_cast<double>(m);
+  for (const std::size_t i : members) {
+    const double d = alpha * (marginal_u[i] - avg_full);
+    if (!pinned(i, d)) {
+      active.push_back(i);
+    }
+  }
+
+  // Fast path: nobody pinned under the full-group average. The reference's
+  // round 0 is then a provable no-op — no outsiders exist to re-admit, and
+  // its drop pass recomputes the same left-to-right group sum and repeats
+  // exactly the pinned() checks step (i) just passed — so A is the whole
+  // group and the heaps are never needed. This is the steady state of an
+  // interior trajectory, which makes the per-iteration cost O(m) there.
+  if (active.size() == m) {
+    std::sort(active.begin(), active.end());
+    return;
+  }
+
+  // Membership bitmask (replaces the reference's std::find scans) and the
+  // variable -> group-position map used to re-enqueue dropped nodes.
+  ws_.in_active.assign(dim_, 0);
+  if (ws_.pos_in_group.size() != dim_) {
+    ws_.pos_in_group.resize(dim_);
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    ws_.pos_in_group[members[p]] = p;
+  }
+  for (const std::size_t i : active) {
+    ws_.in_active[i] = 1;
+  }
+
+  if (active.empty()) {
+    // Degenerate; keep the node with the highest marginal utility (first
+    // maximum in group order, as std::max_element returns).
+    std::size_t best = members.front();
+    for (const std::size_t i : members) {
+      if (marginal_u[i] > marginal_u[best]) {
+        best = i;
+      }
+    }
+    active.push_back(best);
+    ws_.in_active[best] = 1;
+  }
+
+  // Lazy re-admission heaps over group positions. Eligibility is a static
+  // property of x (strictly inside the respective bound), so each heap is
+  // built once; entries already re-admitted are skipped on pop. For the
+  // gainer heap (candidates with marginal > average) the re-admission gap
+  // grows with the marginal utility, so the best gainer is the max-du
+  // candidate; dually the best loser is the min-du candidate. Ties broken
+  // toward the earlier group position — the element the reference's
+  // position-ordered strict-improvement scan would settle on.
+  const auto gainer_less = [&](std::size_t a, std::size_t b) {
+    const double da = marginal_u[members[a]];
+    const double db = marginal_u[members[b]];
+    if (da != db) {
+      return da < db;
+    }
+    return a > b;
+  };
+  const auto loser_less = [&](std::size_t a, std::size_t b) {
+    const double da = marginal_u[members[a]];
+    const double db = marginal_u[members[b]];
+    if (da != db) {
+      return da > db;
+    }
+    return a > b;
+  };
+  std::vector<std::size_t>& gainers = ws_.gainer_heap;
+  std::vector<std::size_t>& losers = ws_.loser_heap;
+  gainers.clear();
+  losers.clear();
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::size_t j = members[p];
+    if (x[j] < cap_of(j) - kBoundaryTol) {
+      gainers.push_back(p);
+    }
+    if (x[j] > kBoundaryTol) {
+      losers.push_back(p);
+    }
+  }
+  std::make_heap(gainers.begin(), gainers.end(), gainer_less);
+  std::make_heap(losers.begin(), losers.end(), loser_less);
+
+  // Pops stale (already-active) entries, then returns the top position, or
+  // m when the heap has no live candidate.
+  const auto peek = [&](std::vector<std::size_t>& heap,
+                        const auto& less) -> std::size_t {
+    while (!heap.empty() && ws_.in_active[members[heap.front()]] != 0) {
+      std::pop_heap(heap.begin(), heap.end(), less);
+      heap.pop_back();
+    }
+    return heap.empty() ? m : heap.front();
+  };
+
+  const std::size_t round_limit = 2 * m + 2;
+  std::vector<std::size_t>& survivors = ws_.survivors;
+  for (std::size_t round = 0; round < round_limit; ++round) {
+    bool changed = false;
+
+    // Running sum of the active marginal utilities, rebuilt in the active
+    // vector's insertion order so every mean below reproduces the
+    // reference's fresh left-to-right mean_over bit for bit (appending the
+    // admitted node's term to the running sum IS the next left-to-right
+    // sum, because the node is appended at the end).
+    double sum_active = 0.0;
+    for (const std::size_t i : active) {
+      sum_active += marginal_u[i];
+    }
+
+    // Re-admission: largest |marginal - average| eligible node first.
+    for (;;) {
+      const double avg = sum_active / static_cast<double>(active.size());
+      const std::size_t gp = peek(gainers, gainer_less);
+      const std::size_t lp = peek(losers, loser_less);
+      double gainer_gap = 0.0;
+      double loser_gap = 0.0;
+      if (gp < m) {
+        const double gap = marginal_u[members[gp]] - avg;
+        if (gap > 0.0) {
+          gainer_gap = gap;  // == fabs(gap)
+        }
+      }
+      if (lp < m) {
+        const double gap = marginal_u[members[lp]] - avg;
+        if (gap < 0.0) {
+          loser_gap = std::fabs(gap);
+        }
+      }
+      std::size_t best_pos = m;
+      if (gainer_gap > 0.0 || loser_gap > 0.0) {
+        if (gainer_gap > loser_gap) {
+          best_pos = gp;
+        } else if (loser_gap > gainer_gap) {
+          best_pos = lp;
+        } else {
+          // Exact cross-class tie: the reference's scan keeps the first
+          // (smallest-position) candidate attaining the maximum.
+          best_pos = std::min(gp, lp);
+        }
+      }
+      if (best_pos == m) {
+        break;
+      }
+      const std::size_t j = members[best_pos];
+      active.push_back(j);
+      ws_.in_active[j] = 1;
+      sum_active += marginal_u[j];
+      changed = true;
+    }
+
+    // Drop: members whose recomputed Δx pins them at a boundary. Dropped
+    // nodes go back into the candidate heaps (duplicates are fine — stale
+    // copies are skipped on pop).
+    const double avg = sum_active / static_cast<double>(active.size());
+    survivors.clear();
+    for (const std::size_t i : active) {
+      const double d = alpha * (marginal_u[i] - avg);
+      if (pinned(i, d)) {
+        changed = true;
+        ws_.in_active[i] = 0;
+        const std::size_t p = ws_.pos_in_group[i];
+        if (x[i] < cap_of(i) - kBoundaryTol) {
+          gainers.push_back(p);
+          std::push_heap(gainers.begin(), gainers.end(), gainer_less);
+        }
+        if (x[i] > kBoundaryTol) {
+          losers.push_back(p);
+          std::push_heap(losers.begin(), losers.end(), loser_less);
+        }
+        continue;
+      }
+      survivors.push_back(i);
+    }
+    if (survivors.empty()) {
+      // Everyone is a violator only in degenerate corner cases; keep the
+      // best node defensively (first maximum in the pre-drop active order).
+      std::size_t best = active.front();
+      for (const std::size_t i : active) {
+        if (marginal_u[i] > marginal_u[best]) {
+          best = i;
+        }
+      }
+      survivors.push_back(best);
+      ws_.in_active[best] = 1;
+    }
+    std::swap(active, survivors);
+
+    if (!changed) {
+      break;
+    }
+  }
+  std::sort(active.begin(), active.end());
+}
+
+ResourceDirectedAllocator::StepStats ResourceDirectedAllocator::step_into(
+    const std::vector<double>& x, std::vector<double>& x_out) const {
+  check_feasible_cached(x);
+  model_.marginal_utilities_into(x, ws_.du);
+  if (options_.step_rule == StepRule::kDynamic) {
+    model_.second_derivative_into(x, ws_.d2c);
+  }
+
+  const std::size_t n_groups = groups_.size();
+  if (ws_.group_active.size() != n_groups) {
+    ws_.group_active.resize(n_groups);
+  }
+  ws_.group_alpha.assign(n_groups, 0.0);
+
+  StepStats stats;
   bool all_within_epsilon = true;
   double max_spread = 0.0;
 
-  for (const ConstraintGroup& group : groups) {
-    GroupPlan plan;
+  // First pass: determine the active set and step size per group and check
+  // the global termination criterion.
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const ConstraintGroup& group = groups_[g];
     // Provisional step size for set-A determination; for the dynamic rule
     // this uses the whole group, then is refined over the active set.
     double alpha = options_.alpha;
     if (options_.step_rule == StepRule::kDynamic) {
-      alpha = options_.dynamic_safety * dynamic_alpha_bound(x, group.indices);
+      alpha =
+          options_.dynamic_safety * dynamic_alpha_bound_cached(group.indices);
     }
-    plan.active = active_set(group, x, du, alpha);
+    std::vector<std::size_t>& active = ws_.group_active[g];
+    if (options_.use_reference_active_set) {
+      active = active_set_reference(group, x, ws_.du, alpha);
+    } else {
+      active_set_fast(group, x, ws_.du, alpha);
+      active = ws_.active;
+    }
     if (options_.step_rule == StepRule::kDynamic) {
-      alpha = options_.dynamic_safety * dynamic_alpha_bound(x, plan.active);
+      alpha = options_.dynamic_safety * dynamic_alpha_bound_cached(active);
     }
-    plan.alpha = alpha;
+    ws_.group_alpha[g] = alpha;
 
-    const double spread = spread_over(du, plan.active);
+    const double spread = spread_over(ws_.du, active);
     max_spread = std::max(max_spread, spread);
     if (spread >= options_.epsilon) {
       all_within_epsilon = false;
     }
-    outcome.active_set_size += plan.active.size();
-    plans.push_back(std::move(plan));
+    stats.active_set_size += active.size();
   }
 
-  outcome.marginal_spread = max_spread;
+  stats.marginal_spread = max_spread;
+  x_out = x;
   if (all_within_epsilon) {
-    outcome.terminal = true;
-    return outcome;
+    stats.terminal = true;
+    return stats;
   }
 
   // Second pass: apply Δx_i = α (∂U/∂x_i - avg_A) per group, scaled by the
   // largest θ ∈ (0,1] that keeps the group within [0, cap].
-  const std::vector<double> caps = model_.upper_bounds();
-  const auto cap_of = [&caps](std::size_t i) {
-    return caps.empty() ? std::numeric_limits<double>::infinity() : caps[i];
+  const auto cap_of = [this](std::size_t i) {
+    return caps_.empty() ? std::numeric_limits<double>::infinity() : caps_[i];
   };
   double alpha_used = 0.0;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    const GroupPlan& plan = plans[g];
-    const double avg = mean_over(du, plan.active);
-    std::vector<double> deltas(plan.active.size());
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const std::vector<std::size_t>& active = ws_.group_active[g];
+    const double group_alpha = ws_.group_alpha[g];
+    const double avg = mean_over(ws_.du, active);
+    std::vector<double>& deltas = ws_.deltas;
+    deltas.assign(active.size(), 0.0);
     double theta = 1.0;
-    for (std::size_t idx = 0; idx < plan.active.size(); ++idx) {
-      const std::size_t i = plan.active[idx];
-      deltas[idx] = plan.alpha * (du[i] - avg);
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+      const std::size_t i = active[idx];
+      deltas[idx] = group_alpha * (ws_.du[i] - avg);
       if (deltas[idx] < 0.0 && x[i] + deltas[idx] < 0.0) {
         theta = std::min(theta, x[i] / -deltas[idx]);
       }
@@ -258,55 +548,69 @@ ResourceDirectedAllocator::StepOutcome ResourceDirectedAllocator::step(
       }
     }
     theta = std::max(theta, 0.0);
-    for (std::size_t idx = 0; idx < plan.active.size(); ++idx) {
-      const std::size_t i = plan.active[idx];
-      outcome.x[i] = x[i] + theta * deltas[idx];
-      if (outcome.x[i] < 0.0) {
-        outcome.x[i] = 0.0;  // absorb floating-point dust
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+      const std::size_t i = active[idx];
+      x_out[i] = x[i] + theta * deltas[idx];
+      if (x_out[i] < 0.0) {
+        x_out[i] = 0.0;  // absorb floating-point dust
       }
-      if (outcome.x[i] > cap_of(i)) {
-        outcome.x[i] = cap_of(i);
+      if (x_out[i] > cap_of(i)) {
+        x_out[i] = cap_of(i);
       }
     }
-    alpha_used = std::max(alpha_used, theta * plan.alpha);
+    alpha_used = std::max(alpha_used, theta * group_alpha);
   }
-  outcome.alpha_used = alpha_used;
+  stats.alpha_used = alpha_used;
+  return stats;
+}
+
+ResourceDirectedAllocator::StepOutcome ResourceDirectedAllocator::step(
+    const std::vector<double>& x) const {
+  StepOutcome outcome;
+  const StepStats stats = step_into(x, outcome.x);
+  outcome.terminal = stats.terminal;
+  outcome.marginal_spread = stats.marginal_spread;
+  outcome.active_set_size = stats.active_set_size;
+  outcome.alpha_used = stats.alpha_used;
   return outcome;
 }
 
 AllocationResult ResourceDirectedAllocator::run(
     std::vector<double> initial) const {
-  model_.check_feasible(initial);
+  check_feasible_cached(initial);
   AllocationResult result;
   result.x = std::move(initial);
 
-  auto record = [&](std::size_t iteration, const StepOutcome& outcome) {
+  auto record = [&](std::size_t iteration, const StepStats& stats) {
     if (!options_.record_trace) {
       return;
     }
     IterationRecord rec;
     rec.iteration = iteration;
     rec.cost = model_.cost(result.x);
-    rec.alpha = outcome.terminal ? 0.0 : outcome.alpha_used;
-    rec.active_set_size = outcome.active_set_size;
-    rec.marginal_spread = outcome.marginal_spread;
+    rec.alpha = stats.terminal ? 0.0 : stats.alpha_used;
+    rec.active_set_size = stats.active_set_size;
+    rec.marginal_spread = stats.marginal_spread;
     rec.x = result.x;
     result.trace.push_back(std::move(rec));
   };
 
+  // Steady state allocates nothing: each iteration steps result.x into the
+  // workspace's ping-pong buffer and swaps (trace recording, when enabled,
+  // copies by design).
   for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    StepOutcome outcome = step(result.x);
-    record(iter, outcome);
-    if (outcome.terminal) {
+    const StepStats stats = step_into(result.x, ws_.x_next);
+    record(iter, stats);
+    if (stats.terminal) {
       result.converged = true;
       break;
     }
-    result.x = std::move(outcome.x);
+    std::swap(result.x, ws_.x_next);
     ++result.iterations;
   }
   if (!result.converged && options_.record_trace) {
     // Record the final state reached at the iteration cap.
-    StepOutcome final_state;
+    StepStats final_state;
     final_state.terminal = true;
     record(result.iterations, final_state);
   }

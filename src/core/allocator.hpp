@@ -67,6 +67,12 @@ struct AllocatorOptions {
   /// second-order-optimal choice (the bound is the zero of the quadratic
   /// model of ΔU; half of it maximizes that quadratic).
   double dynamic_safety = 0.5;
+  /// Use the O(n²)-per-round reference active-set procedure
+  /// (active_set_reference) instead of the incremental O(n log n) one.
+  /// The two are decision-for-decision identical; this switch exists so
+  /// the equivalence tests (and any future debugging) can pin the fast
+  /// path against the literal Section 5.2 transcription.
+  bool use_reference_active_set = false;
 };
 
 /// State of one iteration, as recorded in the trace. Entry 0 describes the
@@ -121,10 +127,25 @@ class ResourceDirectedAllocator {
   /// allocation and marginal utilities, following steps (i)-(v). Exposed
   /// for white-box tests. Returned indices are positions into
   /// `group.indices`' index space (i.e. variable indices).
+  ///
+  /// This is the fast path: a membership bitmask plus running sums of the
+  /// active marginal utilities (O(1) mean updates) and two lazy heaps over
+  /// the excluded nodes (O(log n) best-|gap| re-admission), replacing the
+  /// reference procedure's per-candidate linear scans. Its decisions —
+  /// and, by construction, the floating-point values every decision is
+  /// based on — are identical to active_set_reference.
   std::vector<std::size_t> active_set(const ConstraintGroup& group,
                                       const std::vector<double>& x,
                                       const std::vector<double>& marginal_u,
                                       double alpha) const;
+
+  /// The literal steps (i)-(v) transcription (linear membership scans,
+  /// re-averaged means): O(n²) per drop/re-admit round. Kept as the
+  /// equivalence oracle for active_set; not used on any hot path unless
+  /// AllocatorOptions::use_reference_active_set is set.
+  std::vector<std::size_t> active_set_reference(
+      const ConstraintGroup& group, const std::vector<double>& x,
+      const std::vector<double>& marginal_u, double alpha) const;
 
   const AllocatorOptions& options() const noexcept { return options_; }
 
@@ -134,8 +155,68 @@ class ResourceDirectedAllocator {
                              const std::vector<std::size_t>& active) const;
 
  private:
+  /// Reusable scratch memory. Every vector is sized on first use and then
+  /// only ever shrunk/refilled in place, so steady-state step()/run()
+  /// perform no heap allocations (for models that implement the
+  /// *_into derivative hooks, e.g. SingleFileModel). Because the
+  /// workspace is mutated from const entry points it makes a single
+  /// allocator instance non-reentrant: concurrent step()/run() calls on
+  /// the SAME instance race — give each thread its own allocator (the
+  /// runtime sweeps already construct per-task allocators).
+  struct Workspace {
+    std::vector<double> du;              ///< marginal utilities at x
+    std::vector<double> d2c;             ///< second derivatives (kDynamic)
+    std::vector<double> deltas;          ///< per-active-node Δx of one group
+    std::vector<double> x_next;          ///< run()'s ping-pong buffer
+    std::vector<std::size_t> active;     ///< active set under construction
+    std::vector<std::size_t> survivors;  ///< drop-pass output
+    std::vector<unsigned char> in_active;  ///< membership bitmask by variable
+    std::vector<std::size_t> pos_in_group;  ///< variable -> group position
+    /// Lazy re-admission heaps: candidate positions into group.indices,
+    /// keyed on marginal utility (max-du for boundary gainers, min-du for
+    /// boundary losers), ties broken toward the earlier group position —
+    /// the reference scan order.
+    std::vector<std::size_t> gainer_heap;
+    std::vector<std::size_t> loser_heap;
+    /// Per-group active sets and step sizes of the step() first pass.
+    std::vector<std::vector<std::size_t>> group_active;
+    std::vector<double> group_alpha;
+  };
+
+  /// Per-step bookkeeping shared by step() and run()'s in-place loop.
+  struct StepStats {
+    bool terminal = false;
+    double marginal_spread = 0.0;
+    std::size_t active_set_size = 0;
+    double alpha_used = 0.0;
+  };
+
+  /// One iteration from `x` into `x_out` (unchanged copy of x when the
+  /// termination criterion already holds). `x_out` must not alias `x`.
+  StepStats step_into(const std::vector<double>& x,
+                      std::vector<double>& x_out) const;
+
+  /// check_feasible against the cached groups/caps — no allocation.
+  void check_feasible_cached(const std::vector<double>& x) const;
+
+  /// Fast-path implementation of active_set, writing into ws_.active.
+  void active_set_fast(const ConstraintGroup& group,
+                       const std::vector<double>& x,
+                       const std::vector<double>& marginal_u,
+                       double alpha) const;
+
+  /// dynamic_alpha_bound evaluated from the workspace's du/d2c (already
+  /// computed for the current x) instead of re-querying the model.
+  double dynamic_alpha_bound_cached(
+      const std::vector<std::size_t>& active) const;
+
   const CostModel& model_;
   AllocatorOptions options_;
+  /// Constraint structure and bounds are fixed per model; query them once.
+  std::vector<ConstraintGroup> groups_;
+  std::vector<double> caps_;
+  std::size_t dim_ = 0;
+  mutable Workspace ws_;
 };
 
 }  // namespace fap::core

@@ -15,6 +15,14 @@ std::vector<double> CostModel::marginal_utilities(
   return grad;
 }
 
+void CostModel::marginal_utilities_into(const std::vector<double>& x,
+                                        std::vector<double>& out) const {
+  gradient_into(x, out);
+  for (double& g : out) {
+    g = -g;
+  }
+}
+
 void CostModel::check_feasible(const std::vector<double>& x,
                                double tol) const {
   FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");

@@ -59,11 +59,32 @@ class CostModel {
   virtual std::vector<double> second_derivative(
       const std::vector<double>& x) const = 0;
 
+  /// Writes gradient(x) into `out` (resized as needed). Models on hot
+  /// paths override this to fill the caller's buffer without allocating;
+  /// the default falls back to the allocating gradient(). Overrides must
+  /// produce bit-identical values to gradient().
+  virtual void gradient_into(const std::vector<double>& x,
+                             std::vector<double>& out) const {
+    out = gradient(x);
+  }
+
+  /// Buffer-filling variant of second_derivative(); same contract as
+  /// gradient_into.
+  virtual void second_derivative_into(const std::vector<double>& x,
+                                      std::vector<double>& out) const {
+    out = second_derivative(x);
+  }
+
   /// Utility of Eq. 2.
   double utility(const std::vector<double>& x) const { return -cost(x); }
 
   /// Marginal utilities ∂U/∂x_i = -∂C/∂x_i.
   std::vector<double> marginal_utilities(const std::vector<double>& x) const;
+
+  /// Buffer-filling variant of marginal_utilities(); allocation-free when
+  /// the model overrides gradient_into.
+  void marginal_utilities_into(const std::vector<double>& x,
+                               std::vector<double>& out) const;
 
   /// Throws PreconditionError unless x has the right dimension, is
   /// non-negative, and satisfies every constraint group to within `tol`.

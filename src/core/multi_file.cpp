@@ -29,13 +29,19 @@ MultiFileModel::MultiFileModel(MultiFileProblem problem)
     file_rate_.push_back(rate_f);
     total_rate += rate_f;
 
+    // Row-major accumulation through the unchecked row accessor: per
+    // destination i the additions still happen in increasing j, so the
+    // totals are bit-identical to the column-major double loop.
     std::vector<double> costs(node_count_, 0.0);
-    for (std::size_t i = 0; i < node_count_; ++i) {
-      double weighted = 0.0;
-      for (std::size_t j = 0; j < node_count_; ++j) {
-        weighted += lambda_f[j] * problem_.comm.cost(j, i);
+    for (std::size_t j = 0; j < node_count_; ++j) {
+      const double rate = lambda_f[j];
+      const double* row = problem_.comm.row(j);
+      for (std::size_t i = 0; i < node_count_; ++i) {
+        costs[i] += rate * row[i];
       }
-      costs[i] = weighted / rate_f;
+    }
+    for (double& c : costs) {
+      c /= rate_f;
     }
     access_cost_.push_back(std::move(costs));
   }

@@ -110,14 +110,21 @@ SingleFileModel::SingleFileModel(SingleFileProblem problem)
                                          : problem_.comm_weight_rates;
   FAP_EXPECTS(omega.size() == n, "comm weight rates must match node count");
 
-  // C_i = Σ_j (ω_j / λ) c_ji.
+  // C_i = Σ_j (ω_j / λ) c_ji. Accumulated row-major (j outer) through the
+  // unchecked row accessor: per destination i the additions still happen in
+  // increasing j, so the totals are bit-identical to the column-major
+  // double loop, but each row of the O(n²) matrix is walked contiguously
+  // and without per-element bounds checks.
   access_cost_.assign(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    double weighted = 0.0;
-    for (std::size_t j = 0; j < n; ++j) {
-      weighted += omega[j] * problem_.comm.cost(j, i);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double weight = omega[j];
+    const double* row = problem_.comm.row(j);
+    for (std::size_t i = 0; i < n; ++i) {
+      access_cost_[i] += weight * row[i];
     }
-    access_cost_[i] = weighted / total_rate_;
+  }
+  for (double& c : access_cost_) {
+    c /= total_rate_;
   }
 }
 
@@ -148,32 +155,44 @@ double SingleFileModel::cost(const std::vector<double>& x) const {
 
 std::vector<double> SingleFileModel::gradient(
     const std::vector<double>& x) const {
+  std::vector<double> grad;
+  gradient_into(x, grad);
+  return grad;
+}
+
+void SingleFileModel::gradient_into(const std::vector<double>& x,
+                                    std::vector<double>& out) const {
   FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
-  std::vector<double> grad(x.size(), 0.0);
+  out.assign(x.size(), 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double a = total_rate_ * x[i];
     const double mu = problem_.mu[i];
     // d/dx [ x (C_i + k T(λx)) ] = C_i + k T(λx) + k λ x T'(λx)
-    grad[i] = access_cost_[i] +
-              problem_.k * (problem_.delay.sojourn(a, mu) +
-                            a * problem_.delay.d_sojourn(a, mu));
+    out[i] = access_cost_[i] +
+             problem_.k * (problem_.delay.sojourn(a, mu) +
+                           a * problem_.delay.d_sojourn(a, mu));
   }
-  return grad;
 }
 
 std::vector<double> SingleFileModel::second_derivative(
     const std::vector<double>& x) const {
+  std::vector<double> hess;
+  second_derivative_into(x, hess);
+  return hess;
+}
+
+void SingleFileModel::second_derivative_into(const std::vector<double>& x,
+                                             std::vector<double>& out) const {
   FAP_EXPECTS(x.size() == dimension(), "allocation has wrong dimension");
-  std::vector<double> hess(x.size(), 0.0);
+  out.assign(x.size(), 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
     const double a = total_rate_ * x[i];
     const double mu = problem_.mu[i];
     // d²/dx² = λ (2 k T'(λx) + k λ x T''(λx))
-    hess[i] = total_rate_ * problem_.k *
-              (2.0 * problem_.delay.d_sojourn(a, mu) +
-               a * problem_.delay.d2_sojourn(a, mu));
+    out[i] = total_rate_ * problem_.k *
+             (2.0 * problem_.delay.d_sojourn(a, mu) +
+              a * problem_.delay.d2_sojourn(a, mu));
   }
-  return hess;
 }
 
 double SingleFileModel::access_cost(std::size_t i) const {

@@ -103,6 +103,10 @@ class SingleFileModel : public CostModel {
   std::vector<double> gradient(const std::vector<double>& x) const override;
   std::vector<double> second_derivative(
       const std::vector<double>& x) const override;
+  void gradient_into(const std::vector<double>& x,
+                     std::vector<double>& out) const override;
+  void second_derivative_into(const std::vector<double>& x,
+                              std::vector<double>& out) const override;
 
   const SingleFileProblem& problem() const noexcept { return problem_; }
 

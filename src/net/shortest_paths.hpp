@@ -10,6 +10,10 @@
 
 #include "net/topology.hpp"
 
+namespace fap::runtime {
+class ThreadPool;
+}  // namespace fap::runtime
+
 namespace fap::net {
 
 /// Dense communication-cost matrix: cost(i, j) is the cost of one access
@@ -21,6 +25,21 @@ class CostMatrix {
   std::size_t node_count() const noexcept { return n_; }
   double cost(NodeId i, NodeId j) const;
   void set_cost(NodeId i, NodeId j, double cost);
+
+  /// Unchecked element access for validated inner loops (the checked
+  /// cost() pays a bounds FAP_EXPECTS per element, which dominates O(n²)
+  /// accumulations). Precondition: i < node_count() && j < node_count().
+  double operator()(NodeId i, NodeId j) const noexcept {
+    return data_[i * n_ + j];
+  }
+
+  /// Row i as a contiguous [node_count()]-length span (row-major storage):
+  /// c_ij = row(i)[j]. Precondition: i < node_count().
+  const double* row(NodeId i) const noexcept { return data_.data() + i * n_; }
+
+  /// Mutable row access for bulk writers (the APSP kernel fills each
+  /// source's row in place). Same precondition as row().
+  double* mutable_row(NodeId i) noexcept { return data_.data() + i * n_; }
 
   /// Largest finite entry; used for α-bound computations.
   double max_cost() const noexcept;
@@ -34,6 +53,12 @@ class CostMatrix {
 /// Dijkstra's algorithm from every source. Requires a connected topology
 /// (disconnected pairs would make file access impossible).
 CostMatrix all_pairs_shortest_paths(const Topology& topology);
+
+/// Parallel variant: fans the per-source Dijkstra runs over the pool's
+/// workers. Each source writes a disjoint row, so the result is
+/// byte-identical to the serial overload for every topology.
+CostMatrix all_pairs_shortest_paths(const Topology& topology,
+                                    runtime::ThreadPool& pool);
 
 /// Single-source Dijkstra; returns distances from `source` to every node
 /// (infinity for unreachable nodes). Exposed separately for routing in the
@@ -51,6 +76,11 @@ std::vector<NodeId> dijkstra_next_hops(const Topology& topology,
 /// transport (per-hop latency).
 std::vector<std::vector<std::size_t>> route_hop_counts(
     const Topology& topology);
+
+/// Parallel variant of route_hop_counts; per-source rows are independent,
+/// so the result is byte-identical to the serial overload.
+std::vector<std::vector<std::size_t>> route_hop_counts(
+    const Topology& topology, runtime::ThreadPool& pool);
 
 inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
 

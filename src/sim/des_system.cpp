@@ -7,6 +7,7 @@
 #include <random>
 #include <unordered_map>
 
+#include "sim/alias_sampler.hpp"
 #include "util/contracts.hpp"
 #include "util/rng.hpp"
 
@@ -37,33 +38,6 @@ struct Event {
     }
     return seq > other.seq;
   }
-};
-
-// Cumulative-distribution sampler over a routing row.
-class RowSampler {
- public:
-  explicit RowSampler(const std::vector<double>& weights) {
-    cumulative_.reserve(weights.size());
-    double sum = 0.0;
-    for (const double w : weights) {
-      FAP_EXPECTS(w >= -1e-12, "routing weights must be non-negative");
-      sum += std::max(w, 0.0);
-      cumulative_.push_back(sum);
-    }
-    FAP_EXPECTS(std::fabs(sum - 1.0) < 1e-6,
-                "routing row must sum to 1 (every access must be served "
-                "somewhere)");
-    cumulative_.back() = 1.0;  // absorb floating-point dust
-  }
-
-  std::size_t sample(double u) const {
-    const auto it =
-        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-    return static_cast<std::size_t>(it - cumulative_.begin());
-  }
-
- private:
-  std::vector<double> cumulative_;
 };
 
 struct Server {
@@ -104,7 +78,7 @@ struct DesSystem::Impl {
   util::Rng rng;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
   std::uint64_t seq = 0;
-  std::vector<RowSampler> samplers;
+  std::vector<AliasSampler> samplers;
   std::vector<Server> servers;
   std::gamma_distribution<double> gamma;
   /// Per-node server busy time accumulated (on departures) since the
@@ -157,7 +131,7 @@ struct DesSystem::Impl {
   void rebuild_samplers(const std::vector<std::vector<double>>& routing) {
     FAP_EXPECTS(routing.size() == config.lambda.size(),
                 "routing size mismatch");
-    std::vector<RowSampler> fresh;
+    std::vector<AliasSampler> fresh;
     fresh.reserve(routing.size());
     for (const std::vector<double>& row : routing) {
       FAP_EXPECTS(row.size() == config.lambda.size(),

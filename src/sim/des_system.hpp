@@ -19,6 +19,20 @@
 
 namespace fap::sim {
 
+/// Revision of the routing-sampler implementation shared by run_des() and
+/// DesSystem. The sampled distribution is pinned by tests across
+/// revisions, but the map from a uniform draw to a concrete target is
+/// not: changing it re-routes individual accesses, so per-seed event
+/// sequences — and every concrete number a fixed-seed DES run produces
+/// (e.g. the EXPERIMENTS.md §A4 error percentages) — shift within their
+/// statistical tolerances whenever this constant is bumped.
+///
+/// Revision history:
+///   1 — cumulative-distribution row sampler (binary search per draw).
+///   2 — Walker/Vose alias table (alias_sampler.hpp): O(1) per draw, same
+///       one-uniform-per-sample stream alignment.
+inline constexpr int kDesRoutingSamplerRevision = 2;
+
 /// Statistics for the current observation window. Only accesses that
 /// *arrived* after the window opened are counted, so a freshly reset
 /// window is not polluted by the tail of the previous regime.

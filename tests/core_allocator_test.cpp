@@ -348,4 +348,140 @@ TEST(Allocator, ActiveSetExcludesOnlyBoundaryNodes) {
   EXPECT_TRUE(std::find(active2.begin(), active2.end(), 3u) == active2.end());
 }
 
+// --- Fast active set ≡ reference transcription ---------------------------
+//
+// The O(n log n) incremental active-set procedure claims *decision*
+// equivalence with the literal Section 5.2 transcription
+// (active_set_reference), not merely agreement in the limit. These
+// parameterized tests pin that claim across randomized instances: the two
+// procedures must return the same index set at the starting allocation,
+// and full runs driven by each must produce bit-identical trajectories.
+
+struct EquivalenceInstance {
+  core::SingleFileModel model;
+  std::vector<double> start;
+  double alpha = 0.3;
+};
+
+// Seeds cycle through three shapes: unconstrained with a random interior
+// start, capacity-constrained with a water-filled start (some variables
+// exactly at their cap — the ceiling-pinned boundary case), and
+// boundary-pinned starts with all mass on two nodes (the rest exactly 0).
+EquivalenceInstance equivalence_instance(std::uint64_t seed) {
+  const std::size_t nodes = 3 + seed % 14;
+  core::SingleFileProblem problem =
+      fap::testing::random_single_file_problem(seed, nodes);
+  fap::util::Rng rng(seed * 7919 + 1);
+  const std::uint64_t variant = seed % 3;
+  if (variant == 1) {
+    problem.storage_capacity.resize(nodes);
+    double total = 0.0;
+    for (double& cap : problem.storage_capacity) {
+      cap = rng.uniform(0.15, 0.9);
+      total += cap;
+    }
+    if (total < 1.1) {
+      for (double& cap : problem.storage_capacity) {
+        cap *= 1.1 / total;
+      }
+    }
+  }
+  core::SingleFileModel model(std::move(problem));
+  std::vector<double> start;
+  if (variant == 1) {
+    start = core::uniform_allocation(model);
+  } else if (variant == 2) {
+    start.assign(nodes, 0.0);
+    const std::size_t a = seed % nodes;
+    const std::size_t b = (seed / 3 + 1) % nodes;
+    if (a == b) {
+      start[a] = 1.0;
+    } else {
+      start[a] = 0.8;
+      start[b] = 0.2;
+    }
+  } else {
+    start = fap::testing::random_feasible(model, seed + 1000);
+  }
+  return {std::move(model), std::move(start), rng.uniform(0.05, 1.0)};
+}
+
+class ActiveSetEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActiveSetEquivalenceTest, FastMatchesReferenceAtStart) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const EquivalenceInstance inst = equivalence_instance(seed);
+  core::AllocatorOptions options;
+  options.alpha = inst.alpha;
+  const core::ResourceDirectedAllocator allocator(inst.model, options);
+  const std::vector<double> du = inst.model.marginal_utilities(inst.start);
+  for (const core::ConstraintGroup& group : inst.model.constraint_groups()) {
+    EXPECT_EQ(allocator.active_set(group, inst.start, du, inst.alpha),
+              allocator.active_set_reference(group, inst.start, du,
+                                             inst.alpha))
+        << "seed=" << seed;
+  }
+}
+
+TEST_P(ActiveSetEquivalenceTest, RunTrajectoriesAreBitIdentical) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const EquivalenceInstance inst = equivalence_instance(seed);
+  core::AllocatorOptions options;
+  options.alpha = inst.alpha;
+  options.epsilon = 1e-4;
+  options.max_iterations = 300;
+  options.record_trace = true;
+  // Exercise the dynamic step rule on a third of the seeds: it feeds the
+  // active set back into the α computation, so a divergence would compound.
+  if (seed % 3 == 0) {
+    options.step_rule = core::StepRule::kDynamic;
+  }
+  const core::ResourceDirectedAllocator fast(inst.model, options);
+  options.use_reference_active_set = true;
+  const core::ResourceDirectedAllocator reference(inst.model, options);
+
+  const core::AllocationResult a = fast.run(inst.start);
+  const core::AllocationResult b = reference.run(inst.start);
+  ASSERT_EQ(a.iterations, b.iterations) << "seed=" << seed;
+  ASSERT_EQ(a.converged, b.converged) << "seed=" << seed;
+  EXPECT_EQ(a.x, b.x) << "seed=" << seed;  // element-wise bitwise equality
+  EXPECT_EQ(a.cost, b.cost) << "seed=" << seed;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << "seed=" << seed;
+  for (std::size_t t = 0; t < a.trace.size(); ++t) {
+    EXPECT_EQ(a.trace[t].x, b.trace[t].x) << "seed=" << seed << " it=" << t;
+    EXPECT_EQ(a.trace[t].alpha, b.trace[t].alpha)
+        << "seed=" << seed << " it=" << t;
+    EXPECT_EQ(a.trace[t].active_set_size, b.trace[t].active_set_size)
+        << "seed=" << seed << " it=" << t;
+    EXPECT_EQ(a.trace[t].marginal_spread, b.trace[t].marginal_spread)
+        << "seed=" << seed << " it=" << t;
+  }
+}
+
+// 200 randomized instances (the two TEST_Ps above share them), covering
+// unconstrained, capacity-constrained, and boundary-pinned shapes.
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ActiveSetEquivalenceTest,
+                         ::testing::Range(1, 201));
+
+TEST(Allocator, StepMatchesBetweenFastAndReferencePaths) {
+  // One explicit capacity-pinned corner: a variable exactly at its cap
+  // with above-average marginal utility must be excluded identically by
+  // both procedures.
+  core::SingleFileProblem problem =
+      fap::testing::random_single_file_problem(42, 6);
+  problem.storage_capacity = {0.3, 0.3, 0.3, 0.3, 0.3, 0.3};
+  const core::SingleFileModel model(std::move(problem));
+  core::AllocatorOptions options;
+  options.alpha = 0.5;
+  const core::ResourceDirectedAllocator fast(model, options);
+  options.use_reference_active_set = true;
+  const core::ResourceDirectedAllocator reference(model, options);
+  const std::vector<double> x{0.3, 0.3, 0.3, 0.1, 0.0, 0.0};
+  const auto a = fast.step(x);
+  const auto b = reference.step(x);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.active_set_size, b.active_set_size);
+  EXPECT_EQ(a.alpha_used, b.alpha_used);
+}
+
 }  // namespace
