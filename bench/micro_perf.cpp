@@ -16,8 +16,10 @@
 #include "fs/weighted_assignment.hpp"
 #include "net/generators.hpp"
 #include "net/shortest_paths.hpp"
+#include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/des.hpp"
+#include "sim/des_system.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -159,6 +161,85 @@ void BM_DesThroughput(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_DesThroughput)->Arg(10000)->Arg(100000);
+
+// A heavily loaded DES config: every node generates at unit rate, routing
+// spreads the traffic over all n holders, and per-node service rates are
+// sized so each server runs at utilization rho — the regime where queueing
+// (not idling) dominates and the event loop runs flat out.
+sim::DesConfig loaded_des_config(std::size_t n, double rho) {
+  util::Rng rng(29);
+  sim::DesConfig config;
+  config.lambda.assign(n, 1.0);
+  // Mildly skewed routing row (shared by every source) so the alias
+  // sampler walks a non-trivial table.
+  std::vector<double> row(n);
+  double total = 0.0;
+  for (double& w : row) {
+    w = rng.uniform(0.5, 1.5);
+    total += w;
+  }
+  for (double& w : row) {
+    w /= total;
+  }
+  config.routing.assign(n, row);
+  // Node i receives n * row[i] accesses per unit time; pin rho everywhere.
+  config.mu.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    config.mu[i] = static_cast<double>(n) * row[i] / rho;
+  }
+  util::Rng topology_rng(7);
+  const net::Topology topology =
+      n == 4 ? net::make_ring(n, 1.0)
+             : net::make_random_metric(n, 4, topology_rng);
+  const net::CostMatrix costs = net::all_pairs_shortest_paths(topology);
+  config.comm_cost.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      config.comm_cost[j][i] = costs(j, i);
+    }
+  }
+  return config;
+}
+
+// The DES event loop in steady state: one long-lived DesSystem advanced in
+// completion chunks, warmup and construction outside the timing loop. Arg
+// is the node count: 4 = paper-ring scale, 64 = a random-metric network
+// where routing rows and server state stop fitting in a handful of cache
+// lines. items/sec is measured completions/sec (each completion is >= 2
+// processed events: its generate + its departure).
+void BM_DesHotLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::DesSystem system(loaded_des_config(n, /*rho=*/0.9));
+  system.advance_until(200.0);  // past the fill-up transient
+  system.reset_window();
+  constexpr std::size_t kChunk = 10000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.advance_completions(kChunk));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kChunk));
+}
+BENCHMARK(BM_DesHotLoop)->Arg(4)->Arg(64);
+
+// The replication path run_des_replications takes (runtime::sweep, serial):
+// R independent warm-up-and-measure runs of one configuration. Exercises
+// whole-run engine setup/reuse rather than the steady-state loop alone.
+void BM_DesReplicationBatch(benchmark::State& state) {
+  sim::DesConfig config = loaded_des_config(4, /*rho=*/0.9);
+  config.warmup_time = 50.0;
+  config.measured_accesses = 20000;
+  constexpr std::size_t kReplications = 4;
+  runtime::SweepOptions options;
+  options.base_seed = 20260806;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_des_replications(config, kReplications, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kReplications) *
+                          static_cast<int64_t>(config.measured_accesses));
+}
+BENCHMARK(BM_DesReplicationBatch);
 
 void BM_FragmentMapLookup(benchmark::State& state) {
   const auto records = static_cast<std::size_t>(state.range(0));

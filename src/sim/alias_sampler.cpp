@@ -8,14 +8,18 @@
 namespace fap::sim {
 
 AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  rebuild(weights);
+}
+
+void AliasSampler::rebuild(const std::vector<double>& weights) {
   const std::size_t n = weights.size();
   FAP_EXPECTS(n >= 1, "alias table needs at least one outcome");
-  std::vector<double> scaled(n);
+  scaled_.resize(n);
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     FAP_EXPECTS(weights[i] >= -1e-12, "routing weights must be non-negative");
-    scaled[i] = std::max(weights[i], 0.0);
-    sum += scaled[i];
+    scaled_[i] = std::max(weights[i], 0.0);
+    sum += scaled_[i];
   }
   FAP_EXPECTS(std::fabs(sum - 1.0) < 1e-6,
               "routing row must sum to 1 (every access must be served "
@@ -24,33 +28,33 @@ AliasSampler::AliasSampler(const std::vector<double>& weights) {
   // Vose: scale each weight to mean 1, then repeatedly pair an
   // under-full bucket with an over-full one. Every bucket ends with its
   // own mass plus the top-up it donates to its alias.
-  for (double& w : scaled) {
+  for (double& w : scaled_) {
     w *= static_cast<double>(n) / sum;
   }
   accept_.assign(n, 1.0);
   alias_.resize(n);
-  std::vector<std::size_t> small;
-  std::vector<std::size_t> large;
+  small_.clear();
+  large_.clear();
   for (std::size_t i = 0; i < n; ++i) {
     alias_[i] = i;
-    (scaled[i] < 1.0 ? small : large).push_back(i);
+    (scaled_[i] < 1.0 ? small_ : large_).push_back(i);
   }
-  while (!small.empty() && !large.empty()) {
-    const std::size_t s = small.back();
-    const std::size_t l = large.back();
-    small.pop_back();
-    large.pop_back();
-    accept_[s] = scaled[s];
+  while (!small_.empty() && !large_.empty()) {
+    const std::size_t s = small_.back();
+    const std::size_t l = large_.back();
+    small_.pop_back();
+    large_.pop_back();
+    accept_[s] = scaled_[s];
     alias_[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    (scaled[l] < 1.0 ? small : large).push_back(l);
+    scaled_[l] = (scaled_[l] + scaled_[s]) - 1.0;
+    (scaled_[l] < 1.0 ? small_ : large_).push_back(l);
   }
   // Leftovers (one side only, up to floating-point residue) are full
   // buckets.
-  for (const std::size_t i : large) {
+  for (const std::size_t i : large_) {
     accept_[i] = 1.0;
   }
-  for (const std::size_t i : small) {
+  for (const std::size_t i : small_) {
     accept_[i] = 1.0;
   }
 }

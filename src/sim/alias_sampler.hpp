@@ -24,6 +24,15 @@ class AliasSampler {
   /// 1). Throws PreconditionError otherwise.
   explicit AliasSampler(const std::vector<double>& weights);
 
+  /// Rebuilds the table for a new distribution in place, reusing the
+  /// table and workspace storage — after the first build, a same-size
+  /// rebuild performs no allocation. Produces a table bit-identical to
+  /// constructing AliasSampler(weights). The engine rewires routing this
+  /// way (DesSystem::set_routing), so deploying a new allocation
+  /// mid-flight does not churn the allocator. On validation failure the
+  /// sampler is left unusable until a successful rebuild.
+  void rebuild(const std::vector<double>& weights);
+
   std::size_t size() const noexcept { return accept_.size(); }
 
   /// Maps one uniform draw u ∈ [0, 1) to an outcome index, distributed as
@@ -49,6 +58,10 @@ class AliasSampler {
  private:
   std::vector<double> accept_;
   std::vector<std::size_t> alias_;
+  // Vose construction workspace, kept so rebuild() is allocation-free.
+  std::vector<double> scaled_;
+  std::vector<std::size_t> small_;
+  std::vector<std::size_t> large_;
 };
 
 }  // namespace fap::sim

@@ -5,22 +5,24 @@
 
 namespace fap::sim {
 
-// run_des is a convenience wrapper over the incremental engine: warm up,
-// open a measurement window, collect the requested number of completions.
-DesResult run_des(const DesConfig& config) {
+namespace {
+
+// The warm-up + measurement loop shared by both run_des overloads: the
+// engine is already initialized for `config` and at time 0.
+DesResult measure(DesSystem& system, const DesConfig& config) {
   FAP_EXPECTS(config.measured_accesses > 0, "need a measurement budget");
-  DesSystem system(config);
   system.advance_until(config.warmup_time);
   system.reset_window();
 
   // Completions counted by advance_completions include accesses that were
   // already queued when the window opened (excluded from window stats), so
   // loop until the *window* has the requested number of measured samples.
-  while (system.window().completions < config.measured_accesses) {
-    const std::size_t missing =
-        config.measured_accesses - system.window().completions;
+  std::size_t measured = system.window().completions;
+  while (measured < config.measured_accesses) {
+    const std::size_t missing = config.measured_accesses - measured;
     const std::size_t made = system.advance_completions(missing);
     FAP_ENSURES(made > 0, "simulation stopped making progress");
+    measured = system.window().completions;
   }
 
   const WindowStats& window = system.window();
@@ -35,6 +37,20 @@ DesResult run_des(const DesConfig& config) {
       window.comm_cost.mean() + config.k * window.sojourn.mean();
   result.log = window.log;
   return result;
+}
+
+}  // namespace
+
+// run_des is a convenience wrapper over the incremental engine: warm up,
+// open a measurement window, collect the requested number of completions.
+DesResult run_des(const DesConfig& config) {
+  DesSystem system(config);
+  return measure(system, config);
+}
+
+DesResult run_des(DesSystem& engine, const DesConfig& config) {
+  engine.restart(config);
+  return measure(engine, config);
 }
 
 DesConfig des_config_for(const core::SingleFileModel& model,

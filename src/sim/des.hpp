@@ -60,6 +60,18 @@ struct DesConfig {
   /// between distinct nodes.
   std::vector<std::vector<std::size_t>> route_hops;
 
+  /// Runaway guard for completion-driven advancement: generators never
+  /// stop, so a system that can no longer complete anything (e.g. every
+  /// routed target failed) would spin forever. advance_completions(count)
+  /// throws InvariantError — it never silently truncates — once it has
+  /// processed `event_budget_per_completion * count + event_budget_floor`
+  /// events without reaching the requested completions. The defaults
+  /// preserve the engine's historical hard-coded budget; raise them for
+  /// workloads that legitimately process millions of events per
+  /// completion (heavy store-and-forward fan-in, near-total failure).
+  std::size_t event_budget_per_completion = 1000;
+  std::size_t event_budget_floor = 1000000;
+
   /// Accesses completing before this time are excluded from statistics.
   double warmup_time = 200.0;
   /// Number of measured (post-warmup) access completions to collect.
@@ -107,6 +119,16 @@ struct DesResult {
 
 /// Runs the simulation until `measured_accesses` post-warmup completions.
 DesResult run_des(const DesConfig& config);
+
+class DesSystem;  // sim/des_system.hpp
+
+/// Same measurement, but recycling a caller-owned engine: restarts
+/// `engine` for `config` (bit-equivalent to fresh construction, see
+/// DesSystem::restart) and runs the warmup + measurement loop on it.
+/// Results are identical to run_des(config); what changes is that a
+/// warmed engine's event heap, job slab and queue rings are reused
+/// instead of reallocated — the batch-replication path.
+DesResult run_des(DesSystem& engine, const DesConfig& config);
 
 /// Builds a DES configuration that executes the single-file model's
 /// allocation x: accesses route to node i with probability x_i and pay the

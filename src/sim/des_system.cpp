@@ -1,11 +1,36 @@
+// The DES event engine. Hot-path layout (see DESIGN.md §4d):
+//
+//   * EventHeap — a flat 4-ary min-heap of 32-byte POD entries ordered by
+//     (time, seq). seq is the same monotone schedule counter the previous
+//     std::priority_queue<Event> engine used as its tie-breaker, and
+//     (time, seq) is a strict total order, so the pop sequence — and with
+//     it every statistic — is identical event for event.
+//   * JobSlab — job state lives in dense indexed slots with an intrusive
+//     LIFO free list. Events carry the slot index, so a departure is an
+//     array access where the previous engine paid an unordered_map
+//     find+erase (and a node allocation per job).
+//   * SlotRing — each server's FIFO is a growable power-of-two ring of
+//     slot indices instead of a std::deque of fat records.
+//   * Epoch voiding is unchanged: a node failure bumps the server epoch,
+//     frees the queued/active slots, and any in-flight departure event
+//     carrying the stale epoch is discarded before it can touch the slab
+//     (so slot reuse can never resurrect a lost job).
+//
+// Steady state allocates nothing: the heap, slab, rings and window
+// buffers grow during warm-up and are reused thereafter — including
+// across runs via restart(), which re-seeds the engine bit-equivalently
+// to fresh construction without releasing storage.
+//
+// Equivalence to the previous engine is pinned by the golden-trace suite
+// (tests/sim_des_engine_equiv_test.cpp) against DesReferenceSystem, the
+// old engine kept verbatim in des_reference.cpp.
 #include "sim/des_system.hpp"
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <queue>
+#include <optional>
 #include <random>
-#include <unordered_map>
+#include <utility>
 
 #include "sim/alias_sampler.hpp"
 #include "util/contracts.hpp"
@@ -15,46 +40,213 @@ namespace fap::sim {
 
 namespace {
 
-enum class EventKind { kGenerate, kArrive, kDeparture };
+enum class EventKind : std::uint32_t { kGenerate, kArrive, kDeparture };
 
-struct Event {
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// One scheduled event. POD and 32 bytes so heap sifts move cache lines,
+/// not constructors. kArrive and kDeparture events point at a JobSlab
+/// slot; kGenerate carries only its node.
+struct EventEntry {
   double time = 0.0;
   std::uint64_t seq = 0;  // tie-breaker for deterministic ordering
   EventKind kind = EventKind::kGenerate;
-  std::size_t node = 0;
-  /// Server epoch the event belongs to; a node failure bumps the server's
-  /// epoch, voiding any in-flight departure event (the service it
-  /// represented was lost with the node).
-  std::uint64_t epoch = 0;
-  // kArrive payload: the in-transit access.
-  std::size_t source = 0;
+  std::uint32_t node = 0;
+  std::uint32_t slot = kNoSlot;
+  /// kDeparture: the server epoch at schedule time. A node failure bumps
+  /// the server's epoch, voiding any in-flight departure event (the
+  /// service it represented was lost with the node).
+  std::uint32_t epoch = 0;
+};
+
+/// (time, seq) precedes — the exact ordering std::greater<Event> gave the
+/// old priority queue, so pop order is preserved bit for bit.
+inline bool precedes(const EventEntry& a, const EventEntry& b) noexcept {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  return a.seq < b.seq;
+}
+
+/// Flat 4-ary min-heap over EventEntry. 4-ary halves the tree depth of a
+/// binary heap and its four children share one 128-byte span, so the
+/// dominant sift-down touches fewer cache lines per level. top()+pop()
+/// replaces the old engine's top-then-pop double copy of a 72-byte Event
+/// with one 32-byte read and one sift.
+class EventHeap {
+ public:
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+  const EventEntry& top() const noexcept { return entries_.front(); }
+
+  void push(const EventEntry& entry) {
+    entries_.push_back(entry);
+    std::size_t child = entries_.size() - 1;
+    while (child > 0) {
+      const std::size_t parent = (child - 1) / 4;
+      if (!precedes(entries_[child], entries_[parent])) {
+        break;
+      }
+      std::swap(entries_[child], entries_[parent]);
+      child = parent;
+    }
+  }
+
+  void pop() noexcept {
+    const EventEntry last = entries_.back();
+    entries_.pop_back();
+    if (entries_.empty()) {
+      return;
+    }
+    sift_down_from_root(last);
+  }
+
+  /// pop() immediately followed by push(entry), as one sift. The event
+  /// loop almost always replaces the event it consumes (a generate event
+  /// schedules the next generation; a departure usually starts the next
+  /// queued service), so fusing halves the heap traffic. Equivalent to
+  /// pop+push for ordering purposes: (time, seq) is a strict total
+  /// order, so pop order never depends on internal layout.
+  void replace_top(const EventEntry& entry) noexcept {
+    sift_down_from_root(entry);
+  }
+
+ private:
+  /// Hole-based sift-down: bubble the root hole to the resting position
+  /// for `value`, moving entries instead of swapping them.
+  void sift_down_from_root(const EventEntry& value) noexcept {
+    std::size_t hole = 0;
+    const std::size_t count = entries_.size();
+    for (;;) {
+      const std::size_t first_child = 4 * hole + 1;
+      if (first_child >= count) {
+        break;
+      }
+      const std::size_t last_child = std::min(first_child + 4, count);
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < last_child; ++c) {
+        if (precedes(entries_[c], entries_[best])) {
+          best = c;
+        }
+      }
+      if (!precedes(entries_[best], value)) {
+        break;
+      }
+      entries_[hole] = entries_[best];
+      hole = best;
+    }
+    entries_[hole] = value;
+  }
+
+  std::vector<EventEntry> entries_;
+};
+
+/// Dense job storage. A slot is live from allocate() to free(); freed
+/// slots chain through next_free (LIFO) and are reused before the slab
+/// grows, so the slab's high-water mark is the maximum number of
+/// concurrently in-system jobs — after warm-up, allocate() never touches
+/// the heap allocator again.
+struct JobRecord {
+  double arrival_time = 0.0;
   double comm_cost = 0.0;
   double generated_time = 0.0;
-  // kDeparture payload: the completing job.
-  std::uint64_t job = 0;
-  bool operator>(const Event& other) const noexcept {
-    if (time != other.time) {
-      return time > other.time;
+  double service_start = 0.0;
+  std::uint32_t source = 0;
+  std::uint32_t next_free = kNoSlot;
+};
+
+class JobSlab {
+ public:
+  std::uint32_t allocate() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = records_[slot].next_free;
+      records_[slot].next_free = kNoSlot;
+      return slot;
     }
-    return seq > other.seq;
+    records_.emplace_back();
+    return static_cast<std::uint32_t>(records_.size() - 1);
   }
+
+  void free(std::uint32_t slot) noexcept {
+    records_[slot].next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  JobRecord& operator[](std::uint32_t slot) noexcept {
+    return records_[slot];
+  }
+  const JobRecord& operator[](std::uint32_t slot) const noexcept {
+    return records_[slot];
+  }
+
+  void clear() noexcept {
+    records_.clear();  // keeps capacity
+    free_head_ = kNoSlot;
+  }
+
+ private:
+  std::vector<JobRecord> records_;
+  std::uint32_t free_head_ = kNoSlot;
+};
+
+/// Growable power-of-two ring buffer of job slots — each server's FIFO.
+/// push/pop are an index mask each; growth (amortized, warm-up only)
+/// unwraps the ring into the doubled storage.
+class SlotRing {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  void clear() noexcept { head_ = size_ = 0; }
+
+  void push_back(std::uint32_t slot) {
+    if (size_ == buffer_.size()) {
+      grow();
+    }
+    buffer_[(head_ + size_) & (buffer_.size() - 1)] = slot;
+    ++size_;
+  }
+
+  std::uint32_t pop_front() noexcept {
+    const std::uint32_t slot = buffer_[head_];
+    head_ = (head_ + 1) & (buffer_.size() - 1);
+    --size_;
+    return slot;
+  }
+
+  /// FIFO-order element access (0 = front); used only by failure
+  /// handling to release the queued slots.
+  std::uint32_t at(std::size_t i) const noexcept {
+    return buffer_[(head_ + i) & (buffer_.size() - 1)];
+  }
+
+ private:
+  void grow() {
+    const std::size_t capacity = std::max<std::size_t>(buffer_.size() * 2, 16);
+    std::vector<std::uint32_t> bigger(capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = buffer_[(head_ + i) & (buffer_.size() - 1)];
+    }
+    buffer_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<std::uint32_t> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 struct Server {
   std::size_t capacity = 1;  // parallel servers (M/M/c node)
-  std::uint64_t epoch = 0;   // bumped on failure; voids stale departures
-  struct Pending {
-    double arrival_time;
-    double comm_cost;
-    std::size_t source;
-    double generated_time;
-  };
-  struct Active {
-    Pending pending;
-    double service_start;
-  };
-  std::deque<Pending> queue;
-  std::unordered_map<std::uint64_t, Active> active;  // by job id
+  std::uint32_t epoch = 0;   // bumped on failure; voids stale departures
+  SlotRing queue;            // waiting jobs, FIFO
+  /// In-service job slots in dispatch order. Dispatch order is ascending
+  /// job-creation order, so iterating this vector reproduces the
+  /// canonical ascending-job-id busy-time summation order shared with
+  /// DesReferenceSystem. At most `capacity` entries, so the ordered
+  /// erase on departure is O(capacity) — single-digit in practice.
+  std::vector<std::uint32_t> active;
 };
 
 void validate_config(const DesConfig& config) {
@@ -75,53 +267,96 @@ void validate_config(const DesConfig& config) {
 
 struct DesSystem::Impl {
   DesConfig config;
-  util::Rng rng;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  util::Rng rng{0};
+  EventHeap events;
   std::uint64_t seq = 0;
   std::vector<AliasSampler> samplers;
   std::vector<Server> servers;
+  JobSlab jobs;
   std::gamma_distribution<double> gamma;
   /// Per-node server busy time accumulated (on departures) since the
   /// window opened; window() adds the in-progress partials on top.
   std::vector<double> busy_accum;
   std::vector<bool> failed;
   std::size_t total_completions = 0;
-  std::uint64_t next_job = 0;
 
-  explicit Impl(DesConfig cfg)
-      : config(std::move(cfg)), rng(config.seed),
-        servers(config.lambda.size()),
-        busy_accum(config.lambda.size(), 0.0),
-        failed(config.lambda.size(), false) {
-    validate_config(config);
-    FAP_EXPECTS(config.hop_latency >= 0.0,
-                "hop latency must be non-negative");
-    if (!config.route_hops.empty()) {
-      FAP_EXPECTS(config.route_hops.size() == config.lambda.size(),
+  /// One alias-table bucket of the flattened routing tables: acceptance
+  /// threshold, alias target, and the communication costs of BOTH
+  /// possible outcomes side by side, so one generate event resolves its
+  /// routing draw and its comm cost with a single 32-byte probe instead
+  /// of three scattered ones (sampler accept array, sampler alias array,
+  /// nested comm-cost row).
+  struct AliasCell {
+    double accept = 1.0;
+    double comm_bucket = 0.0;  ///< comm_cost[source][bucket]
+    double comm_alias = 0.0;   ///< comm_cost[source][alias]
+    std::uint32_t alias = 0;
+    std::uint32_t pad = 0;
+  };
+  /// Row-major n*n flattened mirror of the per-source alias tables and
+  /// comm costs. The nested config matrices scatter every row behind its
+  /// own allocation; the event loop probes this contiguous copy instead
+  /// (refreshed by restart / set_routing).
+  std::vector<AliasCell> alias_cells;
+
+  explicit Impl(DesConfig cfg) { restart(std::move(cfg)); }
+
+  /// Full deterministic re-initialization: after restart(cfg) the engine
+  /// is in exactly the state Impl(cfg) would produce — same RNG stream,
+  /// same seeded generate events — but the heap, slab, rings and sampler
+  /// tables keep their grown capacity. Throws (without leaking) on an
+  /// invalid config; the engine must then be restarted again before use.
+  void restart(DesConfig cfg) {
+    validate_config(cfg);
+    FAP_EXPECTS(cfg.hop_latency >= 0.0, "hop latency must be non-negative");
+    if (!cfg.route_hops.empty()) {
+      FAP_EXPECTS(cfg.route_hops.size() == cfg.lambda.size(),
                   "route hop matrix size mismatch");
-      for (const auto& row : config.route_hops) {
-        FAP_EXPECTS(row.size() == config.lambda.size(),
+      for (const auto& row : cfg.route_hops) {
+        FAP_EXPECTS(row.size() == cfg.lambda.size(),
                     "route hop row size mismatch");
       }
     }
+    if (!cfg.servers_per_node.empty()) {
+      FAP_EXPECTS(cfg.servers_per_node.size() == cfg.lambda.size(),
+                  "servers_per_node size mismatch");
+      for (const std::size_t servers_at_node : cfg.servers_per_node) {
+        FAP_EXPECTS(servers_at_node >= 1,
+                    "each node needs at least one server");
+      }
+    }
+
+    config = std::move(cfg);
+    const std::size_t n = config.lambda.size();
+    rng = util::Rng(config.seed);
+    events.clear();
+    seq = 0;
+    total_completions = 0;
+    jobs.clear();
     rebuild_samplers(config.routing);
+    servers.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      servers[i].capacity =
+          config.servers_per_node.empty() ? 1 : config.servers_per_node[i];
+      servers[i].epoch = 0;
+      servers[i].queue.clear();
+      servers[i].active.clear();
+      servers[i].active.reserve(servers[i].capacity);
+    }
+    busy_accum.assign(n, 0.0);
+    failed.assign(n, false);
     if (config.service == ServiceDistribution::kGamma) {
       FAP_EXPECTS(config.service_scv > 0.0, "gamma service needs scv > 0");
       gamma = std::gamma_distribution<double>(1.0 / config.service_scv, 1.0);
     }
-    if (!config.servers_per_node.empty()) {
-      FAP_EXPECTS(config.servers_per_node.size() == config.lambda.size(),
-                  "servers_per_node size mismatch");
-      for (std::size_t i = 0; i < servers.size(); ++i) {
-        FAP_EXPECTS(config.servers_per_node[i] >= 1,
-                    "each node needs at least one server");
-        servers[i].capacity = config.servers_per_node[i];
-      }
-    }
-    for (std::size_t j = 0; j < config.lambda.size(); ++j) {
+    for (std::size_t j = 0; j < n; ++j) {
       if (config.lambda[j] > 0.0) {
-        events.push(Event{rng.exponential(config.lambda[j]), seq++,
-                          EventKind::kGenerate, j});
+        EventEntry generate;
+        generate.time = rng.exponential(config.lambda[j]);
+        generate.seq = seq++;
+        generate.kind = EventKind::kGenerate;
+        generate.node = static_cast<std::uint32_t>(j);
+        events.push(generate);
       }
     }
     FAP_EXPECTS(!events.empty(),
@@ -131,14 +366,58 @@ struct DesSystem::Impl {
   void rebuild_samplers(const std::vector<std::vector<double>>& routing) {
     FAP_EXPECTS(routing.size() == config.lambda.size(),
                 "routing size mismatch");
-    std::vector<AliasSampler> fresh;
-    fresh.reserve(routing.size());
-    for (const std::vector<double>& row : routing) {
-      FAP_EXPECTS(row.size() == config.lambda.size(),
-                  "routing row size mismatch");
-      fresh.emplace_back(row);
+    // Rebuild each sampler's tables in place (no vector churn); trim or
+    // grow only when the node count itself changed.
+    if (samplers.size() > routing.size()) {
+      samplers.erase(samplers.begin() +
+                         static_cast<std::ptrdiff_t>(routing.size()),
+                     samplers.end());
     }
-    samplers = std::move(fresh);
+    for (std::size_t j = 0; j < routing.size(); ++j) {
+      FAP_EXPECTS(routing[j].size() == config.lambda.size(),
+                  "routing row size mismatch");
+      if (j < samplers.size()) {
+        samplers[j].rebuild(routing[j]);
+      } else {
+        samplers.emplace_back(routing[j]);
+      }
+    }
+    // Mirror the rebuilt tables into the flattened probe copy. The comm
+    // costs come along so the generate handler never touches the nested
+    // config matrix (comm_cost never changes outside restart()).
+    const std::size_t n = routing.size();
+    alias_cells.resize(n * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::vector<double>& accept = samplers[j].acceptance();
+      const std::vector<std::size_t>& alias = samplers[j].alias();
+      for (std::size_t b = 0; b < n; ++b) {
+        AliasCell& cell = alias_cells[j * n + b];
+        cell.accept = accept[b];
+        cell.alias = static_cast<std::uint32_t>(alias[b]);
+        cell.comm_bucket = config.comm_cost[j][b];
+        cell.comm_alias = config.comm_cost[j][alias[b]];
+      }
+    }
+  }
+
+  /// One routing draw — bit-identical to AliasSampler::sample on the
+  /// same uniform, but probing the flattened single-line cells. Also
+  /// yields the access's communication cost from the same probe.
+  std::size_t sample_target(std::size_t source, double& comm) {
+    const std::size_t n = config.lambda.size();
+    const double scaled = rng.uniform() * static_cast<double>(n);
+    std::size_t bucket = static_cast<std::size_t>(scaled);
+    if (bucket >= n) {
+      bucket = n - 1;  // guards u rounding up to 1.0
+    }
+    const double coin = scaled - static_cast<double>(bucket);
+    const AliasCell& cell = alias_cells[source * n + bucket];
+    if (coin < cell.accept) {
+      comm = cell.comm_bucket;
+      return bucket;
+    }
+    comm = cell.comm_alias;
+    return cell.alias;
   }
 
   /// One-way transit time of the source->target route.
@@ -164,19 +443,25 @@ struct DesSystem::Impl {
     return 1.0 / config.mu[node];
   }
 
-  // Moves queue heads into free servers, scheduling their departures.
-  void dispatch(std::size_t node, double now) {
+  // Moves queue heads into free servers, scheduling their departures
+  // through `emit` (the event loop's fused replace-top-or-push sink; the
+  // plain heap push during restart()).
+  template <typename Emit>
+  void dispatch(std::size_t node, double now, Emit&& emit) {
     Server& server = servers[node];
     while (server.active.size() < server.capacity &&
            !server.queue.empty()) {
-      const std::uint64_t job = next_job++;
-      server.active.emplace(job,
-                            Server::Active{server.queue.front(), now});
-      server.queue.pop_front();
-      Event departure{now + sample_service(node), seq++,
-                      EventKind::kDeparture, node, server.epoch};
-      departure.job = job;
-      events.push(departure);
+      const std::uint32_t slot = server.queue.pop_front();
+      jobs[slot].service_start = now;
+      server.active.push_back(slot);
+      EventEntry departure;
+      departure.time = now + sample_service(node);
+      departure.seq = seq++;
+      departure.kind = EventKind::kDeparture;
+      departure.node = static_cast<std::uint32_t>(node);
+      departure.slot = slot;
+      departure.epoch = server.epoch;
+      emit(departure);
     }
   }
 };
@@ -189,6 +474,12 @@ DesSystem::DesSystem(DesConfig config)
 DesSystem::~DesSystem() = default;
 DesSystem::DesSystem(DesSystem&&) noexcept = default;
 DesSystem& DesSystem::operator=(DesSystem&&) noexcept = default;
+
+void DesSystem::restart(DesConfig config) {
+  impl_->restart(std::move(config));
+  now_ = 0.0;
+  reset_window();
+}
 
 void DesSystem::set_routing(const std::vector<std::vector<double>>& routing) {
   impl_->rebuild_samplers(routing);
@@ -205,9 +496,14 @@ void DesSystem::set_node_failed(std::size_t node, bool failed) {
   if (failed) {
     // All queued and in-service work at the node is lost.
     const std::size_t lost = server.queue.size() + server.active.size();
-    for (const auto& [job, active] : server.active) {
+    for (std::size_t i = 0; i < server.queue.size(); ++i) {
+      impl_->jobs.free(server.queue.at(i));
+    }
+    for (const std::uint32_t slot : server.active) {
       impl_->busy_accum[node] +=
-          now_ - std::max(active.service_start, window_.start_time);
+          now_ -
+          std::max(impl_->jobs[slot].service_start, window_.start_time);
+      impl_->jobs.free(slot);
     }
     if (now_ >= window_.start_time) {
       window_.failed_accesses += lost;
@@ -223,81 +519,114 @@ void DesSystem::set_node_failed(std::size_t node, bool failed) {
 void DesSystem::process_one_event() {
   Impl& impl = *impl_;
   FAP_ENSURES(!impl.events.empty(), "event queue drained unexpectedly");
-  const Event event = impl.events.top();
-  impl.events.pop();
+  const EventEntry event = impl.events.top();
   now_ = event.time;
 
-  auto enqueue_access = [&](std::size_t source, std::size_t target,
-                            double comm, double generated_time) {
+  // Deferred pop: the consumed top entry stays in the heap until either
+  // the first scheduled event overwrites it in place (replace_top — one
+  // sift instead of a pop's sift-down plus a push's sift-up) or the
+  // handler finishes without scheduling anything.
+  bool top_replaced = false;
+  const auto emit = [&](const EventEntry& entry) {
+    if (top_replaced) {
+      impl.events.push(entry);
+    } else {
+      impl.events.replace_top(entry);
+      top_replaced = true;
+    }
+  };
+
+  // Queues the slot's job at its target, or drops it if the target is
+  // down. The slot must already carry comm_cost/source/generated_time.
+  const auto enqueue_access = [&](std::uint32_t slot, std::size_t target) {
     if (impl.failed[target]) {
       // The fragment at a failed node is unreachable; the access is lost.
+      impl.jobs.free(slot);
       if (now_ >= window_.start_time) {
         ++window_.failed_accesses;
       }
       return;
     }
-    Server& server = impl.servers[target];
     if (now_ >= window_.start_time) {
       ++window_.node[target].arrivals;
     }
-    server.queue.push_back(
-        Server::Pending{now_, comm, source, generated_time});
-    impl.dispatch(target, now_);
+    impl.jobs[slot].arrival_time = now_;
+    impl.servers[target].queue.push_back(slot);
+    impl.dispatch(target, now_, emit);
   };
 
   if (event.kind == EventKind::kGenerate) {
     const std::size_t source = event.node;
-    impl.events.push(Event{now_ + impl.rng.exponential(
-                                      impl.config.lambda[source]),
-                           impl.seq++, EventKind::kGenerate, source, 0});
-    const std::size_t target = impl.samplers[source].sample(
-        impl.rng.uniform());
-    const double comm = impl.config.comm_cost[source][target];
+    EventEntry next;
+    next.time = now_ + impl.rng.exponential(impl.config.lambda[source]);
+    next.seq = impl.seq++;
+    next.kind = EventKind::kGenerate;
+    next.node = event.node;
+    emit(next);
+    double comm = 0.0;
+    const std::size_t target = impl.sample_target(source, comm);
+    const std::uint32_t slot = impl.jobs.allocate();
+    JobRecord& job = impl.jobs[slot];
+    job.comm_cost = comm;
+    job.generated_time = now_;
+    job.source = event.node;
     const double transit = impl.transit(source, target);
     if (transit > 0.0) {
       // Store-and-forward: the request is in flight for `transit`.
-      Event arrival{now_ + transit, impl.seq++, EventKind::kArrive, target,
-                    0,              source,     comm,               now_};
-      impl.events.push(arrival);
+      EventEntry arrival;
+      arrival.time = now_ + transit;
+      arrival.seq = impl.seq++;
+      arrival.kind = EventKind::kArrive;
+      arrival.node = static_cast<std::uint32_t>(target);
+      arrival.slot = slot;
+      emit(arrival);
     } else {
-      enqueue_access(source, target, comm, now_);
+      enqueue_access(slot, target);
     }
   } else if (event.kind == EventKind::kArrive) {
-    enqueue_access(event.source, event.node, event.comm_cost,
-                   event.generated_time);
+    enqueue_access(event.slot, event.node);
   } else {
     const std::size_t node = event.node;
     Server& server = impl.servers[node];
     if (event.epoch != server.epoch) {
-      return;  // the node failed after this service started; event is void
+      // The node failed after this service started; the event is void and
+      // its slot was already released (and possibly reused) by the
+      // failure handler — it must not be touched here.
+      impl.events.pop();
+      return;
     }
-    const auto it = server.active.find(event.job);
+    const std::uint32_t slot = event.slot;
+    const auto it =
+        std::find(server.active.begin(), server.active.end(), slot);
     FAP_ENSURES(it != server.active.end(),
                 "departure event for an unknown job");
-    const Server::Pending& pending = it->second.pending;
-    const double service_start = it->second.service_start;
-    const double sojourn = now_ - pending.arrival_time;
+    const JobRecord& job = impl.jobs[slot];
+    const double service_start = job.service_start;
+    const double sojourn = now_ - job.arrival_time;
     ++impl.total_completions;
-    if (pending.arrival_time >= window_.start_time) {
-      window_.comm_cost.add(pending.comm_cost);
+    if (job.arrival_time >= window_.start_time) {
+      window_.comm_cost.add(job.comm_cost);
       window_.sojourn.add(sojourn);
       window_.sojourn_histogram.add(sojourn);
       window_.node[node].sojourn.add(sojourn);
       // Response reaches the requester after the return transit.
-      window_.response_time.add(now_ +
-                                impl.transit(pending.source, node) -
-                                pending.generated_time);
+      window_.response_time.add(now_ + impl.transit(job.source, node) -
+                                job.generated_time);
       ++window_.completions;
       if (impl.config.record_log) {
         window_.log.push_back(AccessObservation{
-            pending.source, node, pending.arrival_time, service_start,
-            now_, pending.comm_cost});
+            job.source, node, job.arrival_time, service_start, now_,
+            job.comm_cost});
       }
     }
     impl.busy_accum[node] +=
         now_ - std::max(service_start, window_.start_time);
-    server.active.erase(it);
-    impl.dispatch(node, now_);
+    server.active.erase(it);  // ordered erase keeps dispatch order
+    impl.jobs.free(slot);
+    impl.dispatch(node, now_, emit);
+  }
+  if (!top_replaced) {
+    impl.events.pop();
   }
 }
 
@@ -313,7 +642,9 @@ std::size_t DesSystem::advance_completions(std::size_t count) {
   const std::size_t start = impl_->total_completions;
   // Generators never stop, so guard against a system that can no longer
   // complete anything (e.g. every routing target failed).
-  const std::size_t event_budget = 1000 * count + 1000000;
+  const std::size_t event_budget =
+      impl_->config.event_budget_per_completion * count +
+      impl_->config.event_budget_floor;
   std::size_t events_processed = 0;
   while (impl_->total_completions < start + count) {
     if (impl_->events.empty()) {
@@ -328,11 +659,21 @@ std::size_t DesSystem::advance_completions(std::size_t count) {
 }
 
 void DesSystem::reset_window() {
+  // In-place equivalent of assigning a fresh WindowStats: every counter
+  // and accumulator returns to its default, but the node vector, log and
+  // histogram keep their capacity (zero steady-state allocation even for
+  // windowed workloads that reset every epoch).
   const std::size_t n = impl_->config.lambda.size();
-  WindowStats fresh;
-  fresh.node.resize(n);
-  fresh.start_time = now_;
-  window_ = std::move(fresh);
+  window_.comm_cost = util::RunningStats();
+  window_.sojourn = util::RunningStats();
+  window_.response_time = util::RunningStats();
+  window_.sojourn_histogram.clear();
+  window_.node.assign(n, NodeStats());
+  window_.log.clear();
+  window_.start_time = now_;
+  window_.span = 0.0;
+  window_.completions = 0;
+  window_.failed_accesses = 0;
   std::fill(impl_->busy_accum.begin(), impl_->busy_accum.end(), 0.0);
 }
 
@@ -342,8 +683,9 @@ const WindowStats& DesSystem::window() {
   for (std::size_t i = 0; i < n; ++i) {
     double busy = impl_->busy_accum[i];
     const Server& server = impl_->servers[i];
-    for (const auto& [job, active] : server.active) {
-      busy += now_ - std::max(active.service_start, window_.start_time);
+    for (const std::uint32_t slot : server.active) {
+      busy += now_ -
+              std::max(impl_->jobs[slot].service_start, window_.start_time);
     }
     window_.node[i].busy_time = busy;
     // Utilization is per server: busy server-time over capacity·span.
@@ -365,7 +707,18 @@ ReplicatedDesResult run_des_replications(const DesConfig& config,
       replications, options, [&config](std::size_t, std::uint64_t seed) {
         DesConfig replication = config;
         replication.seed = seed;
-        return run_des(replication);
+        // One engine per worker thread, reused across every replication
+        // that lands on it — and across run_des_replications calls from
+        // the same thread. restart() is bit-equivalent to constructing a
+        // fresh engine, so which worker runs which replication (and
+        // whether an engine is fresh or recycled) cannot be observed in
+        // the results; it only removes the per-replication heap/slab
+        // reallocation.
+        thread_local std::optional<DesSystem> engine;
+        if (!engine.has_value()) {
+          engine.emplace(replication);
+        }
+        return run_des(*engine, replication);
       });
   ReplicatedDesResult result;
   result.replications = runs.size();

@@ -74,6 +74,17 @@ class DesSystem {
   DesSystem(DesSystem&&) noexcept;
   DesSystem& operator=(DesSystem&&) noexcept;
 
+  /// Re-initializes the engine for `config` exactly as constructing a
+  /// fresh DesSystem(config) would — same RNG stream, same event
+  /// sequence, bit-identical statistics — but reuses the already-grown
+  /// event heap, job slab, queue rings, sampler tables and window
+  /// buffers, so a warmed engine replays configuration after
+  /// configuration with zero steady-state allocation (this is how
+  /// run_des_replications recycles one engine per worker thread).
+  /// now() returns 0 again afterwards. Throws on an invalid config, in
+  /// which case the engine must be restarted again before further use.
+  void restart(DesConfig config);
+
   double now() const noexcept { return now_; }
 
   /// Deploys a new routing mix (e.g. a freshly optimized allocation).

@@ -15,10 +15,6 @@ std::uint64_t splitmix64(std::uint64_t& x) noexcept {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
@@ -33,27 +29,6 @@ Rng::Rng(std::uint64_t seed) noexcept {
   }
 }
 
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() noexcept {
-  // 53 top bits -> double in [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-  return lo + (hi - lo) * uniform();
-}
-
 std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
   // Lemire-style rejection: draw until the value falls in the largest
   // multiple of n representable in 64 bits.
@@ -64,11 +39,6 @@ std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
       return r % n;
     }
   }
-}
-
-double Rng::exponential(double rate) noexcept {
-  // -log(1 - U) / rate; 1 - U avoids log(0).
-  return -std::log1p(-uniform()) / rate;
 }
 
 double Rng::normal(double mean, double stddev) noexcept {

@@ -7,20 +7,6 @@
 
 namespace fap::util {
 
-void RunningStats::add(double x) noexcept {
-  if (count_ == 0) {
-    min_ = x;
-    max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-}
-
 void RunningStats::merge(const RunningStats& other) noexcept {
   if (other.count_ == 0) {
     return;
@@ -96,16 +82,9 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
   FAP_EXPECTS(buckets > 0, "histogram needs at least one bucket");
 }
 
-void Histogram::add(double x) noexcept {
-  std::size_t idx = 0;
-  if (x >= hi_) {
-    idx = counts_.size() - 1;
-  } else if (x > lo_) {
-    idx = static_cast<std::size_t>((x - lo_) / width_);
-    idx = std::min(idx, counts_.size() - 1);
-  }
-  ++counts_[idx];
-  ++total_;
+void Histogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
 }
 
 std::size_t Histogram::count(std::size_t bucket) const {

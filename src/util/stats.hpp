@@ -1,6 +1,7 @@
 // Online statistics used by the discrete-event simulator and the benches.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -10,7 +11,22 @@ namespace fap::util {
 /// and extrema of a stream of observations.
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  /// Defined inline: this is the DES event loop's per-observation hot
+  /// path (four adds per completed access), and the out-of-line call was
+  /// measurable there.
+  void add(double x) noexcept {
+    if (count_ == 0) {
+      min_ = x;
+      max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   /// Merge another accumulator into this one (parallel Welford / Chan).
   void merge(const RunningStats& other) noexcept;
@@ -60,7 +76,23 @@ class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
 
-  void add(double x) noexcept;
+  /// Inline for the same reason as RunningStats::add — once per DES
+  /// completion.
+  void add(double x) noexcept {
+    std::size_t idx = 0;
+    if (x >= hi_) {
+      idx = counts_.size() - 1;
+    } else if (x > lo_) {
+      idx = static_cast<std::size_t>((x - lo_) / width_);
+      idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+  /// Zeroes every bucket (range and bucket count unchanged) without
+  /// releasing storage — equivalent to a freshly constructed histogram
+  /// with the same parameters.
+  void clear() noexcept;
   std::size_t bucket_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bucket) const;
   std::size_t total() const noexcept { return total_; }

@@ -157,4 +157,38 @@ TEST(DesSystem, RejectsBadRewiring) {
                fap::util::PreconditionError);
 }
 
+TEST(DesSystem, DefaultEventBudgetMatchesHistoricalValue) {
+  // The config knobs replaced a hard-coded `1000 * count + 1000000`
+  // budget; the defaults must preserve it so existing runs are unchanged.
+  const sim::DesConfig config;
+  EXPECT_EQ(config.event_budget_per_completion, 1000u);
+  EXPECT_EQ(config.event_budget_floor, 1000u * 1000u);
+}
+
+TEST(DesSystem, ExhaustedEventBudgetFailsLoudly) {
+  // A tiny configured budget trips quickly — and loudly, via
+  // InvariantError — when no completions can be made.
+  sim::DesConfig config = paper_config({0.25, 0.25, 0.25, 0.25});
+  config.event_budget_per_completion = 2;
+  config.event_budget_floor = 100;
+  sim::DesSystem system(config);
+  system.advance_until(50.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    system.set_node_failed(i, true);
+  }
+  EXPECT_THROW(system.advance_completions(5), fap::util::InvariantError);
+}
+
+TEST(DesSystem, GenerousEventBudgetIsNotTrippedByNormalRuns) {
+  // Shrinking the budget to just above what a healthy run needs must not
+  // fire: the guard only catches genuine non-progress. A completion takes
+  // a handful of events (generate + arrive + departure), far under 50.
+  sim::DesConfig config = paper_config({0.25, 0.25, 0.25, 0.25});
+  config.event_budget_per_completion = 50;
+  config.event_budget_floor = 100;
+  sim::DesSystem system(config);
+  system.advance_until(50.0);
+  EXPECT_EQ(system.advance_completions(2000), 2000u);
+}
+
 }  // namespace
