@@ -8,9 +8,11 @@
 
 #include "bench_common.hpp"
 #include "core/allocator.hpp"
+#include "core/batch_allocator.hpp"
 #include "core/multicopy_allocator.hpp"
 #include "core/ring_model.hpp"
 #include "core/single_file.hpp"
+#include "net/cost_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
@@ -32,20 +34,37 @@ int main(int argc, char** argv) {
       core::ResourceDirectedAllocator(uncapped, options)
           .run({0.8, 0.1, 0.1, 0.0})
           .cost;
-  // Every cap is an independent constrained problem: fan the sweep out
-  // through the runtime (order and output independent of --jobs).
+  // Every cap is an independent constrained problem: pack them into one
+  // SoA batch through batch_sweep (order and output independent of
+  // --jobs AND batch width; lanes are bit-identical to serial runs). The
+  // per-cap models share the ring's APSP through the cost cache.
   const std::vector<double> caps{0.25, 0.2, 0.15, 0.1, 0.05, 0.01};
-  const std::vector<core::AllocationResult> capped_results = runtime::sweep(
-      caps.size(), bench::sweep_options("ablation_capacity"),
-      [&](std::size_t index, std::uint64_t /*seed*/) {
-        core::SingleFileProblem problem = core::make_paper_ring_problem();
-        problem.storage_capacity = {caps[index], 1.0, 1.0, 1.0};
-        const core::SingleFileModel model(std::move(problem));
-        const core::ResourceDirectedAllocator allocator(model, options);
-        return allocator.run(core::uniform_allocation(model));
-      });
+  net::CostMatrixCache cache;
+  struct Submission {
+    core::SingleFileModel model;
+    std::vector<double> start;
+  };
+  const std::vector<core::BatchRunResult> capped_results =
+      runtime::batch_sweep(
+          caps.size(), core::BatchAllocator::kDefaultWidth,
+          bench::sweep_options("ablation_capacity"),
+          [&](std::size_t index, std::uint64_t /*seed*/) {
+            core::SingleFileProblem problem =
+                core::make_paper_ring_problem(cache);
+            problem.storage_capacity = {caps[index], 1.0, 1.0, 1.0};
+            core::SingleFileModel model(std::move(problem));
+            std::vector<double> start = core::uniform_allocation(model);
+            return Submission{std::move(model), std::move(start)};
+          },
+          [&](std::size_t /*first*/, std::vector<Submission> items) {
+            core::BatchAllocator batch;
+            for (const Submission& item : items) {
+              batch.submit(item.model, options, item.start);
+            }
+            return batch.run_all();
+          });
   for (std::size_t i = 0; i < caps.size(); ++i) {
-    const core::AllocationResult& result = capped_results[i];
+    const core::BatchRunResult& result = capped_results[i];
     sweep.add_row({caps[i], result.x[0], result.x[1], result.cost, base_cost,
                    100.0 * (result.cost / base_cost - 1.0)});
   }

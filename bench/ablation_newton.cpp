@@ -6,8 +6,10 @@
 
 #include "bench_common.hpp"
 #include "core/allocator.hpp"
+#include "core/batch_allocator.hpp"
 #include "core/newton_allocator.hpp"
 #include "core/single_file.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -39,30 +41,47 @@ int main(int argc, char** argv) {
   std::cout << "-- scale resilience (fixed step, costs scaled) --\n";
   util::Table scale_table(
       {"cost scale", "first-order iters", "second-order iters"}, 4);
-  for (const double scale : {0.01, 0.1, 1.0, 10.0, 100.0}) {
-    const core::SingleFileModel model(scaled_problem(scale));
+  const std::vector<double> scales{0.01, 0.1, 1.0, 10.0, 100.0};
+  std::vector<core::SingleFileModel> scale_models;
+  scale_models.reserve(scales.size());
+  for (const double scale : scales) {
+    scale_models.emplace_back(scaled_problem(scale));
+  }
 
+  // The first-order runs are independent gradient descents (one model per
+  // lane — the batch kernel supports heterogeneous lanes), so they step as
+  // one SoA batch, bit-identical to the serial loop they replace.
+  core::BatchAllocator scale_batch;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
     core::AllocatorOptions first;
     first.alpha = 0.3;
-    first.epsilon = 1e-3 * scale;
+    first.epsilon = 1e-3 * scales[i];
     first.max_iterations = 200000;
-    const auto first_result =
-        core::ResourceDirectedAllocator(model, first).run(start);
+    scale_batch.submit(scale_models[i], first, start);
+  }
+  const std::vector<core::BatchRunResult> scale_first =
+      scale_batch.run_all();
 
-    core::NewtonAllocatorOptions second;
-    second.alpha = 0.5;
-    second.epsilon = 1e-3 * scale;
-    second.max_iterations = 200000;
-    const auto second_result =
-        core::NewtonAllocator(model, second).run(start);
+  // The Newton runs have no batched kernel; fan them out through the
+  // runtime instead (order and output independent of --jobs).
+  const std::vector<core::AllocationResult> scale_second = runtime::sweep(
+      scales.size(), bench::sweep_options("ablation_newton"),
+      [&](std::size_t i, std::uint64_t /*seed*/) {
+        core::NewtonAllocatorOptions second;
+        second.alpha = 0.5;
+        second.epsilon = 1e-3 * scales[i];
+        second.max_iterations = 200000;
+        return core::NewtonAllocator(scale_models[i], second).run(start);
+      });
 
+  for (std::size_t i = 0; i < scales.size(); ++i) {
     scale_table.add_row(
-        {scale,
-         static_cast<long long>(first_result.converged
-                                    ? first_result.iterations
+        {scales[i],
+         static_cast<long long>(scale_first[i].converged
+                                    ? scale_first[i].iterations
                                     : -1),
-         static_cast<long long>(second_result.converged
-                                    ? second_result.iterations
+         static_cast<long long>(scale_second[i].converged
+                                    ? scale_second[i].iterations
                                     : -1)});
   }
   std::cout << bench::render(scale_table)
@@ -74,27 +93,36 @@ int main(int argc, char** argv) {
   util::Table alpha_table(
       {"alpha", "first-order iters", "second-order iters"}, 4);
   const core::SingleFileModel model(core::make_paper_ring_problem());
-  for (const double alpha : {0.05, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+  const std::vector<double> alphas{0.05, 0.1, 0.3, 0.5, 0.8, 1.0};
+
+  core::BatchAllocator alpha_batch;
+  for (const double alpha : alphas) {
     core::AllocatorOptions first;
     first.alpha = alpha;
     first.epsilon = 1e-3;
     first.max_iterations = 50000;
-    const auto first_result =
-        core::ResourceDirectedAllocator(model, first).run(start);
+    alpha_batch.submit(model, first, start);
+  }
+  const std::vector<core::BatchRunResult> alpha_first =
+      alpha_batch.run_all();
 
-    core::NewtonAllocatorOptions second;
-    second.alpha = alpha;
-    second.epsilon = 1e-3;
-    second.max_iterations = 50000;
-    const auto second_result =
-        core::NewtonAllocator(model, second).run(start);
+  const std::vector<core::AllocationResult> alpha_second = runtime::sweep(
+      alphas.size(), bench::sweep_options("ablation_newton"),
+      [&](std::size_t i, std::uint64_t /*seed*/) {
+        core::NewtonAllocatorOptions second;
+        second.alpha = alphas[i];
+        second.epsilon = 1e-3;
+        second.max_iterations = 50000;
+        return core::NewtonAllocator(model, second).run(start);
+      });
 
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
     alpha_table.add_row(
-        {alpha,
+        {alphas[i],
          static_cast<long long>(
-             first_result.converged ? first_result.iterations : -1),
+             alpha_first[i].converged ? alpha_first[i].iterations : -1),
          static_cast<long long>(
-             second_result.converged ? second_result.iterations : -1)});
+             alpha_second[i].converged ? alpha_second[i].iterations : -1)});
   }
   std::cout << bench::render(alpha_table)
             << "(-1 = did not converge within the cap)\n";

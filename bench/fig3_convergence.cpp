@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 #include "core/allocator.hpp"
 #include "core/single_file.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -23,15 +24,19 @@ int main(int argc, char** argv) {
   const std::vector<double> alphas{0.67, 0.30, 0.19, 0.08};
   const std::vector<std::size_t> paper_iterations{4, 10, 20, 51};
 
-  std::vector<core::AllocationResult> results;
-  for (const double alpha : alphas) {
-    core::AllocatorOptions options;
-    options.alpha = alpha;
-    options.epsilon = 1e-3;
-    options.record_trace = true;
-    const core::ResourceDirectedAllocator allocator(model, options);
-    results.push_back(allocator.run(start));
-  }
+  // Each profile is an independent traced run; fan them out through the
+  // sweep runner (`--jobs 4` fills four cores, output byte-identical to
+  // `--jobs 1`).
+  const std::vector<core::AllocationResult> results = runtime::sweep(
+      alphas.size(), bench::sweep_options("fig3_convergence"),
+      [&](std::size_t index, std::uint64_t /*seed*/) {
+        core::AllocatorOptions options;
+        options.alpha = alphas[index];
+        options.epsilon = 1e-3;
+        options.record_trace = true;
+        const core::ResourceDirectedAllocator allocator(model, options);
+        return allocator.run(start);
+      });
 
   // The figure's series: cost per iteration for every α.
   std::size_t longest = 0;

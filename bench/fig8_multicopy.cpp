@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 #include "core/multicopy_allocator.hpp"
 #include "core/ring_model.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -48,8 +49,16 @@ int main(int argc, char** argv) {
   const core::RingModel unit_ring{
       core::make_paper_ring_problem({1.0, 1.0, 1.0, 1.0})};
 
-  const core::MultiCopyResult comm = run_profile(comm_ring);
-  const core::MultiCopyResult unit = run_profile(unit_ring);
+  // The two profiles are independent runs: sweep them (`--jobs 2` runs
+  // them concurrently, byte-identical output to `--jobs 1`).
+  const core::RingModel* rings[] = {&comm_ring, &unit_ring};
+  const std::vector<core::MultiCopyResult> profiles = runtime::sweep(
+      2, bench::sweep_options("fig8_multicopy"),
+      [&rings](std::size_t index, std::uint64_t /*seed*/) {
+        return run_profile(*rings[index]);
+      });
+  const core::MultiCopyResult& comm = profiles[0];
+  const core::MultiCopyResult& unit = profiles[1];
 
   util::Table series({"iter", "cost links=(4,1,1,1)", "cost links=(1,1,1,1)"},
                      6);

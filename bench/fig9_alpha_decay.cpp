@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "core/multicopy_allocator.hpp"
 #include "core/ring_model.hpp"
+#include "runtime/sweep.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -49,8 +50,25 @@ int main(int argc, char** argv) {
   const core::RingModel model{
       core::make_paper_ring_problem({4.0, 1.0, 1.0, 1.0})};
 
-  const core::MultiCopyResult big = run_with(model, 0.10, false, 120);
-  const core::MultiCopyResult small = run_with(model, 0.05, false, 120);
+  // Three independent runs (two raw profiles + the decayed variant used
+  // at the end): fan them out through the sweep runner (`--jobs 3` runs
+  // them concurrently, byte-identical output to `--jobs 1`).
+  struct RunConfig {
+    double alpha;
+    bool decay;
+    std::size_t max_iterations;
+  };
+  const std::vector<RunConfig> configs{
+      {0.10, false, 120}, {0.05, false, 120}, {0.10, true, 5000}};
+  const std::vector<core::MultiCopyResult> runs = runtime::sweep(
+      configs.size(), bench::sweep_options("fig9_alpha_decay"),
+      [&model, &configs](std::size_t index, std::uint64_t /*seed*/) {
+        const RunConfig& config = configs[index];
+        return run_with(model, config.alpha, config.decay,
+                        config.max_iterations);
+      });
+  const core::MultiCopyResult& big = runs[0];
+  const core::MultiCopyResult& small = runs[1];
 
   util::Table series({"iter", "cost alpha=0.10", "cost alpha=0.05"}, 6);
   const std::size_t longest = std::max(big.trace.size(), small.trace.size());
@@ -73,7 +91,7 @@ int main(int argc, char** argv) {
   std::cout << bench::render(summary) << '\n';
 
   // The modified termination rule (Section 7.3): α decay + ΔC halting.
-  const core::MultiCopyResult decayed = run_with(model, 0.10, true, 5000);
+  const core::MultiCopyResult& decayed = runs[2];
   std::cout << "with alpha decay: converged="
             << (decayed.converged ? "yes" : "no")
             << " after " << decayed.iterations

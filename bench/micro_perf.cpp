@@ -8,12 +8,14 @@
 
 #include "baselines/branch_and_bound.hpp"
 #include "core/allocator.hpp"
+#include "core/batch_allocator.hpp"
 #include "core/ring_model.hpp"
 #include "core/single_file.hpp"
 #include "core/trace_export.hpp"
 #include "fs/fragment_map.hpp"
 #include "fs/popularity.hpp"
 #include "fs/weighted_assignment.hpp"
+#include "net/cost_cache.hpp"
 #include "net/generators.hpp"
 #include "net/shortest_paths.hpp"
 #include "runtime/sweep.hpp"
@@ -89,6 +91,77 @@ void BM_ActiveSet(benchmark::State& state) {
 }
 BENCHMARK(BM_ActiveSet)->Arg(100)->Arg(1000);
 
+// One instance family shared by the batch-vs-serial comparison below:
+// lane k descends the n = 16 complete-graph model from a lane-specific
+// interior start with a lane-specific step size. epsilon is unattainably
+// small, so every lane runs to the 100-iteration cap and items processed
+// is exactly lanes * 100 instance-steps on both paths — items/sec is
+// directly comparable across BM_BatchAllocatorStep and
+// BM_SerialAllocatorStep at the same lane count.
+constexpr std::size_t kStepBenchIterations = 100;
+constexpr std::size_t kStepBenchNodes = 16;
+
+core::AllocatorOptions step_bench_options(std::size_t lane) {
+  core::AllocatorOptions options;
+  options.alpha = 0.01 + 0.0002 * static_cast<double>(lane % 50);
+  options.epsilon = 1e-300;
+  options.max_iterations = kStepBenchIterations;
+  return options;
+}
+
+std::vector<double> step_bench_start(std::size_t lane) {
+  std::vector<double> x(kStepBenchNodes);
+  double total = 0.0;
+  for (std::size_t i = 0; i < kStepBenchNodes; ++i) {
+    x[i] = 1.0 + 0.0125 * static_cast<double>((i * 7 + lane) % kStepBenchNodes);
+    total += x[i];
+  }
+  for (double& v : x) {
+    v /= total;
+  }
+  return x;
+}
+
+// The SoA lockstep kernel: submit `lanes` instances, run them to the
+// iteration cap as one batch. Construction and submission copies sit
+// inside the timing loop — they are part of the price of batching and are
+// amortized over lanes * 100 steps, exactly as in the sweep pipeline.
+void BM_BatchAllocatorStep(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const core::SingleFileModel& model = cached_model(kStepBenchNodes);
+  for (auto _ : state) {
+    core::BatchAllocator batch(lanes);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      batch.submit(model, step_bench_options(k), step_bench_start(k));
+    }
+    benchmark::DoNotOptimize(batch.run_all());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lanes) *
+                          static_cast<int64_t>(kStepBenchIterations));
+}
+BENCHMARK(BM_BatchAllocatorStep)->Arg(8)->Arg(64)->Arg(256);
+
+// The serial mirror: the same instances, one ResourceDirectedAllocator
+// run() each (run() is the production serial path — an in-place
+// step_into loop). Compare items/sec against BM_BatchAllocatorStep at
+// equal lane count for the aggregate speedup of batching.
+void BM_SerialAllocatorStep(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const core::SingleFileModel& model = cached_model(kStepBenchNodes);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const core::ResourceDirectedAllocator allocator(model,
+                                                      step_bench_options(k));
+      benchmark::DoNotOptimize(allocator.run(step_bench_start(k)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(lanes) *
+                          static_cast<int64_t>(kStepBenchIterations));
+}
+BENCHMARK(BM_SerialAllocatorStep)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_FullConvergence(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const core::SingleFileModel& model = cached_model(n);
@@ -129,6 +202,20 @@ void BM_AllPairsShortestPathsParallel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AllPairsShortestPathsParallel)->Arg(300)->Arg(1000);
+
+// The cost-matrix cache hit path: content-hash an n = 100 topology and
+// return the shared matrix. Compare against BM_AllPairsShortestPaths/100
+// — the miss cost the hit replaces for every sweep task after the first.
+void BM_CostMatrixCache(benchmark::State& state) {
+  util::Rng rng(7);
+  const net::Topology topology = net::make_random_metric(100, 4, rng);
+  net::CostMatrixCache cache;
+  benchmark::DoNotOptimize(cache.get(topology));  // prime: the one miss
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(topology));
+  }
+}
+BENCHMARK(BM_CostMatrixCache);
 
 void BM_RingGradient(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -15,9 +15,13 @@ files the ratio current/baseline is reported:
   ratio >= hard-fail           FAIL (exit 1 always: a 3x regression is
                                never timer noise, even on a busy CI box)
 
-Benchmarks present on only one side are listed but never fail the check,
-so adding a benchmark does not require regenerating the baseline in the
-same commit.
+Benchmarks present only in the current run are listed but do not fail
+the check, so adding a benchmark does not require regenerating the
+baseline in the same commit. Benchmarks present only in the BASELINE are
+a hard failure (even with --warn-only): a benchmark that silently stops
+running is exactly the regression this check exists to catch — a rename
+or deletion must be accompanied by a baseline refresh, or explicitly
+waived with --allow-missing.
 """
 
 from __future__ import annotations
@@ -64,7 +68,12 @@ def main() -> int:
                         help="always fail at this ratio (default: 3.0)")
     parser.add_argument("--warn-only", action="store_true",
                         help="exit 0 on tolerance breaches below the "
-                             "hard-fail ratio (for noisy shared runners)")
+                             "hard-fail ratio (for noisy shared runners); "
+                             "does NOT waive missing-benchmark failures")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a baseline benchmark is "
+                             "absent from the current run (for filtered "
+                             "runs, e.g. perf-smoke on a subset)")
     args = parser.parse_args()
     if args.tolerance <= 0 or args.hard_fail < args.tolerance:
         parser.error("need 0 < tolerance <= hard-fail")
@@ -100,12 +109,25 @@ def main() -> int:
         print(f"{name:<{width}}  {baseline[name]:>10.1f}ns  "
               f"{current[name]:>10.1f}ns  {ratio:5.2f}x  {verdict}")
 
+    missing = []
     for name in only_baseline:
-        print(f"note: {name} only in baseline (removed benchmark?)")
+        if args.allow_missing:
+            print(f"note: {name} only in baseline (waived by "
+                  f"--allow-missing)")
+        else:
+            print(f"MISSING: {name} in baseline but absent from the "
+                  f"current run (deleted or renamed? refresh the baseline "
+                  f"with scripts/perf_baseline.sh, or waive an "
+                  f"intentionally filtered run with --allow-missing)")
+            missing.append(name)
     for name in only_current:
         print(f"note: {name} only in current run (new benchmark; refresh "
               f"the baseline with scripts/perf_baseline.sh)")
 
+    if missing:
+        print(f"FAIL: {len(missing)} baseline benchmark(s) missing from "
+              f"the current run: {', '.join(missing)}")
+        return 1
     if failed:
         print(f"FAIL: {len(failed)} benchmark(s) at >= {args.hard_fail}x "
               f"the baseline: {', '.join(failed)}")

@@ -10,17 +10,9 @@ namespace fap::core {
 
 namespace {
 
-// A node counts as sitting on the x_i >= 0 boundary below this threshold.
-// Exclusion from the active set (Section 5.2 steps (i)-(v)) applies only to
-// boundary nodes: an *interior* node whose step would overshoot below zero
-// must have the step clipped (θ-scaling in step()) rather than be frozen at
-// its current allocation — freezing it would make the spread-over-A
-// termination criterion fire at a point violating the Section 5.3
-// optimality conditions (∂U/∂x_i = q must hold at every x_i > 0). The
-// paper's own Figure 4 run (start (0,0,0,1), α = 0.3) exercises exactly
-// this case: the literal rule would freeze node 4 at x = 1 on the first
-// iteration.
-constexpr double kBoundaryTol = 1e-12;
+// Boundary tolerance shared with the fast path; the rationale for
+// boundary-only exclusion lives with its definition in core/active_set.hpp.
+using detail::kBoundaryTol;
 
 // Mean of `values` over the index subset `subset`.
 double mean_over(const std::vector<double>& values,
@@ -132,8 +124,8 @@ void ResourceDirectedAllocator::check_feasible_cached(
 std::vector<std::size_t> ResourceDirectedAllocator::active_set(
     const ConstraintGroup& group, const std::vector<double>& x,
     const std::vector<double>& marginal_u, double alpha) const {
-  active_set_fast(group, x, marginal_u, alpha);
-  return ws_.active;
+  detail::active_set_fast(group, x, marginal_u, alpha, caps_, dim_, ws_.aset);
+  return ws_.aset.active;
 }
 
 std::vector<std::size_t> ResourceDirectedAllocator::active_set_reference(
@@ -243,230 +235,6 @@ std::vector<std::size_t> ResourceDirectedAllocator::active_set_reference(
   return active;
 }
 
-void ResourceDirectedAllocator::active_set_fast(
-    const ConstraintGroup& group, const std::vector<double>& x,
-    const std::vector<double>& marginal_u, double alpha) const {
-  FAP_EXPECTS(!group.indices.empty(), "constraint group must be non-empty");
-  const std::vector<std::size_t>& members = group.indices;
-  const std::size_t m = members.size();
-
-  const auto cap_of = [this](std::size_t i) {
-    return caps_.empty() ? std::numeric_limits<double>::infinity() : caps_[i];
-  };
-  const auto pinned = [&](std::size_t i, double d) {
-    if (x[i] <= kBoundaryTol && d < 0.0 && x[i] + d <= 0.0) {
-      return true;  // at the floor, being decreased
-    }
-    const double cap = cap_of(i);
-    return x[i] >= cap - kBoundaryTol && d > 0.0 && x[i] + d >= cap;
-  };
-
-  std::vector<std::size_t>& active = ws_.active;
-  active.clear();
-
-  // Step (i): the reference recomputes mean_over(marginal_u, group.indices)
-  // for every candidate; the sum is the same left-to-right sum each time,
-  // so computing it once is bit-identical.
-  double sum_full = 0.0;
-  for (const std::size_t i : members) {
-    sum_full += marginal_u[i];
-  }
-  const double avg_full = sum_full / static_cast<double>(m);
-  for (const std::size_t i : members) {
-    const double d = alpha * (marginal_u[i] - avg_full);
-    if (!pinned(i, d)) {
-      active.push_back(i);
-    }
-  }
-
-  // Fast path: nobody pinned under the full-group average. The reference's
-  // round 0 is then a provable no-op — no outsiders exist to re-admit, and
-  // its drop pass recomputes the same left-to-right group sum and repeats
-  // exactly the pinned() checks step (i) just passed — so A is the whole
-  // group and the heaps are never needed. This is the steady state of an
-  // interior trajectory, which makes the per-iteration cost O(m) there.
-  if (active.size() == m) {
-    std::sort(active.begin(), active.end());
-    return;
-  }
-
-  // Membership bitmask (replaces the reference's std::find scans) and the
-  // variable -> group-position map used to re-enqueue dropped nodes.
-  ws_.in_active.assign(dim_, 0);
-  if (ws_.pos_in_group.size() != dim_) {
-    ws_.pos_in_group.resize(dim_);
-  }
-  for (std::size_t p = 0; p < m; ++p) {
-    ws_.pos_in_group[members[p]] = p;
-  }
-  for (const std::size_t i : active) {
-    ws_.in_active[i] = 1;
-  }
-
-  if (active.empty()) {
-    // Degenerate; keep the node with the highest marginal utility (first
-    // maximum in group order, as std::max_element returns).
-    std::size_t best = members.front();
-    for (const std::size_t i : members) {
-      if (marginal_u[i] > marginal_u[best]) {
-        best = i;
-      }
-    }
-    active.push_back(best);
-    ws_.in_active[best] = 1;
-  }
-
-  // Lazy re-admission heaps over group positions. Eligibility is a static
-  // property of x (strictly inside the respective bound), so each heap is
-  // built once; entries already re-admitted are skipped on pop. For the
-  // gainer heap (candidates with marginal > average) the re-admission gap
-  // grows with the marginal utility, so the best gainer is the max-du
-  // candidate; dually the best loser is the min-du candidate. Ties broken
-  // toward the earlier group position — the element the reference's
-  // position-ordered strict-improvement scan would settle on.
-  const auto gainer_less = [&](std::size_t a, std::size_t b) {
-    const double da = marginal_u[members[a]];
-    const double db = marginal_u[members[b]];
-    if (da != db) {
-      return da < db;
-    }
-    return a > b;
-  };
-  const auto loser_less = [&](std::size_t a, std::size_t b) {
-    const double da = marginal_u[members[a]];
-    const double db = marginal_u[members[b]];
-    if (da != db) {
-      return da > db;
-    }
-    return a > b;
-  };
-  std::vector<std::size_t>& gainers = ws_.gainer_heap;
-  std::vector<std::size_t>& losers = ws_.loser_heap;
-  gainers.clear();
-  losers.clear();
-  for (std::size_t p = 0; p < m; ++p) {
-    const std::size_t j = members[p];
-    if (x[j] < cap_of(j) - kBoundaryTol) {
-      gainers.push_back(p);
-    }
-    if (x[j] > kBoundaryTol) {
-      losers.push_back(p);
-    }
-  }
-  std::make_heap(gainers.begin(), gainers.end(), gainer_less);
-  std::make_heap(losers.begin(), losers.end(), loser_less);
-
-  // Pops stale (already-active) entries, then returns the top position, or
-  // m when the heap has no live candidate.
-  const auto peek = [&](std::vector<std::size_t>& heap,
-                        const auto& less) -> std::size_t {
-    while (!heap.empty() && ws_.in_active[members[heap.front()]] != 0) {
-      std::pop_heap(heap.begin(), heap.end(), less);
-      heap.pop_back();
-    }
-    return heap.empty() ? m : heap.front();
-  };
-
-  const std::size_t round_limit = 2 * m + 2;
-  std::vector<std::size_t>& survivors = ws_.survivors;
-  for (std::size_t round = 0; round < round_limit; ++round) {
-    bool changed = false;
-
-    // Running sum of the active marginal utilities, rebuilt in the active
-    // vector's insertion order so every mean below reproduces the
-    // reference's fresh left-to-right mean_over bit for bit (appending the
-    // admitted node's term to the running sum IS the next left-to-right
-    // sum, because the node is appended at the end).
-    double sum_active = 0.0;
-    for (const std::size_t i : active) {
-      sum_active += marginal_u[i];
-    }
-
-    // Re-admission: largest |marginal - average| eligible node first.
-    for (;;) {
-      const double avg = sum_active / static_cast<double>(active.size());
-      const std::size_t gp = peek(gainers, gainer_less);
-      const std::size_t lp = peek(losers, loser_less);
-      double gainer_gap = 0.0;
-      double loser_gap = 0.0;
-      if (gp < m) {
-        const double gap = marginal_u[members[gp]] - avg;
-        if (gap > 0.0) {
-          gainer_gap = gap;  // == fabs(gap)
-        }
-      }
-      if (lp < m) {
-        const double gap = marginal_u[members[lp]] - avg;
-        if (gap < 0.0) {
-          loser_gap = std::fabs(gap);
-        }
-      }
-      std::size_t best_pos = m;
-      if (gainer_gap > 0.0 || loser_gap > 0.0) {
-        if (gainer_gap > loser_gap) {
-          best_pos = gp;
-        } else if (loser_gap > gainer_gap) {
-          best_pos = lp;
-        } else {
-          // Exact cross-class tie: the reference's scan keeps the first
-          // (smallest-position) candidate attaining the maximum.
-          best_pos = std::min(gp, lp);
-        }
-      }
-      if (best_pos == m) {
-        break;
-      }
-      const std::size_t j = members[best_pos];
-      active.push_back(j);
-      ws_.in_active[j] = 1;
-      sum_active += marginal_u[j];
-      changed = true;
-    }
-
-    // Drop: members whose recomputed Δx pins them at a boundary. Dropped
-    // nodes go back into the candidate heaps (duplicates are fine — stale
-    // copies are skipped on pop).
-    const double avg = sum_active / static_cast<double>(active.size());
-    survivors.clear();
-    for (const std::size_t i : active) {
-      const double d = alpha * (marginal_u[i] - avg);
-      if (pinned(i, d)) {
-        changed = true;
-        ws_.in_active[i] = 0;
-        const std::size_t p = ws_.pos_in_group[i];
-        if (x[i] < cap_of(i) - kBoundaryTol) {
-          gainers.push_back(p);
-          std::push_heap(gainers.begin(), gainers.end(), gainer_less);
-        }
-        if (x[i] > kBoundaryTol) {
-          losers.push_back(p);
-          std::push_heap(losers.begin(), losers.end(), loser_less);
-        }
-        continue;
-      }
-      survivors.push_back(i);
-    }
-    if (survivors.empty()) {
-      // Everyone is a violator only in degenerate corner cases; keep the
-      // best node defensively (first maximum in the pre-drop active order).
-      std::size_t best = active.front();
-      for (const std::size_t i : active) {
-        if (marginal_u[i] > marginal_u[best]) {
-          best = i;
-        }
-      }
-      survivors.push_back(best);
-      ws_.in_active[best] = 1;
-    }
-    std::swap(active, survivors);
-
-    if (!changed) {
-      break;
-    }
-  }
-  std::sort(active.begin(), active.end());
-}
-
 ResourceDirectedAllocator::StepStats ResourceDirectedAllocator::step_into(
     const std::vector<double>& x, std::vector<double>& x_out) const {
   check_feasible_cached(x);
@@ -500,8 +268,8 @@ ResourceDirectedAllocator::StepStats ResourceDirectedAllocator::step_into(
     if (options_.use_reference_active_set) {
       active = active_set_reference(group, x, ws_.du, alpha);
     } else {
-      active_set_fast(group, x, ws_.du, alpha);
-      active = ws_.active;
+      detail::active_set_fast(group, x, ws_.du, alpha, caps_, dim_, ws_.aset);
+      active = ws_.aset.active;
     }
     if (options_.step_rule == StepRule::kDynamic) {
       alpha = options_.dynamic_safety * dynamic_alpha_bound_cached(active);

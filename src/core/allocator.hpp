@@ -41,6 +41,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/active_set.hpp"
 #include "core/cost_model.hpp"
 
 namespace fap::core {
@@ -168,16 +169,9 @@ class ResourceDirectedAllocator {
     std::vector<double> d2c;             ///< second derivatives (kDynamic)
     std::vector<double> deltas;          ///< per-active-node Δx of one group
     std::vector<double> x_next;          ///< run()'s ping-pong buffer
-    std::vector<std::size_t> active;     ///< active set under construction
-    std::vector<std::size_t> survivors;  ///< drop-pass output
-    std::vector<unsigned char> in_active;  ///< membership bitmask by variable
-    std::vector<std::size_t> pos_in_group;  ///< variable -> group position
-    /// Lazy re-admission heaps: candidate positions into group.indices,
-    /// keyed on marginal utility (max-du for boundary gainers, min-du for
-    /// boundary losers), ties broken toward the earlier group position —
-    /// the reference scan order.
-    std::vector<std::size_t> gainer_heap;
-    std::vector<std::size_t> loser_heap;
+    /// Scratch of the shared active-set fast path (core/active_set.hpp);
+    /// aset.active holds the set under construction.
+    detail::ActiveSetWorkspace aset;
     /// Per-group active sets and step sizes of the step() first pass.
     std::vector<std::vector<std::size_t>> group_active;
     std::vector<double> group_alpha;
@@ -198,12 +192,6 @@ class ResourceDirectedAllocator {
 
   /// check_feasible against the cached groups/caps — no allocation.
   void check_feasible_cached(const std::vector<double>& x) const;
-
-  /// Fast-path implementation of active_set, writing into ws_.active.
-  void active_set_fast(const ConstraintGroup& group,
-                       const std::vector<double>& x,
-                       const std::vector<double>& marginal_u,
-                       double alpha) const;
 
   /// dynamic_alpha_bound evaluated from the workspace's du/d2c (already
   /// computed for the current x) instead of re-querying the model.

@@ -1,0 +1,617 @@
+// SoA lockstep kernel. See batch_allocator.hpp for the contract; the
+// comments here focus on the padding invariants that let the row loops
+// run dense (no per-element lane guards) without perturbing any lane's
+// arithmetic:
+//
+//   rows j >= lane_n_[k] of column k hold  x = 0, mu = 1, cap = +inf,
+//   du = 0  at every point where a dense loop reads them.
+//
+// Consequences, each load-bearing for bit-identity:
+//   * the derivative row loop may evaluate padding cells (a = 0, mu = 1
+//     is well inside every stability region — no traps, no NaNs); the
+//     results are zeroed by a tail pass before anyone reads du;
+//   * the lane sum Σ_j du[j][k] sees the real values first (rows are
+//     ordered) and then adds +0.0 terms, which cannot change a partial
+//     sum s except for s = -0.0 — and a -0.0 sum implies every du is
+//     ±0.0, in which case the lane's spread is 0, it terminates without
+//     stepping, and the sign never reaches an observable value;
+//   * the pinned/violation row predicates are identically false on
+//     padding cells (x = 0 with step d >= 0 against cap = +inf);
+//   * min/max spread reductions CANNOT include padding (a 0.0 would
+//     masquerade as the max of all-negative utilities), so they are the
+//     one pair of loops with an explicit [n_min, n_max) scalar tail.
+//
+// This TU is compiled with -O3 -ffp-contract=off (see src/CMakeLists.txt):
+// -O3 so GCC's vectorizer takes the division-heavy row loops at stride-1,
+// -ffp-contract=off so no FMA contraction can ever fuse a multiply-add
+// the serial path rounds twice.
+
+#include "core/batch_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fap::core {
+
+namespace {
+
+using detail::kBoundaryTol;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+BatchAllocator::BatchAllocator(std::size_t width) : width_(width) {
+  FAP_EXPECTS(width >= 1, "batch width must be at least 1");
+}
+
+std::size_t BatchAllocator::submit(const SingleFileModel& model,
+                                   const AllocatorOptions& options,
+                                   std::vector<double> start) {
+  // Same validations as the ResourceDirectedAllocator constructor + run().
+  FAP_EXPECTS(options.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(options.epsilon > 0.0, "epsilon must be positive");
+  FAP_EXPECTS(options.max_iterations > 0, "need at least one iteration");
+  FAP_EXPECTS(options.dynamic_safety > 0.0 && options.dynamic_safety <= 1.0,
+              "dynamic_safety must be in (0, 1]");
+  FAP_EXPECTS(!options.record_trace,
+              "BatchAllocator does not record traces; use the serial "
+              "ResourceDirectedAllocator for traced runs");
+  FAP_EXPECTS(!options.use_reference_active_set,
+              "BatchAllocator always uses the fast active set");
+  model.check_feasible(start);
+
+  Instance inst;
+  inst.n = model.dimension();
+  inst.alpha = options.alpha;
+  inst.epsilon = options.epsilon;
+  inst.dynamic_safety = options.dynamic_safety;
+  inst.dynamic_rule = options.step_rule == StepRule::kDynamic;
+  inst.max_iterations = options.max_iterations;
+  inst.total_rate = model.total_rate();
+  inst.k = model.problem().k;
+  inst.delay = model.problem().delay;
+  inst.access_cost = model.access_costs();
+  inst.mu = model.problem().mu;
+  inst.caps = model.problem().storage_capacity;
+  inst.start = std::move(start);
+  pending_.push_back(std::move(inst));
+  return pending_.size() - 1;
+}
+
+void BatchAllocator::load_lane(std::size_t lane, std::size_t instance_id) {
+  const Instance& inst = pending_[instance_id];
+  const std::size_t s = lanes_;
+  for (std::size_t j = 0; j < node_cap_; ++j) {
+    const bool real = j < inst.n;
+    x_[j * s + lane] = real ? inst.start[j] : 0.0;
+    c_[j * s + lane] = real ? inst.access_cost[j] : 0.0;
+    mu_[j * s + lane] = real ? inst.mu[j] : 1.0;
+    cap_[j * s + lane] =
+        (real && !inst.caps.empty()) ? inst.caps[j] : kInf;
+  }
+  lane_inst_[lane] = instance_id;
+  lane_n_[lane] = inst.n;
+  lane_maxit_[lane] = inst.max_iterations;
+  lane_iter_[lane] = 0;
+  lane_tr_[lane] = inst.total_rate;
+  lane_k_[lane] = inst.k;
+  lane_alpha_opt_[lane] = inst.alpha;
+  lane_eps_[lane] = inst.epsilon;
+  lane_safety_[lane] = inst.dynamic_safety;
+  lane_scv_[lane] = inst.delay.scv();
+  lane_rho_[lane] = inst.delay.rho_max();
+  lane_dyn_[lane] = inst.dynamic_rule ? 1 : 0;
+  lane_single_[lane] =
+      inst.delay.discipline() != queueing::Discipline::kMMc ? 1 : 0;
+  lane_delay_[lane] = inst.delay;
+}
+
+void BatchAllocator::refresh_lane_summary() {
+  n_min_ = std::numeric_limits<std::size_t>::max();
+  n_max_ = 0;
+  all_single_ = true;
+  any_dyn_ = false;
+  for (std::size_t k = 0; k < live_; ++k) {
+    n_min_ = std::min(n_min_, lane_n_[k]);
+    n_max_ = std::max(n_max_, lane_n_[k]);
+    all_single_ = all_single_ && lane_single_[k] != 0;
+    any_dyn_ = any_dyn_ || lane_dyn_[k] != 0;
+  }
+  if (live_ == 0) {
+    n_min_ = n_max_ = 0;
+  }
+}
+
+void BatchAllocator::compute_derivatives() {
+  const std::size_t s = lanes_;
+  const std::size_t live = live_;
+  if (all_single_) {
+    // Vectorized rows: identical per-cell expression sequence as
+    // SingleFileModel::gradient_into + marginal_utilities_into's negation
+    // (the lin_* helpers are bit-equal to DelayModel::sojourn et al. for
+    // single-server disciplines — see queueing/delay.hpp).
+    if (any_dyn_) {
+      for (std::size_t j = 0; j < n_max_; ++j) {
+        const double* xr = x_.data() + j * s;
+        const double* mr = mu_.data() + j * s;
+        const double* cr = c_.data() + j * s;
+        double* dur = du_.data() + j * s;
+        double* d2r = d2c_.data() + j * s;
+        for (std::size_t k = 0; k < live; ++k) {
+          const double a = lane_tr_[k] * xr[k];
+          const double m = mr[k];
+          const double scv = lane_scv_[k];
+          const double rho = lane_rho_[k];
+          const double T = queueing::detail::lin_sojourn(a, m, scv, rho);
+          const double dT = queueing::detail::lin_d_sojourn(a, m, scv, rho);
+          const double d2T = queueing::detail::lin_d2_sojourn(a, m, scv, rho);
+          dur[k] = -(cr[k] + lane_k_[k] * (T + a * dT));
+          d2r[k] = lane_tr_[k] * lane_k_[k] * (2.0 * dT + a * d2T);
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < n_max_; ++j) {
+        const double* xr = x_.data() + j * s;
+        const double* mr = mu_.data() + j * s;
+        const double* cr = c_.data() + j * s;
+        double* dur = du_.data() + j * s;
+        for (std::size_t k = 0; k < live; ++k) {
+          const double a = lane_tr_[k] * xr[k];
+          const double m = mr[k];
+          const double scv = lane_scv_[k];
+          const double rho = lane_rho_[k];
+          const double T = queueing::detail::lin_sojourn(a, m, scv, rho);
+          const double dT = queueing::detail::lin_d_sojourn(a, m, scv, rho);
+          dur[k] = -(cr[k] + lane_k_[k] * (T + a * dT));
+        }
+      }
+    }
+  } else {
+    // A multi-server lane is present: evaluate per lane through the exact
+    // scalar DelayModel entry points (Erlang C has a data-dependent
+    // series; there is nothing to vectorize across lanes).
+    for (std::size_t k = 0; k < live; ++k) {
+      const queueing::DelayModel& delay = lane_delay_[k];
+      const double tr = lane_tr_[k];
+      const double kk = lane_k_[k];
+      const bool dyn = lane_dyn_[k] != 0;
+      for (std::size_t j = 0; j < lane_n_[k]; ++j) {
+        const double a = tr * x_[j * s + k];
+        const double m = mu_[j * s + k];
+        const double T = delay.sojourn(a, m);
+        const double dT = delay.d_sojourn(a, m);
+        du_[j * s + k] = -(c_[j * s + k] + kk * (T + a * dT));
+        if (dyn) {
+          const double d2T = delay.d2_sojourn(a, m);
+          d2c_[j * s + k] = tr * kk * (2.0 * dT + a * d2T);
+        }
+      }
+    }
+  }
+  // Restore the du padding invariant (the vector path computed garbage on
+  // padding cells; the per-lane path left stale values).
+  for (std::size_t j = n_min_; j < n_max_; ++j) {
+    double* dur = du_.data() + j * s;
+    for (std::size_t k = 0; k < live; ++k) {
+      if (j >= lane_n_[k]) {
+        dur[k] = 0.0;
+      }
+    }
+  }
+}
+
+void BatchAllocator::scalar_theta(std::size_t lane) {
+  // The serial second-pass θ loop over a full active set (all nodes).
+  const std::size_t s = lanes_;
+  const std::size_t n = lane_n_[lane];
+  const double al = alpha_[lane];
+  const double avg = avg_full_[lane];
+  double theta = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = al * (du_[j * s + lane] - avg);
+    const double xj = x_[j * s + lane];
+    if (d < 0.0 && xj + d < 0.0) {
+      theta = std::min(theta, xj / -d);
+    }
+    const double cp = cap_[j * s + lane];
+    if (d > 0.0 && xj + d > cp) {
+      theta = std::min(theta, (cp - xj) / d);
+    }
+  }
+  theta_[lane] = std::max(theta, 0.0);
+}
+
+void BatchAllocator::scalar_lane_step(std::size_t lane) {
+  // A lane with a pinned node: gather it into contiguous scratch and run
+  // the serial step verbatim — the SAME shared active-set fast path the
+  // serial allocator calls, then the dynamic-α refinement, spread check
+  // and θ-scaled apply, writing the stepped column into xn_.
+  const std::size_t s = lanes_;
+  const std::size_t n = lane_n_[lane];
+  gx_.resize(n);
+  gdu_.resize(n);
+  gcaps_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    gx_[j] = x_[j * s + lane];
+    gdu_[j] = du_[j * s + lane];
+    gcaps_[j] = cap_[j * s + lane];
+  }
+  ConstraintGroup& group = group_by_n_[n];
+  if (group.indices.size() != n) {
+    group.indices.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      group.indices[j] = j;
+    }
+    group.total = 1.0;
+  }
+
+  double al = alpha_[lane];
+  detail::active_set_fast(group, gx_, gdu_, al, gcaps_, n, aset_);
+  const std::vector<std::size_t>& active = aset_.active;
+
+  if (lane_dyn_[lane] != 0) {
+    // Refine α over the active set (dynamic_alpha_bound_cached).
+    double sum = 0.0;
+    for (const std::size_t i : active) {
+      sum += gdu_[i];
+    }
+    const double avg = sum / static_cast<double>(active.size());
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (const std::size_t i : active) {
+      const double dev = gdu_[i] - avg;
+      numerator += dev * dev;
+      denominator += std::fabs(d2c_[i * s + lane]) * dev * dev;
+    }
+    const double bound = denominator <= 0.0 ? lane_alpha_opt_[lane]
+                                            : 2.0 * numerator / denominator;
+    al = lane_safety_[lane] * bound;
+  }
+
+  double lo = kInf;
+  double hi = -kInf;
+  for (const std::size_t i : active) {
+    lo = std::min(lo, gdu_[i]);
+    hi = std::max(hi, gdu_[i]);
+  }
+  if (hi - lo < lane_eps_[lane]) {
+    term_[lane] = 1;
+    return;
+  }
+
+  double sum = 0.0;
+  for (const std::size_t i : active) {
+    sum += gdu_[i];
+  }
+  const double avg = sum / static_cast<double>(active.size());
+  deltas_.assign(active.size(), 0.0);
+  double theta = 1.0;
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    const std::size_t i = active[idx];
+    deltas_[idx] = al * (gdu_[i] - avg);
+    if (deltas_[idx] < 0.0 && gx_[i] + deltas_[idx] < 0.0) {
+      theta = std::min(theta, gx_[i] / -deltas_[idx]);
+    }
+    const double cp = gcaps_[i];
+    if (deltas_[idx] > 0.0 && gx_[i] + deltas_[idx] > cp) {
+      theta = std::min(theta, (cp - gx_[i]) / deltas_[idx]);
+    }
+  }
+  theta = std::max(theta, 0.0);
+
+  // x_out = x, then overwrite the active entries (serial order).
+  for (std::size_t j = 0; j < n; ++j) {
+    xn_[j * s + lane] = gx_[j];
+  }
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    const std::size_t i = active[idx];
+    double t = gx_[i] + theta * deltas_[idx];
+    if (t < 0.0) {
+      t = 0.0;  // absorb floating-point dust
+    }
+    if (t > gcaps_[i]) {
+      t = gcaps_[i];
+    }
+    xn_[i * s + lane] = t;
+  }
+}
+
+double BatchAllocator::column_cost(std::size_t lane,
+                                   const std::vector<double>& plane) const {
+  // SingleFileModel::cost in node order over the lane's column.
+  const std::size_t s = lanes_;
+  const double tr = lane_tr_[lane];
+  const double kk = lane_k_[lane];
+  const queueing::DelayModel& delay = lane_delay_[lane];
+  double total = 0.0;
+  for (std::size_t j = 0; j < lane_n_[lane]; ++j) {
+    const double xj = plane[j * s + lane];
+    if (xj == 0.0) {
+      continue;  // zero fragment contributes zero cost regardless of T_i
+    }
+    const double a = tr * xj;
+    total += xj * (c_[j * s + lane] + kk * delay.sojourn(a, mu_[j * s + lane]));
+  }
+  return total;
+}
+
+void BatchAllocator::harvest(std::size_t lane, const std::vector<double>& plane,
+                             bool converged,
+                             std::vector<BatchRunResult>& results) const {
+  const std::size_t s = lanes_;
+  BatchRunResult& out = results[lane_inst_[lane]];
+  out.x.resize(lane_n_[lane]);
+  for (std::size_t j = 0; j < lane_n_[lane]; ++j) {
+    out.x[j] = plane[j * s + lane];
+  }
+  out.converged = converged;
+  out.iterations = lane_iter_[lane];
+  out.cost = column_cost(lane, plane);
+}
+
+std::vector<BatchRunResult> BatchAllocator::run_all() {
+  stats_ = Stats{};
+  stats_.instances = pending_.size();
+  std::vector<BatchRunResult> results(pending_.size());
+  if (pending_.empty()) {
+    return results;
+  }
+
+  lanes_ = std::min(width_, pending_.size());
+  node_cap_ = 0;
+  for (const Instance& inst : pending_) {
+    node_cap_ = std::max(node_cap_, inst.n);
+  }
+  const std::size_t cells = node_cap_ * lanes_;
+  x_.assign(cells, 0.0);
+  xn_.assign(cells, 0.0);
+  du_.assign(cells, 0.0);
+  d2c_.assign(cells, 0.0);
+  c_.assign(cells, 0.0);
+  mu_.assign(cells, 1.0);
+  cap_.assign(cells, kInf);
+  const auto resize_lane_arrays = [this]() {
+    lane_inst_.resize(lanes_);
+    lane_n_.resize(lanes_);
+    lane_maxit_.resize(lanes_);
+    lane_iter_.resize(lanes_);
+    lane_tr_.resize(lanes_);
+    lane_k_.resize(lanes_);
+    lane_alpha_opt_.resize(lanes_);
+    lane_eps_.resize(lanes_);
+    lane_safety_.resize(lanes_);
+    lane_scv_.resize(lanes_);
+    lane_rho_.resize(lanes_);
+    lane_dyn_.resize(lanes_);
+    lane_single_.resize(lanes_);
+    lane_delay_.resize(lanes_);
+    sum_full_.resize(lanes_);
+    avg_full_.resize(lanes_);
+    alpha_.resize(lanes_);
+    lo_.resize(lanes_);
+    hi_.resize(lanes_);
+    theta_.resize(lanes_);
+    pinc_.resize(lanes_);
+    viol_.resize(lanes_);
+    term_.resize(lanes_);
+    scalar_lane_.resize(lanes_);
+  };
+  resize_lane_arrays();
+
+  std::size_t next_pending = 0;
+  live_ = 0;
+  while (live_ < lanes_ && next_pending < pending_.size()) {
+    load_lane(live_++, next_pending++);
+  }
+  refresh_lane_summary();
+
+  std::vector<unsigned char> retired(lanes_, 0);
+  const std::size_t s = lanes_;
+
+  while (live_ > 0) {
+    ++stats_.lockstep_iterations;
+    const std::size_t live = live_;
+
+    compute_derivatives();
+
+    // Lane sums Σ_j du (left-to-right over node rows, so bit-equal to the
+    // serial mean_over sums; padding adds trailing +0.0 terms — see the
+    // file comment).
+    std::fill(sum_full_.begin(), sum_full_.begin() + live, 0.0);
+    for (std::size_t j = 0; j < n_max_; ++j) {
+      const double* dur = du_.data() + j * s;
+      for (std::size_t k = 0; k < live; ++k) {
+        sum_full_[k] += dur[k];
+      }
+    }
+    for (std::size_t k = 0; k < live; ++k) {
+      avg_full_[k] = sum_full_[k] / static_cast<double>(lane_n_[k]);
+    }
+
+    // Provisional per-lane step size (the serial first-pass α: fixed, or
+    // the dynamic Theorem-2 bound over the whole group).
+    for (std::size_t k = 0; k < live; ++k) {
+      if (lane_dyn_[k] == 0) {
+        alpha_[k] = lane_alpha_opt_[k];
+        continue;
+      }
+      const std::size_t n = lane_n_[k];
+      const double avg = avg_full_[k];
+      double numerator = 0.0;
+      double denominator = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double dev = du_[j * s + k] - avg;
+        numerator += dev * dev;
+        denominator += std::fabs(d2c_[j * s + k]) * dev * dev;
+      }
+      const double bound = denominator <= 0.0 ? lane_alpha_opt_[k]
+                                              : 2.0 * numerator / denominator;
+      alpha_[k] = lane_safety_[k] * bound;
+    }
+
+    // Step (i) census: per lane, how many nodes the full-group average
+    // pins (active-set fast-path predicate) and how many the unscaled
+    // step would push outside [0, cap] (θ != 1 predicate). Padding cells
+    // satisfy neither (x = 0, d >= 0, cap = +inf).
+    std::fill(pinc_.begin(), pinc_.begin() + live, 0u);
+    std::fill(viol_.begin(), viol_.begin() + live, 0u);
+    for (std::size_t j = 0; j < n_max_; ++j) {
+      const double* xr = x_.data() + j * s;
+      const double* dur = du_.data() + j * s;
+      const double* capr = cap_.data() + j * s;
+      for (std::size_t k = 0; k < live; ++k) {
+        const double d = alpha_[k] * (dur[k] - avg_full_[k]);
+        const double xj = xr[k];
+        const double cp = capr[k];
+        const bool pin = (xj <= kBoundaryTol && d < 0.0 && xj + d <= 0.0) ||
+                         (xj >= cp - kBoundaryTol && d > 0.0 && xj + d >= cp);
+        const bool vi = (d < 0.0 && xj + d < 0.0) || (d > 0.0 && xj + d > cp);
+        pinc_[k] += pin ? 1u : 0u;
+        viol_[k] += vi ? 1u : 0u;
+      }
+    }
+
+    // Marginal-utility spread per lane (over all nodes == the full active
+    // set). min/max must not see padding: vector region + scalar tail.
+    std::fill(lo_.begin(), lo_.begin() + live, kInf);
+    std::fill(hi_.begin(), hi_.begin() + live, -kInf);
+    for (std::size_t j = 0; j < n_min_; ++j) {
+      const double* dur = du_.data() + j * s;
+      for (std::size_t k = 0; k < live; ++k) {
+        lo_[k] = std::min(lo_[k], dur[k]);
+        hi_[k] = std::max(hi_[k], dur[k]);
+      }
+    }
+    for (std::size_t j = n_min_; j < n_max_; ++j) {
+      const double* dur = du_.data() + j * s;
+      for (std::size_t k = 0; k < live; ++k) {
+        if (j < lane_n_[k]) {
+          lo_[k] = std::min(lo_[k], dur[k]);
+          hi_[k] = std::max(hi_[k], dur[k]);
+        }
+      }
+    }
+
+    // Classify lanes: full-active lanes resolve termination and θ here;
+    // lanes with a pinned node take the gathered scalar path below.
+    for (std::size_t k = 0; k < live; ++k) {
+      theta_[k] = 1.0;
+      term_[k] = 0;
+      scalar_lane_[k] = 0;
+      if (pinc_[k] != 0) {
+        scalar_lane_[k] = 1;
+        continue;
+      }
+      if (hi_[k] - lo_[k] < lane_eps_[k]) {
+        term_[k] = 1;
+        continue;
+      }
+      if (viol_[k] != 0) {
+        scalar_theta(k);
+      }
+    }
+
+    // Vectorized apply: xn = clamp(x + θ·α·(du - avg)). Runs for every
+    // lane — terminal lanes harvest from x_ so their xn garbage is dead,
+    // and scalar lanes overwrite their column immediately after.
+    for (std::size_t j = 0; j < n_max_; ++j) {
+      const double* xr = x_.data() + j * s;
+      const double* dur = du_.data() + j * s;
+      const double* capr = cap_.data() + j * s;
+      double* xnr = xn_.data() + j * s;
+      for (std::size_t k = 0; k < live; ++k) {
+        const double d = alpha_[k] * (dur[k] - avg_full_[k]);
+        double t = xr[k] + theta_[k] * d;
+        t = t < 0.0 ? 0.0 : t;
+        const double cp = capr[k];
+        t = t > cp ? cp : t;
+        xnr[k] = t;
+      }
+    }
+    // Restore the x-plane padding invariant on the soon-to-be x plane.
+    for (std::size_t j = n_min_; j < n_max_; ++j) {
+      double* xnr = xn_.data() + j * s;
+      for (std::size_t k = 0; k < live; ++k) {
+        if (j >= lane_n_[k]) {
+          xnr[k] = 0.0;
+        }
+      }
+    }
+
+    for (std::size_t k = 0; k < live; ++k) {
+      if (scalar_lane_[k] != 0) {
+        scalar_lane_step(k);
+      }
+    }
+
+    // Retire: termination fires on the PRE-step allocation (serial run()
+    // breaks before the swap), the iteration cap on the post-step one
+    // (serial run() exits the loop after its last swap).
+    bool changed = false;
+    std::fill(retired.begin(), retired.begin() + live, 0);
+    for (std::size_t k = 0; k < live; ++k) {
+      if (term_[k] != 0) {
+        harvest(k, x_, /*converged=*/true, results);
+        retired[k] = 1;
+        changed = true;
+        continue;
+      }
+      ++lane_iter_[k];
+      if (lane_iter_[k] >= lane_maxit_[k]) {
+        harvest(k, xn_, /*converged=*/false, results);
+        retired[k] = 1;
+        changed = true;
+      }
+    }
+
+    std::swap(x_, xn_);
+
+    if (changed) {
+      // Compact survivors left (full-column copies preserve the padding
+      // zeros), then backfill the freed lanes from the pending queue.
+      std::size_t dst = 0;
+      for (std::size_t src = 0; src < live; ++src) {
+        if (retired[src] != 0) {
+          continue;
+        }
+        if (dst != src) {
+          for (std::size_t j = 0; j < node_cap_; ++j) {
+            x_[j * s + dst] = x_[j * s + src];
+            c_[j * s + dst] = c_[j * s + src];
+            mu_[j * s + dst] = mu_[j * s + src];
+            cap_[j * s + dst] = cap_[j * s + src];
+          }
+          lane_inst_[dst] = lane_inst_[src];
+          lane_n_[dst] = lane_n_[src];
+          lane_maxit_[dst] = lane_maxit_[src];
+          lane_iter_[dst] = lane_iter_[src];
+          lane_tr_[dst] = lane_tr_[src];
+          lane_k_[dst] = lane_k_[src];
+          lane_alpha_opt_[dst] = lane_alpha_opt_[src];
+          lane_eps_[dst] = lane_eps_[src];
+          lane_safety_[dst] = lane_safety_[src];
+          lane_scv_[dst] = lane_scv_[src];
+          lane_rho_[dst] = lane_rho_[src];
+          lane_dyn_[dst] = lane_dyn_[src];
+          lane_single_[dst] = lane_single_[src];
+          lane_delay_[dst] = lane_delay_[src];
+        }
+        ++dst;
+      }
+      while (dst < lanes_ && next_pending < pending_.size()) {
+        load_lane(dst++, next_pending++);
+      }
+      live_ = dst;
+      refresh_lane_summary();
+    }
+  }
+
+  pending_.clear();
+  return results;
+}
+
+}  // namespace fap::core

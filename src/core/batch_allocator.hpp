@@ -1,0 +1,151 @@
+// Batched structure-of-arrays allocator kernel.
+//
+// Every figure and ablation evaluates many *independent* small
+// ResourceDirectedAllocator instances — an α sweep, a grid search, a
+// table of randomized problems. Run one at a time, each iteration is a
+// handful of scalar divides over n ≈ 4–64 nodes: far too little work to
+// feed the vector units or amortize per-call overhead. BatchAllocator
+// steps K instances in lockstep instead, with every per-node quantity
+// laid out [node][lane] (lane = instance) so the delay-law and utility
+// arithmetic of one node row vectorizes across the batch dimension.
+//
+// Bit-identity contract: lanes are independent instances, so no
+// cross-lane reduction exists anywhere — each lane executes exactly the
+// scalar operation sequence of ResourceDirectedAllocator::run /
+// Workspace::step_into (same expressions, same order, same boundary
+// logic via the shared core/active_set.hpp fast path), and IEEE-754 ops
+// are exactly rounded regardless of whether they sit in a vector
+// register. The kernel TU is compiled with -ffp-contract=off so no FMA
+// contraction can perturb a rounding. Consequently run_all() returns
+// results (x, cost, converged, iterations) bitwise equal to running each
+// submission through ResourceDirectedAllocator serially — pinned across
+// randomized instances by core_batch_allocator_test.
+//
+// Lane lifecycle: submissions queue in submit() order; run_all() loads
+// the first `width` of them into lanes and iterates. A lane retires when
+// its termination criterion fires (converged) or its iteration cap is
+// reached, and its column is immediately backfilled from the pending
+// queue; when the queue is dry, live columns are compacted left so the
+// vector loops stay dense.
+//
+// Supported models: SingleFileModel (any delay discipline; single-server
+// disciplines take the vectorized derivative path, M/M/c lanes fall back
+// to per-lane scalar evaluation), fixed or dynamic step rule, optional
+// storage capacities. Trace recording and the reference active set are
+// not supported (use the serial allocator for those).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/active_set.hpp"
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "queueing/delay.hpp"
+
+namespace fap::core {
+
+/// Result of one batched instance: AllocationResult minus the trace.
+struct BatchRunResult {
+  std::vector<double> x;
+  double cost = 0.0;
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+class BatchAllocator {
+ public:
+  /// Default lane count: wide enough to fill AVX-512 registers many times
+  /// over and amortize per-iteration lane bookkeeping, small enough that
+  /// the SoA planes of typical (n <= 64) problems stay cache-resident.
+  static constexpr std::size_t kDefaultWidth = 64;
+
+  explicit BatchAllocator(std::size_t width = kDefaultWidth);
+
+  /// Enqueues one instance; returns its index into run_all()'s result
+  /// vector. Copies everything it needs from `model` (the reference need
+  /// not outlive the call). Throws PreconditionError on infeasible
+  /// `start`, invalid options, or options requesting trace recording /
+  /// the reference active set.
+  std::size_t submit(const SingleFileModel& model,
+                     const AllocatorOptions& options,
+                     std::vector<double> start);
+
+  /// Runs every pending submission to completion and returns their
+  /// results in submission order. Clears the queue; the allocator can be
+  /// reused for a new round of submissions afterwards.
+  std::vector<BatchRunResult> run_all();
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Counters of the last run_all() call.
+  struct Stats {
+    std::size_t instances = 0;
+    /// Lockstep iterations executed (each steps every live lane once).
+    std::size_t lockstep_iterations = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// One queued submission (AoS; transposed into the SoA planes on load).
+  struct Instance {
+    std::size_t n = 0;
+    double alpha = 0.0;
+    double epsilon = 0.0;
+    double dynamic_safety = 0.0;
+    bool dynamic_rule = false;
+    std::size_t max_iterations = 0;
+    double total_rate = 0.0;
+    double k = 0.0;
+    queueing::DelayModel delay;
+    std::vector<double> access_cost;
+    std::vector<double> mu;
+    std::vector<double> caps;  ///< empty = unbounded
+    std::vector<double> start;
+  };
+
+  void load_lane(std::size_t lane, std::size_t instance_id);
+  void refresh_lane_summary();
+  void compute_derivatives();
+  void scalar_theta(std::size_t lane);
+  void scalar_lane_step(std::size_t lane);
+  double column_cost(std::size_t lane, const std::vector<double>& plane) const;
+  void harvest(std::size_t lane, const std::vector<double>& plane,
+               bool converged, std::vector<BatchRunResult>& results) const;
+
+  std::size_t width_;
+  std::vector<Instance> pending_;
+  Stats stats_;
+
+  // --- run_all() state. Planes are row-major [node][lane] with stride
+  // lanes_ (the loaded width); per-lane metadata is indexed by column.
+  // Padding rows (j >= lane n) hold x = 0, mu = 1, cap = +inf, du = 0 so
+  // the dense row loops never need per-element guards (see the padding
+  // invariants in batch_allocator.cpp).
+  std::size_t lanes_ = 0;       ///< columns allocated this run
+  std::size_t live_ = 0;        ///< columns currently occupied (prefix)
+  std::size_t node_cap_ = 0;    ///< plane row count
+  std::vector<double> x_, xn_, du_, d2c_, c_, mu_, cap_;
+  std::vector<std::size_t> lane_inst_, lane_n_, lane_maxit_, lane_iter_;
+  std::vector<double> lane_tr_, lane_k_, lane_alpha_opt_, lane_eps_,
+      lane_safety_, lane_scv_, lane_rho_;
+  std::vector<unsigned char> lane_dyn_, lane_single_;
+  std::vector<queueing::DelayModel> lane_delay_;
+  // Per-iteration lane scalars.
+  std::vector<double> sum_full_, avg_full_, alpha_, lo_, hi_, theta_;
+  std::vector<std::uint32_t> pinc_, viol_;
+  std::vector<unsigned char> term_, scalar_lane_;
+  // Lane summary, refreshed when lane membership changes.
+  std::size_t n_min_ = 0, n_max_ = 0;
+  bool all_single_ = true;
+  bool any_dyn_ = false;
+  // Scalar-tail scratch (boundary lanes).
+  std::vector<double> gx_, gdu_, gd2c_, gcaps_, deltas_;
+  detail::ActiveSetWorkspace aset_;
+  std::unordered_map<std::size_t, ConstraintGroup> group_by_n_;
+};
+
+}  // namespace fap::core

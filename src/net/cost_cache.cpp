@@ -1,0 +1,130 @@
+#include "net/cost_cache.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "runtime/metrics.hpp"
+
+namespace fap::net {
+
+namespace {
+
+// FNV-1a over the topology content. Costs are hashed by bit pattern
+// (std::bit_cast), so any two costs that differ in any bit — including
+// -0.0 vs +0.0 — hash (and compare, see operator==) as different, which
+// errs on the side of a spurious miss, never a wrong hit.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  h ^= value;
+  h *= kFnvPrime;
+}
+
+}  // namespace
+
+bool CostMatrixCache::Key::operator==(const Key& other) const {
+  if (node_count != other.node_count || edges.size() != other.edges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].u != other.edges[i].u || edges[i].v != other.edges[i].v ||
+        std::bit_cast<std::uint64_t>(edges[i].cost) !=
+            std::bit_cast<std::uint64_t>(other.edges[i].cost)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t CostMatrixCache::KeyHash::operator()(const Key& key) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, key.node_count);
+  fnv_mix(h, key.edges.size());
+  for (const Edge& edge : key.edges) {
+    fnv_mix(h, edge.u);
+    fnv_mix(h, edge.v);
+    fnv_mix(h, std::bit_cast<std::uint64_t>(edge.cost));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+CostMatrixCache::Key CostMatrixCache::make_key(const Topology& topology) {
+  return Key{topology.node_count(), topology.edges()};
+}
+
+std::shared_ptr<const CostMatrix> CostMatrixCache::get(
+    const Topology& topology) {
+  Key key = make_key(topology);
+
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(std::move(key), slot);
+      owner = true;
+    } else {
+      slot = it->second;
+      // Wait out an in-flight computation. A failed slot has already been
+      // erased from the map under the lock, but a waiter holding the old
+      // shared_ptr can still observe it: retry from scratch.
+      while (!slot->ready && !slot->failed) {
+        cv_.wait(lock);
+      }
+      if (slot->failed) {
+        lock.unlock();
+        return get(topology);
+      }
+    }
+  }
+
+  if (!owner) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    runtime::add_task_metric("cost_cache_hit", 1.0);
+    return slot->value;
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  runtime::add_task_metric("cost_cache_miss", 1.0);
+  try {
+    auto matrix =
+        std::make_shared<const CostMatrix>(all_pairs_shortest_paths(topology));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot->value = std::move(matrix);
+      slot->ready = true;
+    }
+    cv_.notify_all();
+    return slot->value;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot->failed = true;
+      // Erase only OUR slot — a retrying waiter may already have
+      // re-inserted a fresh one under the same key.
+      auto it = slots_.find(make_key(topology));
+      if (it != slots_.end() && it->second == slot) {
+        slots_.erase(it);
+      }
+    }
+    cv_.notify_all();
+    throw;
+  }
+}
+
+std::size_t CostMatrixCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+void CostMatrixCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fap::net

@@ -1,0 +1,107 @@
+// Topology-keyed cache of all-pairs shortest-path cost matrices.
+//
+// Sweeps rebuild the SAME communication-cost matrix over and over: fig5
+// solves 45 α points on one ring, the ablations re-run dozens of option
+// combinations on one topology, and every task pays an O(n·(m + n log n))
+// APSP it has already paid. CostMatrixCache keys the APSP result by the
+// topology's CONTENT (node count + edge list with bit-exact costs), so
+// any task — on any sweep worker thread — that asks for an
+// already-computed topology gets the shared immutable matrix back
+// instead of recomputing it.
+//
+// Concurrency: get() is thread-safe with single-flight semantics — when
+// several workers miss on the same key simultaneously, exactly one runs
+// the APSP while the rest block on the slot and then share its result
+// (no duplicated work, no torn inserts). Matrices are handed out as
+// shared_ptr<const CostMatrix>; they stay valid after the cache is
+// cleared or destroyed.
+//
+// Determinism: a cache hit returns a matrix computed by the identical
+// all_pairs_shortest_paths call the caller would have made, and keys
+// compare by FULL content equality (the hash only buckets), so a
+// collision can never alias two different topologies. Cached and
+// uncached runs are therefore byte-identical.
+//
+// Observability: hits/misses are counted atomically and, when a
+// runtime::sweep task is executing, mirrored into its --metrics record
+// via add_task_metric("cost_cache_hit"/"cost_cache_miss").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/shortest_paths.hpp"
+#include "net/topology.hpp"
+
+namespace fap::net {
+
+class CostMatrixCache {
+ public:
+  CostMatrixCache() = default;
+  CostMatrixCache(const CostMatrixCache&) = delete;
+  CostMatrixCache& operator=(const CostMatrixCache&) = delete;
+
+  /// Returns the APSP cost matrix of `topology`, computing it (once) on
+  /// miss. Safe to call concurrently from sweep workers; concurrent
+  /// misses on the same topology compute it exactly once. Propagates any
+  /// exception from all_pairs_shortest_paths to every waiter and leaves
+  /// the cache unchanged.
+  std::shared_ptr<const CostMatrix> get(const Topology& topology);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const noexcept {
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed)};
+  }
+
+  /// Number of distinct topologies currently cached.
+  std::size_t size() const;
+
+  /// Drops every cached matrix (outstanding shared_ptrs stay valid) and
+  /// resets the hit/miss counters.
+  void clear();
+
+ private:
+  /// Content key: full structural identity of a topology. Edges are kept
+  /// in insertion order — Topology preserves it and two topologies that
+  /// differ only in edge order are different objects for our purposes
+  /// (cheap, and order-normalizing would buy nothing: generators are
+  /// deterministic, so equal content implies equal order in practice).
+  struct Key {
+    std::size_t node_count = 0;
+    std::vector<Edge> edges;
+
+    bool operator==(const Key& other) const;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+
+  /// Single-flight slot: the first missing thread inserts it and
+  /// computes; later arrivals wait on `cv` until `ready`.
+  struct Slot {
+    std::shared_ptr<const CostMatrix> value;
+    bool ready = false;
+    bool failed = false;
+  };
+
+  static Key make_key(const Topology& topology);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<Key, std::shared_ptr<Slot>, KeyHash> slots_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace fap::net

@@ -84,7 +84,7 @@ double DelayModel::pure_sojourn(double a, double mu) const {
     return 1.0 / mu +
            erlang_c(servers_, a / mu) / (capacity(mu) - a);
   }
-  return 1.0 / mu + a * (1.0 + scv_) / (2.0 * mu * (mu - a));
+  return detail::pk_sojourn(a, mu, scv_);
 }
 
 double DelayModel::pure_d_sojourn(double a, double mu) const {
@@ -98,8 +98,7 @@ double DelayModel::pure_d_sojourn(double a, double mu) const {
     }
     return (pure_sojourn(a + h, mu) - pure_sojourn(a - h, mu)) / (2.0 * h);
   }
-  const double gap = mu - a;
-  return (1.0 + scv_) / (2.0 * gap * gap);
+  return detail::pk_d_sojourn(a, mu, scv_);
 }
 
 double DelayModel::pure_d2_sojourn(double a, double mu) const {
@@ -116,8 +115,7 @@ double DelayModel::pure_d2_sojourn(double a, double mu) const {
             pure_sojourn(a - h, mu)) /
            (h * h);
   }
-  const double gap = mu - a;
-  return (1.0 + scv_) / (gap * gap * gap);
+  return detail::pk_d2_sojourn(a, mu, scv_);
 }
 
 double DelayModel::sojourn(double a, double mu) const {
@@ -145,6 +143,62 @@ double DelayModel::d2_sojourn(double a, double mu) const {
     return 0.0;
   }
   return pure_d2_sojourn(a, mu);
+}
+
+void DelayModel::sojourn_batch(const double* a, const double* mu, double* out,
+                               std::size_t count) const {
+  if (discipline_ == Discipline::kMMc) {
+    // Erlang C has a data-dependent series; evaluate the exact scalar
+    // formula (knee logic included) per element.
+    for (std::size_t i = 0; i < count; ++i) {
+      const double knee = rho_max_ * capacity(mu[i]);
+      out[i] = (rho_max_ < 1.0 && a[i] >= knee)
+                   ? pure_sojourn(knee, mu[i]) +
+                         pure_d_sojourn(knee, mu[i]) * (a[i] - knee)
+                   : pure_sojourn(a[i], mu[i]);
+    }
+    return;
+  }
+  const double scv = scv_;
+  const double rho_max = rho_max_;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = detail::lin_sojourn(a[i], mu[i], scv, rho_max);
+  }
+}
+
+void DelayModel::d_sojourn_batch(const double* a, const double* mu,
+                                 double* out, std::size_t count) const {
+  if (discipline_ == Discipline::kMMc) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double knee = rho_max_ * capacity(mu[i]);
+      out[i] = (rho_max_ < 1.0 && a[i] >= knee)
+                   ? pure_d_sojourn(knee, mu[i])
+                   : pure_d_sojourn(a[i], mu[i]);
+    }
+    return;
+  }
+  const double scv = scv_;
+  const double rho_max = rho_max_;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = detail::lin_d_sojourn(a[i], mu[i], scv, rho_max);
+  }
+}
+
+void DelayModel::d2_sojourn_batch(const double* a, const double* mu,
+                                  double* out, std::size_t count) const {
+  if (discipline_ == Discipline::kMMc) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const double knee = rho_max_ * capacity(mu[i]);
+      out[i] = (rho_max_ < 1.0 && a[i] >= knee) ? 0.0
+                                                : pure_d2_sojourn(a[i], mu[i]);
+    }
+    return;
+  }
+  const double scv = scv_;
+  const double rho_max = rho_max_;
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = detail::lin_d2_sojourn(a[i], mu[i], scv, rho_max);
+  }
 }
 
 double mm1_sojourn_time(double lambda, double mu) {

@@ -27,6 +27,37 @@ std::size_t MetricsSink::records_written() const {
   return records_;
 }
 
+namespace {
+
+// One accumulator per thread: sweep tasks never migrate threads
+// mid-body, so thread-local storage is exactly the "current task" scope.
+// Kept small (linear name lookup) — tasks record a handful of counters.
+thread_local std::vector<std::pair<std::string, double>> task_metrics;
+
+}  // namespace
+
+void add_task_metric(const std::string& name, double value) {
+  for (auto& [existing, total] : task_metrics) {
+    if (existing == name) {
+      total += value;
+      return;
+    }
+  }
+  task_metrics.emplace_back(name, value);
+}
+
+namespace detail {
+
+void reset_task_metrics() { task_metrics.clear(); }
+
+std::vector<std::pair<std::string, double>> take_task_metrics() {
+  std::vector<std::pair<std::string, double>> out = std::move(task_metrics);
+  task_metrics.clear();  // moved-from state is only "valid but unspecified"
+  return out;
+}
+
+}  // namespace detail
+
 std::string to_json_line(const MetricsRecord& record) {
   util::JsonWriter json;
   json.begin_object();

@@ -60,4 +60,23 @@ class MetricsSink {
 /// Exposed for tests; record() is equivalent to writing this + '\n'.
 std::string to_json_line(const MetricsRecord& record);
 
+/// Accumulates a named scalar into the calling thread's *current sweep
+/// task*: run_sweep clears the accumulator before each task body and
+/// drains it into the task's MetricsRecord::values afterwards (a no-op
+/// without an attached sink). Repeated calls with the same name sum, so
+/// instrumented lower layers (e.g. the cost-matrix cache) can count
+/// events without coordinating: `add_task_metric("cost_cache_hit", 1)`.
+/// Calls outside a sweep task accumulate harmlessly into thread-local
+/// state that the next task on the thread discards.
+void add_task_metric(const std::string& name, double value);
+
+namespace detail {
+/// Clears the calling thread's pending task metrics (run_sweep, at task
+/// start).
+void reset_task_metrics();
+/// Moves the calling thread's pending task metrics out (run_sweep, at
+/// task end), leaving the accumulator empty.
+std::vector<std::pair<std::string, double>> take_task_metrics();
+}  // namespace detail
+
 }  // namespace fap::runtime

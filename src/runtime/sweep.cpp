@@ -38,6 +38,11 @@ void run_sweep(std::size_t count, const SweepOptions& options,
   const std::size_t jobs = resolve_jobs(options.jobs);
   const auto run_task = [&](std::size_t i) {
     const std::uint64_t seed = task_seed(options.base_seed, i);
+    // Scope the thread-local task-metric accumulator to this body: counters
+    // added by any layer the task calls into (add_task_metric) land in this
+    // task's record. Reset even without a sink so a previous non-sweep use
+    // of the thread cannot leak counters into a later metered task.
+    detail::reset_task_metrics();
     const auto started = std::chrono::steady_clock::now();
     body(i, seed);
     if (options.metrics != nullptr) {
@@ -47,6 +52,7 @@ void run_sweep(std::size_t count, const SweepOptions& options,
       record.task_index = i;
       record.seed = seed;
       record.wall_ms = elapsed_ms(started);
+      record.values = detail::take_task_metrics();
       options.metrics->record(record);
     }
   };

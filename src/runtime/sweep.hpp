@@ -78,6 +78,54 @@ auto sweep(std::size_t count, const SweepOptions& options, Fn&& fn)
   return results;
 }
 
+/// Batch-submission sweep: packs `count` items into contiguous batches of
+/// at most `width` and runs each batch as ONE sweep task (so --jobs
+/// distributes whole batches and --metrics gets one record per batch,
+/// automatically carrying a "batch_size" value). Designed for
+/// core::BatchAllocator: `make(i, task_seed(base_seed, i))` builds item
+/// i's submission; `run(first_index, items)` consumes one batch and
+/// returns a vector of per-item results in item order, which batch_sweep
+/// flattens back into global item order. Because every item's seed
+/// derives from its global index and `run` must treat items
+/// independently, the flattened result is byte-identical across jobs
+/// AND width choices — partitioning cannot be observed.
+template <typename Make, typename Run>
+auto batch_sweep(std::size_t count, std::size_t width,
+                 const SweepOptions& options, Make&& make, Run&& run)
+    -> decltype(run(std::size_t{0},
+                    std::declval<std::vector<std::decay_t<decltype(make(
+                        std::size_t{0}, std::uint64_t{0}))>>>())) {
+  using Item = std::decay_t<decltype(make(std::size_t{0}, std::uint64_t{0}))>;
+  using Results = decltype(run(std::size_t{0}, std::declval<std::vector<Item>>()));
+  if (width == 0) {
+    width = 1;
+  }
+  if (count == 0) {
+    return Results{};
+  }
+  const std::size_t batches = (count + width - 1) / width;
+  std::vector<Results> parts(batches);
+  run_sweep(batches, options, [&](std::size_t b, std::uint64_t) {
+    const std::size_t first = b * width;
+    const std::size_t last = std::min(count, first + width);
+    std::vector<Item> items;
+    items.reserve(last - first);
+    for (std::size_t i = first; i < last; ++i) {
+      items.push_back(make(i, task_seed(options.base_seed, i)));
+    }
+    add_task_metric("batch_size", static_cast<double>(last - first));
+    parts[b] = run(first, std::move(items));
+  });
+  Results flat;
+  flat.reserve(count);
+  for (Results& part : parts) {
+    for (auto& item : part) {
+      flat.push_back(std::move(item));
+    }
+  }
+  return flat;
+}
+
 /// Replication reduction: runs `replications` tasks, each producing a
 /// RunningStats over its own observations, and merges them in index
 /// order. Chan/Welford merging is exact, so the reduced statistics are

@@ -73,15 +73,36 @@ ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
 
 GridMinimum grid_minimize(const std::function<double(double)>& f, double lo,
                           double hi, std::size_t points) {
+  const std::vector<double> xs = grid_points(lo, hi, points);
+  std::vector<double> values;
+  values.reserve(xs.size());
+  for (const double x : xs) {
+    values.push_back(f(x));
+  }
+  return grid_select(xs, values);
+}
+
+std::vector<double> grid_points(double lo, double hi, std::size_t points) {
   FAP_EXPECTS(points >= 2, "grid needs at least two points");
   FAP_EXPECTS(hi > lo, "grid range must be non-empty");
-  GridMinimum best{lo, f(lo)};
+  std::vector<double> xs;
+  xs.reserve(points);
+  xs.push_back(lo);
   const double step = (hi - lo) / static_cast<double>(points - 1);
   for (std::size_t i = 1; i < points; ++i) {
-    const double x = lo + step * static_cast<double>(i);
-    const double v = f(x);
-    if (v < best.value) {
-      best = GridMinimum{x, v};
+    xs.push_back(lo + step * static_cast<double>(i));
+  }
+  return xs;
+}
+
+GridMinimum grid_select(const std::vector<double>& xs,
+                        const std::vector<double>& values) {
+  FAP_EXPECTS(!xs.empty() && xs.size() == values.size(),
+              "grid_select needs one value per abscissa");
+  GridMinimum best{xs[0], values[0], 0};
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (values[i] < best.value) {
+      best = GridMinimum{xs[i], values[i], i};
     }
   }
   return best;

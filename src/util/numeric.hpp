@@ -43,9 +43,24 @@ ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
 struct GridMinimum {
   double x = 0.0;
   double value = 0.0;
+  std::size_t index = 0;  ///< grid index of x (x == grid_points(...)[index])
 };
 GridMinimum grid_minimize(const std::function<double(double)>& f, double lo,
                           double hi, std::size_t points);
+
+/// The abscissas grid_minimize evaluates, in evaluation order:
+/// x_i = lo + (hi - lo)/(points - 1) * i. Exposed so callers can evaluate
+/// the objective at every point themselves (e.g. batched across the grid)
+/// and reduce with grid_select.
+std::vector<double> grid_points(double lo, double hi, std::size_t points);
+
+/// The reduction half of grid_minimize: picks the minimum of
+/// (xs[i], values[i]) with grid_minimize's exact tie rule (strictly
+/// smaller value wins, so the FIRST — lowest x — of tied values is kept).
+/// grid_select(grid_points(lo, hi, p), values) == grid_minimize(f, lo, hi,
+/// p) whenever values[i] == f(xs[i]) bit for bit.
+GridMinimum grid_select(const std::vector<double>& xs,
+                        const std::vector<double>& values);
 
 /// Sum of a vector (convenience, used in feasibility assertions).
 double sum(const std::vector<double>& v) noexcept;

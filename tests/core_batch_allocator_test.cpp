@@ -1,0 +1,300 @@
+// The batched SoA kernel's load-bearing contract: BatchAllocator::run_all
+// returns results BITWISE equal to running each submission through the
+// serial ResourceDirectedAllocator — same x (every lane of every
+// iteration executes the serial operation sequence), same cost, same
+// iteration count, same convergence flag. The pin is across randomized
+// instances mixing topologies, delay disciplines, step rules, storage
+// capacities and boundary starts, at several batch widths (partitioning
+// into lanes must not be observable).
+#include "core/batch_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "net/generators.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using fap::core::AllocationResult;
+using fap::core::AllocatorOptions;
+using fap::core::BatchAllocator;
+using fap::core::BatchRunResult;
+using fap::core::ResourceDirectedAllocator;
+using fap::core::SingleFileModel;
+using fap::core::SingleFileProblem;
+using fap::core::StepRule;
+using fap::core::Workload;
+using fap::queueing::DelayModel;
+using fap::util::Rng;
+
+// Bitwise double equality: stricter than EXPECT_EQ (distinguishes -0.0
+// from +0.0) — the batch path must reproduce the serial bits exactly.
+::testing::AssertionResult BitsEqual(double serial, double batch) {
+  if (std::bit_cast<std::uint64_t>(serial) ==
+      std::bit_cast<std::uint64_t>(batch)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "serial=" << serial << " batch=" << batch << " differ by "
+         << (batch - serial);
+}
+
+struct RandomInstance {
+  SingleFileModel model;
+  AllocatorOptions options;
+  std::vector<double> start;
+};
+
+fap::net::Topology random_topology(std::size_t n, Rng& rng) {
+  switch (rng.uniform_index(4)) {
+    case 0:
+      return fap::net::make_ring(n, rng.uniform(0.5, 2.0));
+    case 1:
+      return fap::net::make_complete(n, rng.uniform(0.5, 2.0));
+    case 2:
+      return fap::net::make_star(n, rng.uniform(0.5, 2.0));
+    default:
+      return fap::net::make_line(n, rng.uniform(0.5, 2.0));
+  }
+}
+
+DelayModel random_delay(Rng& rng) {
+  switch (rng.uniform_index(5)) {
+    case 0:
+      return DelayModel::mm1();
+    case 1:
+      return DelayModel::md1();
+    case 2:
+      return DelayModel::mg1(rng.uniform(0.2, 2.5));
+    case 3:
+      // Tangent-extended curve: exercises the knee clamp in the
+      // vectorized derivative rows.
+      return DelayModel::mm1(rng.uniform(0.5, 0.9));
+    default:
+      // Multi-server lane: forces the whole batch onto the per-lane
+      // scalar derivative path.
+      return DelayModel::mmc(2 + rng.uniform_index(3));
+  }
+}
+
+// A feasible start covering the interesting shapes: interior, partly on
+// the x = 0 boundary, or saturating a capacity.
+std::vector<double> random_start(std::size_t n, const std::vector<double>& caps,
+                                 Rng& rng) {
+  std::vector<double> x(n, 0.0);
+  for (double& v : x) {
+    v = rng.uniform(0.05, 1.0);
+  }
+  if (rng.uniform() < 0.4) {
+    // Put some nodes exactly on the lower boundary (keep at least one).
+    for (std::size_t i = 1; i < n; ++i) {
+      if (rng.uniform() < 0.5) {
+        x[i] = 0.0;
+      }
+    }
+  }
+  double total = 0.0;
+  for (const double v : x) {
+    total += v;
+  }
+  for (double& v : x) {
+    v /= total;
+  }
+  if (!caps.empty()) {
+    // Clamp to the caps and redistribute the excess proportionally to the
+    // remaining headroom (excess <= headroom because total capacity has
+    // slack, so one pass cannot overshoot any cap). Some components land
+    // exactly ON their cap — the capacity-boundary start shape.
+    double excess = 0.0;
+    double headroom = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (x[i] > caps[i]) {
+        excess += x[i] - caps[i];
+        x[i] = caps[i];
+      } else {
+        headroom += caps[i] - x[i];
+      }
+    }
+    if (excess > 0.0) {
+      FAP_EXPECTS(headroom >= excess, "random caps left no slack");
+      for (std::size_t i = 0; i < n; ++i) {
+        if (x[i] < caps[i]) {
+          x[i] += excess * ((caps[i] - x[i]) / headroom);
+        }
+      }
+    }
+  }
+  return x;
+}
+
+RandomInstance make_random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n = 3 + rng.uniform_index(10);  // 3..12 nodes
+  const fap::net::Topology topology = random_topology(n, rng);
+  const DelayModel delay = random_delay(rng);
+  // Total rate 1, per-server mu comfortably above it: every reachable
+  // allocation (x_i <= 1) is stable even for the pure rho_max = 1 models.
+  const double mu = rng.uniform(1.3, 3.0);
+  const double k = rng.uniform(0.3, 2.0);
+  SingleFileProblem problem = fap::core::make_problem(
+      topology, Workload::uniform(n, 1.0), mu, k, delay);
+  std::vector<double> caps;
+  if (rng.uniform() < 0.4) {
+    caps.resize(n);
+    for (double& c : caps) {
+      c = rng.uniform(0.3, 1.0);
+    }
+    // Guarantee slack: total capacity at least 1.5x the unit total.
+    double total_cap = 0.0;
+    for (const double c : caps) {
+      total_cap += c;
+    }
+    if (total_cap < 1.5) {
+      for (double& c : caps) {
+        c *= 1.5 / total_cap;
+      }
+    }
+    problem.storage_capacity = caps;
+  }
+
+  AllocatorOptions options;
+  options.alpha = rng.uniform(0.05, 0.5);
+  if (rng.uniform() < 0.5) {
+    options.step_rule = StepRule::kDynamic;
+    options.dynamic_safety = rng.uniform(0.3, 0.9);
+  }
+  options.epsilon = rng.uniform() < 0.5 ? 1e-3 : 1e-5;
+  // Include tight caps so the non-converged retirement path is hit.
+  const std::size_t iteration_caps[] = {40, 200, 20000};
+  options.max_iterations = iteration_caps[rng.uniform_index(3)];
+
+  RandomInstance inst{SingleFileModel(std::move(problem)), options, {}};
+  inst.start = random_start(n, caps, rng);
+  return inst;
+}
+
+void expect_matches_serial(const RandomInstance& inst,
+                           const BatchRunResult& batch, std::size_t index) {
+  const ResourceDirectedAllocator serial(inst.model, inst.options);
+  const AllocationResult expected = serial.run(inst.start);
+  SCOPED_TRACE("instance " + std::to_string(index));
+  EXPECT_EQ(expected.converged, batch.converged);
+  EXPECT_EQ(expected.iterations, batch.iterations);
+  EXPECT_TRUE(BitsEqual(expected.cost, batch.cost));
+  ASSERT_EQ(expected.x.size(), batch.x.size());
+  for (std::size_t j = 0; j < expected.x.size(); ++j) {
+    EXPECT_TRUE(BitsEqual(expected.x[j], batch.x[j])) << "node " << j;
+  }
+}
+
+// The headline pin: >= 200 randomized instances, two batch widths, every
+// result field bitwise equal to the serial allocator.
+TEST(BatchAllocator, BitIdenticalToSerialAcrossRandomizedInstances) {
+  constexpr std::size_t kInstances = 200;
+  std::vector<RandomInstance> instances;
+  instances.reserve(kInstances);
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    instances.push_back(make_random_instance(1000 + i));
+  }
+  for (const std::size_t width : {std::size_t{8}, std::size_t{64}}) {
+    BatchAllocator batch(width);
+    for (const RandomInstance& inst : instances) {
+      batch.submit(inst.model, inst.options, inst.start);
+    }
+    const std::vector<BatchRunResult> results = batch.run_all();
+    ASSERT_EQ(results.size(), kInstances);
+    EXPECT_EQ(batch.stats().instances, kInstances);
+    EXPECT_GT(batch.stats().lockstep_iterations, 0u);
+    for (std::size_t i = 0; i < kInstances; ++i) {
+      expect_matches_serial(instances[i], results[i], i);
+    }
+  }
+}
+
+// Degenerate widths: a single lane (pure serial schedule through the
+// batch code paths) must agree too.
+TEST(BatchAllocator, WidthOneMatchesSerial) {
+  BatchAllocator batch(1);
+  std::vector<RandomInstance> instances;
+  for (std::size_t i = 0; i < 16; ++i) {
+    instances.push_back(make_random_instance(7000 + i));
+    batch.submit(instances.back().model, instances.back().options,
+                 instances.back().start);
+  }
+  const std::vector<BatchRunResult> results = batch.run_all();
+  ASSERT_EQ(results.size(), instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    expect_matches_serial(instances[i], results[i], i);
+  }
+}
+
+// A start already at the optimum terminates without stepping: converged,
+// zero iterations, x returned unchanged.
+TEST(BatchAllocator, AlreadyConvergedLaneRetiresImmediately) {
+  const SingleFileModel model(fap::core::make_paper_ring_problem());
+  AllocatorOptions options;
+  options.alpha = 0.2;
+  options.epsilon = 1e-6;
+  const std::vector<double> start(4, 0.25);  // symmetric == optimal
+  const AllocationResult serial =
+      ResourceDirectedAllocator(model, options).run(start);
+  ASSERT_TRUE(serial.converged);
+
+  BatchAllocator batch(8);
+  batch.submit(model, options, start);
+  const std::vector<BatchRunResult> results = batch.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].converged, serial.converged);
+  EXPECT_EQ(results[0].iterations, serial.iterations);
+  EXPECT_TRUE(BitsEqual(results[0].cost, serial.cost));
+}
+
+TEST(BatchAllocator, RunAllOnEmptyQueueReturnsEmpty) {
+  BatchAllocator batch;
+  EXPECT_TRUE(batch.run_all().empty());
+  EXPECT_EQ(batch.stats().instances, 0u);
+}
+
+// The allocator is reusable: a second round of submissions after
+// run_all() behaves like a fresh instance.
+TEST(BatchAllocator, ReusableAcrossRounds) {
+  const RandomInstance inst = make_random_instance(42);
+  BatchAllocator batch(4);
+  batch.submit(inst.model, inst.options, inst.start);
+  const std::vector<BatchRunResult> first = batch.run_all();
+  EXPECT_EQ(batch.pending(), 0u);
+  batch.submit(inst.model, inst.options, inst.start);
+  const std::vector<BatchRunResult> second = batch.run_all();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_TRUE(BitsEqual(first[0].cost, second[0].cost));
+  EXPECT_EQ(first[0].iterations, second[0].iterations);
+}
+
+TEST(BatchAllocator, RejectsUnsupportedOptionsAndInfeasibleStarts) {
+  const SingleFileModel model(fap::core::make_paper_ring_problem());
+  BatchAllocator batch;
+  AllocatorOptions options;
+  options.record_trace = true;
+  EXPECT_THROW(batch.submit(model, options, std::vector<double>(4, 0.25)),
+               fap::util::PreconditionError);
+  options.record_trace = false;
+  options.use_reference_active_set = true;
+  EXPECT_THROW(batch.submit(model, options, std::vector<double>(4, 0.25)),
+               fap::util::PreconditionError);
+  options.use_reference_active_set = false;
+  EXPECT_THROW(batch.submit(model, options, std::vector<double>(4, 0.5)),
+               fap::util::PreconditionError);  // mass 2 != 1: infeasible
+  options.alpha = -1.0;
+  EXPECT_THROW(batch.submit(model, options, std::vector<double>(4, 0.25)),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

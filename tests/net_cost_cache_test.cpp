@@ -1,0 +1,112 @@
+#include "net/cost_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/generators.hpp"
+#include "net/shortest_paths.hpp"
+
+namespace {
+
+using fap::net::all_pairs_shortest_paths;
+using fap::net::CostMatrix;
+using fap::net::CostMatrixCache;
+using fap::net::Topology;
+
+void expect_same_matrix(const CostMatrix& a, const CostMatrix& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    for (std::size_t j = 0; j < a.node_count(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j));
+    }
+  }
+}
+
+TEST(CostMatrixCache, MissComputesThenContentEqualTopologyHits) {
+  CostMatrixCache cache;
+  const Topology ring = fap::net::make_ring(6, 2.0);
+  const auto first = cache.get(ring);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  expect_same_matrix(*first, all_pairs_shortest_paths(ring));
+
+  // A DIFFERENT Topology object with identical content must hit and
+  // return the same shared matrix.
+  const Topology same_content = fap::net::make_ring(6, 2.0);
+  const auto second = cache.get(same_content);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CostMatrixCache, DistinguishesContentDifferences) {
+  CostMatrixCache cache;
+  cache.get(fap::net::make_ring(6, 1.0));
+  cache.get(fap::net::make_ring(6, 1.5));   // same shape, different cost
+  cache.get(fap::net::make_ring(7, 1.0));   // different node count
+  cache.get(fap::net::make_line(6, 1.0));   // different edges
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(CostMatrixCache, HandedOutMatrixSurvivesClear) {
+  CostMatrixCache cache;
+  const Topology star = fap::net::make_star(5, 1.0);
+  std::shared_ptr<const CostMatrix> matrix = cache.get(star);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  expect_same_matrix(*matrix, all_pairs_shortest_paths(star));
+
+  // After clear() the same topology misses again (fresh computation).
+  const auto again = cache.get(star);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  expect_same_matrix(*again, *matrix);
+}
+
+// Single-flight under contention: many threads asking for the same
+// topology concurrently must agree on one shared matrix and produce
+// exactly one miss. Run under TSan in CI to pin the synchronization.
+TEST(CostMatrixCache, ConcurrentRequestsComputeOnceAndShare) {
+  CostMatrixCache cache;
+  const Topology grid = fap::net::make_grid(8, 8, 1.0);
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const CostMatrix>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&cache, &grid, &results, t]() { results[t] = cache.get(grid); });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, kThreads - 1);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[0].get(), results[t].get());
+  }
+}
+
+// A failing computation must not poison the cache: the error propagates,
+// and a subsequent feasible request succeeds.
+TEST(CostMatrixCache, FailedComputationLeavesCacheUsable) {
+  CostMatrixCache cache;
+  Topology disconnected(4);
+  disconnected.add_edge(0, 1, 1.0);  // nodes 2,3 unreachable -> APSP throws
+  EXPECT_ANY_THROW(cache.get(disconnected));
+  EXPECT_EQ(cache.size(), 0u);
+
+  const Topology ring = fap::net::make_ring(4, 1.0);
+  const auto matrix = cache.get(ring);
+  expect_same_matrix(*matrix, all_pairs_shortest_paths(ring));
+}
+
+}  // namespace

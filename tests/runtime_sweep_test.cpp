@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/allocator.hpp"
@@ -169,6 +172,87 @@ TEST(RunDesReplications, DifferentBaseSeedMovesTheMeasurement) {
       fap::sim::run_des_replications(config, 2, options_with_jobs(2, 2))
           .measured_cost;
   EXPECT_NE(a, b);
+}
+
+TEST(TaskMetrics, CoalesceByNameAndScopeToTheTask) {
+  // Outside any sweep, the accumulator drains cleanly.
+  fap::runtime::detail::reset_task_metrics();
+  fap::runtime::add_task_metric("warmup", 1.0);
+  fap::runtime::detail::take_task_metrics();
+
+  fap::runtime::detail::reset_task_metrics();
+  fap::runtime::add_task_metric("hits", 1.0);
+  fap::runtime::add_task_metric("batch", 8.0);
+  fap::runtime::add_task_metric("hits", 2.0);  // same name: sums
+  const auto values = fap::runtime::detail::take_task_metrics();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].first, "hits");
+  EXPECT_EQ(values[0].second, 3.0);
+  EXPECT_EQ(values[1].first, "batch");
+  EXPECT_EQ(values[1].second, 8.0);
+  // take() leaves the accumulator empty.
+  EXPECT_TRUE(fap::runtime::detail::take_task_metrics().empty());
+}
+
+TEST(BatchSweep, FlattenedResultsIndependentOfWidthAndJobs) {
+  // Each item's result depends only on (global index, derived seed), so
+  // any (width, jobs) combination must flatten to the same vector as the
+  // plain serial sweep.
+  const auto make = [](std::size_t i, std::uint64_t seed) {
+    return std::make_pair(i, seed);
+  };
+  const auto run = [](std::size_t first,
+                      std::vector<std::pair<std::size_t, std::uint64_t>> items)
+      -> std::vector<double> {
+    std::vector<double> out;
+    out.reserve(items.size());
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      EXPECT_EQ(items[j].first, first + j);  // contiguous global indices
+      out.push_back(static_cast<double>(items[j].first) +
+                    1e-9 * static_cast<double>(items[j].second % 1000));
+    }
+    return out;
+  };
+  const std::vector<double> reference = fap::runtime::sweep(
+      23, options_with_jobs(1), [&](std::size_t i, std::uint64_t seed) {
+        return run(i, {make(i, seed)})[0];
+      });
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+      const std::vector<double> batched = fap::runtime::batch_sweep(
+          23, width, options_with_jobs(jobs), make, run);
+      EXPECT_EQ(batched, reference) << "width=" << width << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(BatchSweep, EmitsBatchSizeMetricPerBatch) {
+  const std::string path = testing::TempDir() + "/batch_sweep_metrics.jsonl";
+  std::size_t records = 0;
+  {
+    fap::runtime::MetricsSink sink(path);
+    SweepOptions options = options_with_jobs(1, 3);
+    options.metrics = &sink;
+    options.run_id = "batch_sweep_test";
+    // 10 items at width 4 -> batches of 4, 4, 2.
+    fap::runtime::batch_sweep(
+        10, 4, options, [](std::size_t i, std::uint64_t) { return i; },
+        [](std::size_t, std::vector<std::size_t> items) {
+          return std::vector<std::size_t>(items);
+        });
+    records = sink.records_written();
+  }
+  EXPECT_EQ(records, 3u);
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"batch_size\":4"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[2].find("\"batch_size\":2"), std::string::npos) << lines[2];
 }
 
 TEST(Sweep, MetricsRecordsOnePerTaskWithDerivedSeeds) {
