@@ -20,6 +20,7 @@
 
 #include "core/allocator.hpp"
 #include "runtime/sweep.hpp"
+#include "util/numeric.hpp"
 #include "util/table.hpp"
 
 namespace fap::bench {
@@ -82,22 +83,22 @@ inline std::vector<ExtraNumericFlag>& extra_numeric_flags() {
   std::exit(exit_code);
 }
 
-/// Parses the value of a `--flag VALUE` pair, erroring out on a missing
-/// or non-numeric value.
+/// Parses the value of a `--flag VALUE` pair, erroring out on a missing,
+/// non-numeric, negative, or out-of-range value (util::parse_uint64 is
+/// strict where std::strtoull silently wraps "-3" and ERANGE overflow).
 inline std::uint64_t numeric_flag_value(int argc, char** argv, int& i) {
   if (i + 1 >= argc) {
     std::cerr << argv[0] << ": " << argv[i] << " requires a value\n";
     usage(argv[0], 2);
   }
-  char* end = nullptr;
   const char* text = argv[++i];
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == text || *end != '\0') {
+  std::uint64_t value = 0;
+  if (!util::parse_uint64(text, value)) {
     std::cerr << argv[0] << ": invalid number '" << text << "' for "
               << argv[i - 1] << "\n";
     usage(argv[0], 2);
   }
-  return static_cast<std::uint64_t>(value);
+  return value;
 }
 }  // namespace detail
 

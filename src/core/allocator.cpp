@@ -93,10 +93,11 @@ double ResourceDirectedAllocator::dynamic_alpha_bound_cached(
 }
 
 void ResourceDirectedAllocator::check_feasible_cached(
-    const std::vector<double>& x) const {
+    const std::vector<double>& x, double sum_tolerance) const {
   // CostModel::check_feasible against the cached constraint structure:
   // identical checks, messages, and default tolerance, but no
-  // constraint_groups()/upper_bounds() round trips.
+  // constraint_groups()/upper_bounds() round trips. Only the
+  // conservation-sum check honors `sum_tolerance` (step_with_drift).
   constexpr double tol = 1e-9;
   FAP_EXPECTS(x.size() == dim_, "allocation has wrong dimension");
   for (const double xi : x) {
@@ -116,7 +117,7 @@ void ResourceDirectedAllocator::check_feasible_cached(
       FAP_EXPECTS(i < x.size(), "constraint index out of range");
       sum += x[i];
     }
-    FAP_EXPECTS(std::fabs(sum - group.total) <= tol,
+    FAP_EXPECTS(std::fabs(sum - group.total) <= sum_tolerance,
                 "allocation violates a resource-conservation constraint");
   }
 }
@@ -236,8 +237,9 @@ std::vector<std::size_t> ResourceDirectedAllocator::active_set_reference(
 }
 
 ResourceDirectedAllocator::StepStats ResourceDirectedAllocator::step_into(
-    const std::vector<double>& x, std::vector<double>& x_out) const {
-  check_feasible_cached(x);
+    const std::vector<double>& x, std::vector<double>& x_out,
+    double sum_tolerance) const {
+  check_feasible_cached(x, sum_tolerance);
   model_.marginal_utilities_into(x, ws_.du);
   if (options_.step_rule == StepRule::kDynamic) {
     model_.second_derivative_into(x, ws_.d2c);
@@ -336,6 +338,19 @@ ResourceDirectedAllocator::StepOutcome ResourceDirectedAllocator::step(
     const std::vector<double>& x) const {
   StepOutcome outcome;
   const StepStats stats = step_into(x, outcome.x);
+  outcome.terminal = stats.terminal;
+  outcome.marginal_spread = stats.marginal_spread;
+  outcome.active_set_size = stats.active_set_size;
+  outcome.alpha_used = stats.alpha_used;
+  return outcome;
+}
+
+ResourceDirectedAllocator::StepOutcome
+ResourceDirectedAllocator::step_with_drift(const std::vector<double>& x,
+                                           double sum_tolerance) const {
+  FAP_EXPECTS(sum_tolerance >= 0.0, "drift tolerance must be non-negative");
+  StepOutcome outcome;
+  const StepStats stats = step_into(x, outcome.x, sum_tolerance);
   outcome.terminal = stats.terminal;
   outcome.marginal_spread = stats.marginal_spread;
   outcome.active_set_size = stats.active_set_size;

@@ -124,6 +124,17 @@ class ResourceDirectedAllocator {
   /// unchanged.
   StepOutcome step(const std::vector<double>& x) const;
 
+  /// Round hook for protocol simulations over unreliable networks
+  /// (sim/lossy_network.hpp): identical arithmetic to step(), but the
+  /// feasibility precondition tolerates conservation-sum drift up to
+  /// `sum_tolerance` per group. An agent stepping from a stale view of
+  /// remote fragments sees Σx wander off the group total (the
+  /// async-staleness failure mode, DESIGN.md §4f); the update itself
+  /// never reads the sum, so relaxing only that check is sound.
+  /// Dimension, non-negativity, and capacity checks stay strict.
+  StepOutcome step_with_drift(const std::vector<double>& x,
+                              double sum_tolerance) const;
+
   /// Computes the paper's set A for one constraint group given the current
   /// allocation and marginal utilities, following steps (i)-(v). Exposed
   /// for white-box tests. Returned indices are positions into
@@ -187,11 +198,15 @@ class ResourceDirectedAllocator {
 
   /// One iteration from `x` into `x_out` (unchanged copy of x when the
   /// termination criterion already holds). `x_out` must not alias `x`.
+  /// `sum_tolerance` relaxes only the conservation-sum precondition
+  /// (step_with_drift); the default is check_feasible's strict 1e-9.
   StepStats step_into(const std::vector<double>& x,
-                      std::vector<double>& x_out) const;
+                      std::vector<double>& x_out,
+                      double sum_tolerance = 1e-9) const;
 
   /// check_feasible against the cached groups/caps — no allocation.
-  void check_feasible_cached(const std::vector<double>& x) const;
+  void check_feasible_cached(const std::vector<double>& x,
+                             double sum_tolerance = 1e-9) const;
 
   /// dynamic_alpha_bound evaluated from the workspace's du/d2c (already
   /// computed for the current x) instead of re-querying the model.

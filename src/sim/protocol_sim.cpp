@@ -1,8 +1,10 @@
 #include "sim/protocol_sim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace fap::sim {
 
@@ -51,6 +53,12 @@ RoundMessageCost round_message_cost(std::size_t nodes,
                                     const ProtocolConfig& config) {
   FAP_EXPECTS(nodes >= 1, "need at least one node");
   RoundMessageCost cost;
+  if (nodes == 1) {
+    // A single node holds the whole file and never transmits: no
+    // point-to-point messages, no broadcast-medium transmissions, no
+    // payload — under either scheme.
+    return cost;
+  }
   // Payload of one node's report: its marginal utility, plus its fragment
   // when other nodes cannot derive routing without it.
   const std::size_t report_payload = config.needs_full_allocation ? 2 : 1;
@@ -74,9 +82,15 @@ RoundMessageCost round_message_cost(std::size_t nodes,
   return cost;
 }
 
-ProtocolResult run_protocol(const core::CostModel& model,
-                            std::vector<double> initial,
-                            const ProtocolConfig& config) {
+namespace {
+
+// The ideal synchronous network: lossless, in-order delivery, every
+// round completes. This is the historical run_protocol body, untouched
+// so the fault-injection path cannot perturb it (the trajectory test
+// pins it to the centralized driver bitwise).
+ProtocolResult run_protocol_ideal(const core::CostModel& model,
+                                  std::vector<double> initial,
+                                  const ProtocolConfig& config) {
   model.check_feasible(initial);
   const std::size_t n = model.dimension();
 
@@ -160,6 +174,267 @@ ProtocolResult run_protocol(const core::CostModel& model,
 
   result.cost = model.cost(result.x);
   return result;
+}
+
+// Fault-injected execution: reports travel through ReliableTransport
+// over LossyNetwork, and a round is a fixed budget of transport ticks.
+// Reports that miss the deadline leave receivers stepping from stale
+// views (core::ResourceDirectedAllocator::step_with_drift), so Σx can
+// drift exactly as in sim/async_protocol; optional anti-entropy
+// renormalization restores it. With zero faults every report lands
+// inside its round, all views equal the true allocation, and the
+// trajectory is bitwise the ideal path's (pinned by test).
+ProtocolResult run_protocol_unreliable(const core::CostModel& model,
+                                       std::vector<double> initial,
+                                       const ProtocolConfig& config) {
+  model.check_feasible(initial);
+  const std::size_t n = model.dimension();
+  const std::vector<core::ConstraintGroup> groups = model.constraint_groups();
+  FAP_EXPECTS(groups.size() == 1 &&
+                  groups.front().indices.size() == n,
+              "fault-injected protocol execution requires a single "
+              "conservation constraint over all variables");
+  const double total = groups.front().total;
+  const UnreliableNetworkConfig& un = config.unreliable;
+  FAP_EXPECTS(un.round_ticks >= 1, "a round needs at least one tick");
+  FAP_EXPECTS(un.faults.min_delay_ticks <= un.round_ticks,
+              "the delivery floor must fit inside one round");
+
+  LossyNetwork network(n, un.faults);
+  ReliableTransport transport(network, un.transport);
+  const core::ResourceDirectedAllocator stepper(model, config.algorithm);
+  const bool central = config.scheme == AggregationScheme::kCentralAgent;
+
+  // Agent state. The starting allocation is globally known (exactly as
+  // the centralized driver and the ideal path assume), so every view
+  // begins at `initial`; view[i][i] is agent i's authoritative fragment.
+  std::vector<std::vector<double>> view(n, initial);
+  // Freshness of i's knowledge of j (last applied report tag; a report
+  // sent in round r carries tag r + 1, so 0 means "initial knowledge").
+  std::vector<std::vector<std::uint64_t>> report_tag(
+      n, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::uint64_t> reply_tag(n, 0);  // kCentralAgent only
+
+  ProtocolResult result;
+  result.x = std::move(initial);
+
+  // The true allocation is the concatenation of the agents' own
+  // fragments — what an omniscient observer (and the drift accounting)
+  // sees. Crashed agents hold their fragment frozen.
+  std::vector<double> x_true(n, 0.0);
+  const auto assemble_true = [&]() {
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = view[i][i];
+    }
+  };
+  // Model preconditions require feasibility; evaluate cost on the
+  // renormalized shadow of a drifted allocation (async convention).
+  std::vector<double> shadow(n, 0.0);
+  const auto shadow_cost = [&]() {
+    shadow = x_true;
+    const double sum = util::sum(shadow);
+    if (sum > 0.0) {
+      for (double& xi : shadow) {
+        xi *= total / sum;
+      }
+    }
+    return model.cost(shadow);
+  };
+
+  std::vector<bool> up(n, true);
+  std::vector<std::vector<bool>> got(n, std::vector<bool>(n, false));
+  std::vector<bool> got_reply(n, false);
+  // Whether anything at all advanced i's view this round (a current or
+  // late report/reply). A node that hears nothing has no new basis to
+  // update and holds its fragment — a total blackout (say, the central
+  // agent down) stalls the protocol instead of diverging it.
+  std::vector<bool> advanced(n, false);
+  std::vector<double> next_own(n, 0.0);
+
+  for (std::size_t round = 0; round < config.algorithm.max_iterations;
+       ++round) {
+    const std::uint64_t tag = static_cast<std::uint64_t>(round) + 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      up[i] = network.node_up(i);
+      std::fill(got[i].begin(), got[i].end(), false);
+      got_reply[i] = false;
+      advanced[i] = false;
+    }
+
+    // Phase (a) + (b): every live agent evaluates its own marginal
+    // utility on its (possibly stale) view and reports (x_i, ∂U/∂x_i) —
+    // to everyone (kBroadcast) or to the central agent (kCentralAgent).
+    // A fresh report supersedes anything still in flight from earlier
+    // rounds.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!up[i]) {
+        continue;
+      }
+      transport.cancel_older(i, tag);
+      const double marginal = model.marginal_utilities(view[i])[i];
+      if (central) {
+        if (i != 0) {
+          transport.send(i, 0, tag, {view[i][i], marginal});
+        }
+      } else {
+        for (std::size_t to = 0; to < n; ++to) {
+          if (to != i) {
+            transport.send(i, to, tag, {view[i][i], marginal});
+          }
+        }
+      }
+    }
+
+    // The round: un.round_ticks transport ticks. Deliveries update the
+    // receivers' views (late reports from earlier rounds still apply if
+    // they are the newest word from that sender). The central agent
+    // replies with its full allocation view once every live upload has
+    // arrived — or at mid-round, whichever comes first — so replies can
+    // still land before the deadline.
+    bool replied = central && n == 1;
+    const auto all_uploads_in = [&]() {
+      for (std::size_t j = 1; j < n; ++j) {
+        if (up[j] && !got[0][j]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    for (std::uint64_t t = 0; t < un.round_ticks; ++t) {
+      for (const Datagram& d : transport.tick()) {
+        if (central && d.from == 0) {
+          // Central reply: the full allocation as node 0 knows it.
+          if (d.tag > reply_tag[d.to]) {
+            reply_tag[d.to] = d.tag;
+            for (std::size_t k = 0; k < n; ++k) {
+              if (k != d.to) {
+                view[d.to][k] = d.payload[k];
+              }
+            }
+            got_reply[d.to] = d.tag == tag;
+            advanced[d.to] = true;
+          }
+          continue;
+        }
+        // A report (x_j, ∂U/∂x_j) from d.from.
+        if (d.tag > report_tag[d.to][d.from]) {
+          report_tag[d.to][d.from] = d.tag;
+          view[d.to][d.from] = d.payload[0];
+          got[d.to][d.from] = d.tag == tag;
+          advanced[d.to] = true;
+        }
+      }
+      if (central && !replied && network.node_up(0) &&
+          (all_uploads_in() || t + 1 >= un.round_ticks / 2)) {
+        replied = true;
+        for (std::size_t to = 1; to < n; ++to) {
+          transport.send(0, to, tag, view[0]);
+        }
+      }
+    }
+
+    // Deadline accounting: a round is "missing reports" when any live
+    // node lacks this round's word from any peer — a crashed sender's
+    // silence counts, the expectation is the receiver's. For kBroadcast
+    // that is a fresh report from every other node; for kCentralAgent
+    // every upload at node 0 plus a fresh reply everywhere else.
+    bool missing = false;
+    if (central) {
+      for (std::size_t j = 1; j < n && !missing; ++j) {
+        missing = !got[0][j] || (up[j] && !got_reply[j]);
+      }
+    } else {
+      for (std::size_t i = 0; i < n && !missing; ++i) {
+        for (std::size_t j = 0; j < n && !missing; ++j) {
+          missing = up[i] && i != j && !got[i][j];
+        }
+      }
+    }
+    if (missing) {
+      ++result.robustness.rounds_with_missing_reports;
+    }
+
+    // Phase (c): termination is judged at the true allocation (the
+    // omniscient-observer criterion the acceptance tests measure); each
+    // live agent then steps from its own view and keeps its component.
+    assemble_true();
+    ++result.rounds;
+    if (stepper.step_with_drift(x_true, un.max_view_drift).terminal) {
+      result.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool stalled = n > 1 && !advanced[i];
+      next_own[i] =
+          up[i] && !stalled
+              ? stepper.step_with_drift(view[i], un.max_view_drift).x[i]
+              : view[i][i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      view[i][i] = next_own[i];
+    }
+
+    // Anti-entropy: an occasional synchronized renormalization over the
+    // live nodes (crashed fragments are frozen and unreachable).
+    if (un.correction_interval > 0 &&
+        (round + 1) % un.correction_interval == 0) {
+      double sum_up = 0.0;
+      double sum_down = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        (up[i] ? sum_up : sum_down) += view[i][i];
+      }
+      const double target = total - sum_down;
+      if (sum_up > 0.0 && target > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (up[i]) {
+            view[i][i] *= target / sum_up;
+          }
+        }
+      }
+    }
+
+    assemble_true();
+    const double drift = std::fabs(util::sum(x_true) - total);
+    result.robustness.max_feasibility_drift =
+        std::max(result.robustness.max_feasibility_drift, drift);
+    if (config.record_cost_trace) {
+      result.cost_trace.push_back(shadow_cost());
+    }
+  }
+
+  assemble_true();
+  result.x = x_true;
+  result.robustness.final_feasibility_drift =
+      std::fabs(util::sum(x_true) - total);
+  result.cost = shadow_cost();
+
+  // Message accounting over the faulty network counts what was actually
+  // transmitted: every unicast the network accepted (first sends,
+  // retransmissions, acks, central replies) and every scalar they
+  // carried. No physical broadcast is modeled, so both message columns
+  // coincide.
+  const NetworkStats& net_stats = network.stats();
+  const TransportStats& tx_stats = transport.stats();
+  result.point_to_point_messages = net_stats.sent;
+  result.broadcast_medium_messages = net_stats.sent;
+  result.payload_doubles = net_stats.payload_doubles_sent;
+  result.robustness.data_messages_sent = tx_stats.data_sent;
+  result.robustness.retransmissions = tx_stats.retransmissions;
+  result.robustness.duplicates_suppressed = tx_stats.duplicates_suppressed;
+  result.robustness.messages_dropped =
+      net_stats.dropped_loss + net_stats.dropped_crash;
+  return result;
+}
+
+}  // namespace
+
+ProtocolResult run_protocol(const core::CostModel& model,
+                            std::vector<double> initial,
+                            const ProtocolConfig& config) {
+  if (config.unreliable.enabled) {
+    return run_protocol_unreliable(model, std::move(initial), config);
+  }
+  return run_protocol_ideal(model, std::move(initial), config);
 }
 
 }  // namespace fap::sim

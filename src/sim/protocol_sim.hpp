@@ -6,11 +6,28 @@
 // designated central agent which replies with the average. This module
 // executes the algorithm *as that protocol*: each node is a separate
 // Agent object holding only its own allocation fragment; each round the
-// agents exchange messages through a lossless in-order virtual network,
-// then every agent independently runs the identical deterministic update
-// on the information it received. A run asserts the agreement invariant
-// (all agents compute the same next allocation) and a test pins the
-// protocol's trajectory to the centralized driver's, bitwise.
+// agents exchange messages through a virtual network, then every agent
+// independently runs the identical deterministic update on the
+// information it received.
+//
+// Two network regimes are supported:
+//   * the default ideal network — lossless, in-order, synchronous. A run
+//     asserts the agreement invariant (all agents compute the same next
+//     allocation) and a test pins the protocol's trajectory to the
+//     centralized driver's, bitwise;
+//   * a fault-injected network (ProtocolConfig::unreliable): per-message
+//     loss, duplication, and bounded reordering plus scripted node
+//     crash/rejoin (sim/lossy_network.hpp), bridged by an
+//     ack/retransmit transport (sim/reliable_transport.hpp). Reports
+//     that miss a round's deadline leave the receivers stepping from
+//     stale views — the Section-8 regime measured by sim/async_protocol
+//     — so feasibility (Σx = total) drifts; optional anti-entropy
+//     renormalization bounds the drift, and per-run robustness metrics
+//     (retransmissions, drops, duplicates suppressed, rounds with
+//     missing reports, drift) are reported in ProtocolResult. A node
+//     that hears nothing at all in a round holds its fragment — a total
+//     blackout (e.g. the central agent down) stalls the protocol
+//     instead of diverging it.
 //
 // The module also accounts for message and payload costs, reproducing two
 // of the paper's observations:
@@ -26,16 +43,40 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/allocator.hpp"
 #include "core/cost_model.hpp"
+#include "sim/lossy_network.hpp"
+#include "sim/reliable_transport.hpp"
 
 namespace fap::sim {
 
 enum class AggregationScheme {
   kBroadcast,     ///< all-to-all exchange; averages computed locally
   kCentralAgent,  ///< star exchange through node 0
+};
+
+/// Fault-injected execution mode. When `enabled`, run_protocol exchanges
+/// reports through ReliableTransport over LossyNetwork instead of the
+/// ideal synchronous network; `faults.seed` makes the run reproducible.
+struct UnreliableNetworkConfig {
+  bool enabled = false;
+  FaultConfig faults;
+  TransportConfig transport;
+  /// Transport ticks per protocol round — the round deadline. Reports
+  /// (and, for kCentralAgent, the reply) that are not delivered within
+  /// the round leave the receivers on stale views for this update.
+  std::uint64_t round_ticks = 16;
+  /// Every this many rounds, one synchronized exact renormalization
+  /// restores Σx = total over the live nodes (0 disables anti-entropy;
+  /// same remedy as sim/async_protocol).
+  std::size_t correction_interval = 0;
+  /// How much conservation-sum drift an agent's stale view may carry
+  /// into core::ResourceDirectedAllocator::step_with_drift before the
+  /// run aborts (a guard against runaway divergence, not a tuning knob).
+  double max_view_drift = 0.5;
 };
 
 struct ProtocolConfig {
@@ -46,6 +87,23 @@ struct ProtocolConfig {
   /// ring model); affects payload accounting.
   bool needs_full_allocation = false;
   bool record_cost_trace = false;
+  /// Fault injection; default-disabled, which preserves the ideal
+  /// network's behavior byte for byte.
+  UnreliableNetworkConfig unreliable;
+};
+
+/// Per-run robustness accounting of a fault-injected execution (all zero
+/// when fault injection is disabled).
+struct RobustnessStats {
+  std::size_t data_messages_sent = 0;   ///< first transmissions
+  std::size_t retransmissions = 0;      ///< timer-driven re-sends
+  std::size_t messages_dropped = 0;     ///< network loss + crash drops
+  std::size_t duplicates_suppressed = 0;
+  /// Rounds where some live node missed at least one expected fresh
+  /// report (or reply) by the round deadline.
+  std::size_t rounds_with_missing_reports = 0;
+  double max_feasibility_drift = 0.0;    ///< max_t |Σx(t) - total|
+  double final_feasibility_drift = 0.0;  ///< |Σx(final) - total|
 };
 
 struct ProtocolResult {
@@ -60,10 +118,12 @@ struct ProtocolResult {
   /// Total scalars carried by all messages.
   std::size_t payload_doubles = 0;
   std::vector<double> cost_trace;  ///< cost after each round (if recorded)
+  RobustnessStats robustness;
 };
 
 /// Per-round message accounting for one iteration with n nodes under the
-/// given configuration (exposed for tests and the A5 bench).
+/// given configuration (exposed for tests and the A5 bench). A single
+/// node exchanges nothing: every count is zero at n = 1.
 struct RoundMessageCost {
   std::size_t point_to_point = 0;
   std::size_t broadcast_medium = 0;
@@ -73,6 +133,9 @@ RoundMessageCost round_message_cost(std::size_t nodes,
                                     const ProtocolConfig& config);
 
 /// Executes the decentralized protocol on `model` from `initial`.
+/// With fault injection enabled the model must be single-group (one
+/// conservation constraint over all variables), the regime where drift
+/// accounting and anti-entropy renormalization are defined.
 ProtocolResult run_protocol(const core::CostModel& model,
                             std::vector<double> initial,
                             const ProtocolConfig& config);

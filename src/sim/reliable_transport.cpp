@@ -1,0 +1,131 @@
+#include "sim/reliable_transport.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace fap::sim {
+
+ReliableTransport::ReliableTransport(LossyNetwork& network,
+                                     TransportConfig config)
+    : network_(network),
+      config_(config),
+      links_(network.node_count() * network.node_count()) {
+  FAP_EXPECTS(config_.retransmit_after_ticks >= 1,
+              "retransmission timeout must be at least one tick");
+  FAP_EXPECTS(config_.max_backoff_ticks >= config_.retransmit_after_ticks,
+              "backoff cap must not undercut the initial timeout");
+}
+
+ReliableTransport::Link& ReliableTransport::link(std::size_t from,
+                                                std::size_t to) {
+  return links_[from * network_.node_count() + to];
+}
+
+void ReliableTransport::send(std::size_t from, std::size_t to,
+                             std::uint64_t tag,
+                             std::vector<double> payload) {
+  FAP_EXPECTS(from < network_.node_count() && to < network_.node_count(),
+              "transport endpoint out of range");
+  FAP_EXPECTS(from != to, "a node does not message itself");
+  Link& sender = link(from, to);
+  Datagram datagram;
+  datagram.from = from;
+  datagram.to = to;
+  datagram.kind = kData;
+  datagram.seq = sender.next_seq++;
+  datagram.tag = tag;
+  datagram.payload = std::move(payload);
+  ++stats_.data_sent;
+  network_.send(datagram);
+  sender.unacked.push_back(
+      Pending{std::move(datagram), now() + config_.retransmit_after_ticks,
+              config_.retransmit_after_ticks});
+}
+
+void ReliableTransport::cancel_older(std::size_t from,
+                                     std::uint64_t older_than_tag) {
+  FAP_EXPECTS(from < network_.node_count(), "transport endpoint out of range");
+  for (std::size_t to = 0; to < network_.node_count(); ++to) {
+    std::vector<Pending>& unacked = link(from, to).unacked;
+    const auto stale = [older_than_tag](const Pending& pending) {
+      return pending.datagram.tag < older_than_tag;
+    };
+    stats_.cancelled += static_cast<std::size_t>(
+        std::count_if(unacked.begin(), unacked.end(), stale));
+    unacked.erase(std::remove_if(unacked.begin(), unacked.end(), stale),
+                  unacked.end());
+  }
+}
+
+std::size_t ReliableTransport::pending() const {
+  std::size_t total = 0;
+  for (const Link& l : links_) {
+    total += l.unacked.size();
+  }
+  return total;
+}
+
+std::vector<Datagram> ReliableTransport::tick() {
+  std::vector<Datagram> fresh;
+  for (Datagram& datagram : network_.tick()) {
+    if (datagram.kind == kAck) {
+      // Ack from datagram.from retires seq on the reverse link. A
+      // duplicate or late ack (pending already gone) is a no-op.
+      std::vector<Pending>& unacked =
+          link(datagram.to, datagram.from).unacked;
+      const std::uint64_t seq = datagram.seq;
+      unacked.erase(std::remove_if(unacked.begin(), unacked.end(),
+                                   [seq](const Pending& pending) {
+                                     return pending.datagram.seq == seq;
+                                   }),
+                    unacked.end());
+      continue;
+    }
+    // Data: ack unconditionally (a lost earlier ack means the sender is
+    // still retransmitting — re-acking is what stops it), deliver once.
+    Datagram ack;
+    ack.from = datagram.to;
+    ack.to = datagram.from;
+    ack.kind = kAck;
+    ack.seq = datagram.seq;
+    ack.tag = datagram.tag;
+    ++stats_.acks_sent;
+    network_.send(ack);
+
+    std::vector<bool>& seen = link(datagram.from, datagram.to).seen;
+    if (datagram.seq >= seen.size()) {
+      seen.resize(datagram.seq + 1, false);
+    }
+    if (seen[datagram.seq]) {
+      ++stats_.duplicates_suppressed;
+      continue;
+    }
+    seen[datagram.seq] = true;
+    ++stats_.delivered;
+    fresh.push_back(std::move(datagram));
+  }
+
+  // Retransmission pass, in deterministic link order. Down senders hold
+  // their timers (state survives the outage; retry resumes at rejoin).
+  for (std::size_t from = 0; from < network_.node_count(); ++from) {
+    if (!network_.node_up(from)) {
+      continue;
+    }
+    for (std::size_t to = 0; to < network_.node_count(); ++to) {
+      for (Pending& pending : link(from, to).unacked) {
+        if (pending.next_send_tick > now()) {
+          continue;
+        }
+        ++stats_.retransmissions;
+        network_.send(pending.datagram);
+        pending.backoff =
+            std::min(pending.backoff * 2, config_.max_backoff_ticks);
+        pending.next_send_tick = now() + pending.backoff;
+      }
+    }
+  }
+  return fresh;
+}
+
+}  // namespace fap::sim

@@ -1,0 +1,100 @@
+// Ack/retransmit transport over the fault-injecting network.
+//
+// LossyNetwork loses, duplicates, and reorders datagrams; this layer
+// restores exactly-once delivery on top of it with the classic
+// machinery: per-(sender, receiver) sequence numbers, a per-message
+// retransmission timer in network ticks with capped exponential
+// backoff, cumulative receiver-side duplicate suppression, and explicit
+// acks (themselves unreliable — a lost ack costs one suppressed
+// duplicate, never a double delivery).
+//
+// One ReliableTransport instance simulates the endpoint state of every
+// node (the simulation is single-threaded and deterministic); crash
+// semantics follow the network's script. A down node neither
+// retransmits nor acks; its pending outbound state survives the outage
+// — modeling stable storage — so retransmission resumes at rejoin.
+// Sequence counters are never reused, so dedup state stays correct
+// across crashes. Senders can abandon superseded traffic with
+// cancel_older(): the protocol layer re-reports every round, and a
+// newer report subsumes anything still in flight from older rounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/lossy_network.hpp"
+
+namespace fap::sim {
+
+struct TransportConfig {
+  /// Ticks to wait for an ack before the first retransmission.
+  std::uint64_t retransmit_after_ticks = 2;
+  /// Cap for the doubled retransmission interval.
+  std::uint64_t max_backoff_ticks = 16;
+};
+
+struct TransportStats {
+  std::size_t data_sent = 0;        ///< first transmissions (send() calls)
+  std::size_t retransmissions = 0;  ///< timer-driven re-sends
+  std::size_t acks_sent = 0;
+  std::size_t delivered = 0;  ///< fresh datagrams handed to the application
+  std::size_t duplicates_suppressed = 0;
+  std::size_t cancelled = 0;  ///< pending sends abandoned via cancel_older
+};
+
+class ReliableTransport {
+ public:
+  /// The network must outlive the transport.
+  ReliableTransport(LossyNetwork& network, TransportConfig config);
+
+  /// Queues `payload` for reliable delivery from `from` to `to` and
+  /// transmits it once immediately. `tag` is application metadata
+  /// (the protocol round) carried verbatim.
+  void send(std::size_t from, std::size_t to, std::uint64_t tag,
+            std::vector<double> payload);
+
+  /// Abandons every pending (unacked) datagram from `from` whose tag is
+  /// strictly below `older_than_tag`. The receiver may or may not have
+  /// seen them; the caller declares it no longer cares.
+  void cancel_older(std::size_t from, std::uint64_t older_than_tag);
+
+  /// Runs one network tick: delivers due datagrams (acking fresh data,
+  /// suppressing duplicates, retiring acked sends) and then retransmits
+  /// overdue unacked datagrams from up senders. Returns the fresh
+  /// application datagrams delivered this tick, in arrival order.
+  std::vector<Datagram> tick();
+
+  std::uint64_t now() const noexcept { return network_.now(); }
+
+  /// Unacked datagrams currently owed a retransmission timer.
+  std::size_t pending() const;
+
+  const TransportStats& stats() const noexcept { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kData = 0;
+  static constexpr std::uint32_t kAck = 1;
+
+  struct Pending {
+    Datagram datagram;
+    std::uint64_t next_send_tick = 0;
+    std::uint64_t backoff = 0;
+  };
+
+  /// Directed-link state, indexed [from * nodes + to].
+  struct Link {
+    std::uint64_t next_seq = 0;        ///< sender side
+    std::vector<Pending> unacked;      ///< sender side, seq-ascending
+    std::vector<bool> seen;            ///< receiver side, indexed by seq
+  };
+
+  Link& link(std::size_t from, std::size_t to);
+
+  LossyNetwork& network_;
+  TransportConfig config_;
+  std::vector<Link> links_;
+  TransportStats stats_;
+};
+
+}  // namespace fap::sim

@@ -108,6 +108,25 @@ GridMinimum grid_select(const std::vector<double>& xs,
   return best;
 }
 
+bool parse_uint64(const char* text, std::uint64_t& out) noexcept {
+  if (text == nullptr || *text == '\0') {
+    return false;
+  }
+  std::uint64_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      return false;  // signs, whitespace, and trailing junk all land here
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (value > (~std::uint64_t{0} - digit) / 10) {
+      return false;  // would overflow (the ERANGE case)
+    }
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
 double sum(const std::vector<double>& v) noexcept {
   double total = 0.0;
   for (const double x : v) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -61,6 +62,15 @@ std::vector<double> grid_points(double lo, double hi, std::size_t points);
 /// p) whenever values[i] == f(xs[i]) bit for bit.
 GridMinimum grid_select(const std::vector<double>& xs,
                         const std::vector<double>& values);
+
+/// Strict base-10 parse of an unsigned 64-bit integer. True and writes
+/// `out` only when `text` is a non-empty, all-digit string whose value
+/// fits in std::uint64_t. Rejects what std::strtoull silently accepts:
+/// a leading '-' (which would wrap "-3" to ~1.8e19), '+', leading
+/// whitespace, trailing junk, and ERANGE overflow. Used by the bench
+/// flag parser so `--jobs -3` is a usage error, not a 2^64 thread
+/// request.
+bool parse_uint64(const char* text, std::uint64_t& out) noexcept;
 
 /// Sum of a vector (convenience, used in feasibility assertions).
 double sum(const std::vector<double>& v) noexcept;

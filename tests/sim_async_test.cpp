@@ -152,6 +152,58 @@ TEST(AsyncGossip, StalenessSlowsButDoesNotBreakConvergence) {
   EXPECT_NEAR(cost_after(8, 3000, 0.05), 1.8, 5e-3);
 }
 
+TEST(Async, RaggedDelayRowsFireTheRowSizeContract) {
+  // The delay matrix must be square: a ragged row (right outer size,
+  // wrong inner size) must fail the per-row FAP_EXPECTS with its
+  // message, not crash or silently index out of bounds.
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.delay = uniform_delay(4, 1);
+  config.delay[2].pop_back();  // ragged: row 2 has 3 entries
+  try {
+    sim::run_async_averaging(model, {0.25, 0.25, 0.25, 0.25}, config);
+    FAIL() << "ragged delay row accepted";
+  } catch (const fap::util::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("delay row size mismatch"),
+              std::string::npos)
+        << error.what();
+  }
+  const net::Topology ring = net::make_ring(4, 1.0);
+  EXPECT_THROW(
+      sim::run_async_gossip(model, ring, {0.25, 0.25, 0.25, 0.25}, config),
+      fap::util::PreconditionError);
+}
+
+TEST(Async, NonzeroDiagonalFiresTheSelfKnowledgeContract) {
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.delay = uniform_delay(4, 2);
+  config.delay[1][1] = 1;  // a node cannot be stale about itself
+  try {
+    sim::run_async_averaging(model, {0.25, 0.25, 0.25, 0.25}, config);
+    FAIL() << "nonzero delay diagonal accepted";
+  } catch (const fap::util::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what())
+                  .find("a node always knows its own current state"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Async, WrongOuterDelaySizeFiresTheMatrixContract) {
+  const core::SingleFileModel model = paper_model();
+  sim::AsyncConfig config;
+  config.delay = uniform_delay(3, 1);  // 3x3 matrix for a 4-node model
+  try {
+    sim::run_async_averaging(model, {0.25, 0.25, 0.25, 0.25}, config);
+    FAIL() << "wrong-sized delay matrix accepted";
+  } catch (const fap::util::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("delay matrix size mismatch"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(Async, RejectsMalformedConfigs) {
   const core::SingleFileModel model = paper_model();
   sim::AsyncConfig config;

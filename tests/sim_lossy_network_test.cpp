@@ -1,0 +1,192 @@
+// Fault-injection semantics of the virtual network: deterministic
+// replay from the seed, loss/duplication/jitter behavior, bounded
+// reordering, and crash-script enforcement.
+#include "sim/lossy_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace sim = fap::sim;
+
+sim::Datagram datagram(std::size_t from, std::size_t to,
+                       std::uint64_t seq = 0) {
+  sim::Datagram d;
+  d.from = from;
+  d.to = to;
+  d.seq = seq;
+  d.payload = {1.0, 2.0};
+  return d;
+}
+
+// (tick, from, to, seq) trace of everything a network delivers over
+// `ticks` ticks after `sends` submissions at tick 0.
+std::vector<std::tuple<std::uint64_t, std::size_t, std::size_t,
+                       std::uint64_t>>
+delivery_trace(sim::LossyNetwork& net,
+               const std::vector<sim::Datagram>& sends, std::size_t ticks) {
+  for (const sim::Datagram& d : sends) {
+    net.send(d);
+  }
+  std::vector<std::tuple<std::uint64_t, std::size_t, std::size_t,
+                         std::uint64_t>>
+      trace;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (const sim::Datagram& d : net.tick()) {
+      trace.emplace_back(net.now(), d.from, d.to, d.seq);
+    }
+  }
+  return trace;
+}
+
+TEST(LossyNetwork, FaultFreeDeliversInOrderAfterMinDelay) {
+  sim::LossyNetwork net(3, {});
+  net.send(datagram(0, 1, 7));
+  net.send(datagram(0, 2, 8));
+  net.send(datagram(2, 1, 9));
+  const std::vector<sim::Datagram> due = net.tick();
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].seq, 7u);  // FIFO among equal delivery ticks
+  EXPECT_EQ(due[1].seq, 8u);
+  EXPECT_EQ(due[2].seq, 9u);
+  EXPECT_EQ(due[0].payload, (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(net.tick().empty());
+  EXPECT_EQ(net.stats().delivered, 3u);
+  EXPECT_EQ(net.stats().sent, 3u);
+}
+
+TEST(LossyNetwork, SameSeedReplaysTheExactSameFaults) {
+  sim::FaultConfig faults;
+  faults.loss = 0.3;
+  faults.duplicate = 0.2;
+  faults.jitter_ticks = 5;
+  faults.seed = 123;
+  std::vector<sim::Datagram> sends;
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    sends.push_back(datagram(k % 4, (k + 1) % 4, k));
+  }
+  sim::LossyNetwork a(4, faults);
+  sim::LossyNetwork b(4, faults);
+  EXPECT_EQ(delivery_trace(a, sends, 10), delivery_trace(b, sends, 10));
+  EXPECT_EQ(a.stats().dropped_loss, b.stats().dropped_loss);
+  EXPECT_EQ(a.stats().duplicates_injected, b.stats().duplicates_injected);
+
+  faults.seed = 124;
+  sim::LossyNetwork c(4, faults);
+  EXPECT_NE(delivery_trace(a, sends, 10), delivery_trace(c, sends, 10));
+}
+
+TEST(LossyNetwork, CertainLossDropsEverything) {
+  sim::FaultConfig faults;
+  faults.loss = 1.0;
+  sim::LossyNetwork net(2, faults);
+  for (int k = 0; k < 10; ++k) {
+    net.send(datagram(0, 1));
+  }
+  EXPECT_TRUE(net.tick().empty());
+  EXPECT_EQ(net.stats().dropped_loss, 10u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(LossyNetwork, CertainDuplicationDeliversTwice) {
+  sim::FaultConfig faults;
+  faults.duplicate = 1.0;
+  sim::LossyNetwork net(2, faults);
+  net.send(datagram(0, 1, 42));
+  const std::vector<sim::Datagram> due = net.tick();
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].seq, 42u);
+  EXPECT_EQ(due[1].seq, 42u);
+  EXPECT_EQ(net.stats().duplicates_injected, 1u);
+}
+
+TEST(LossyNetwork, JitterBoundsDelayAndReordersSomewhere) {
+  sim::FaultConfig faults;
+  faults.min_delay_ticks = 2;
+  faults.jitter_ticks = 4;
+  faults.seed = 9;
+  sim::LossyNetwork net(2, faults);
+  const std::size_t kMessages = 40;
+  for (std::uint64_t k = 0; k < kMessages; ++k) {
+    net.send(datagram(0, 1, k));
+  }
+  std::vector<std::uint64_t> arrival_seq;
+  std::size_t delivered_before_floor = 0;
+  for (std::size_t t = 0; t < 10; ++t) {
+    for (const sim::Datagram& d : net.tick()) {
+      arrival_seq.push_back(d.seq);
+      if (net.now() < faults.min_delay_ticks) {
+        ++delivered_before_floor;
+      }
+      EXPECT_LE(net.now(), faults.min_delay_ticks + faults.jitter_ticks);
+    }
+  }
+  ASSERT_EQ(arrival_seq.size(), kMessages);  // everything arrives
+  EXPECT_EQ(delivered_before_floor, 0u);     // never before the floor
+  // Unequal delay draws must have swapped at least one pair.
+  EXPECT_FALSE(std::is_sorted(arrival_seq.begin(), arrival_seq.end()));
+}
+
+TEST(LossyNetwork, CrashScriptDropsBothDirectionsUntilRejoin) {
+  sim::FaultConfig faults;
+  faults.crashes = {{1, 0, 3}};  // node 1 down for ticks [0, 3)
+  sim::LossyNetwork net(2, faults);
+  EXPECT_FALSE(net.node_up(1, 0));
+  EXPECT_FALSE(net.node_up(1, 2));
+  EXPECT_TRUE(net.node_up(1, 3));
+
+  net.send(datagram(1, 0));  // down sender: refused
+  net.send(datagram(0, 1));  // delivery due at tick 1: receiver down
+  EXPECT_TRUE(net.tick().empty());
+  EXPECT_EQ(net.stats().dropped_crash, 2u);
+
+  net.tick();  // tick 2: still down
+  net.tick();  // tick 3: node 1 back
+  net.send(datagram(1, 0));
+  net.send(datagram(0, 1));
+  EXPECT_EQ(net.tick().size(), 2u);
+  EXPECT_EQ(net.stats().dropped_crash, 2u);
+}
+
+TEST(LossyNetwork, InFlightMessageToANodeThatCrashesIsLost) {
+  sim::FaultConfig faults;
+  faults.min_delay_ticks = 4;
+  faults.crashes = {{1, 2, 10}};
+  sim::LossyNetwork net(2, faults);
+  net.send(datagram(0, 1));  // due at tick 4, node 1 down [2, 10)
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_TRUE(net.tick().empty());
+  }
+  EXPECT_EQ(net.stats().dropped_crash, 1u);
+}
+
+TEST(LossyNetwork, RejectsMalformedConfigsAndDatagrams) {
+  sim::FaultConfig bad_loss;
+  bad_loss.loss = 1.5;
+  EXPECT_THROW(sim::LossyNetwork(2, bad_loss),
+               fap::util::PreconditionError);
+  sim::FaultConfig bad_delay;
+  bad_delay.min_delay_ticks = 0;
+  EXPECT_THROW(sim::LossyNetwork(2, bad_delay),
+               fap::util::PreconditionError);
+  sim::FaultConfig bad_crash;
+  bad_crash.crashes = {{5, 0, 1}};
+  EXPECT_THROW(sim::LossyNetwork(2, bad_crash),
+               fap::util::PreconditionError);
+  sim::FaultConfig empty_window;
+  empty_window.crashes = {{0, 4, 4}};
+  EXPECT_THROW(sim::LossyNetwork(2, empty_window),
+               fap::util::PreconditionError);
+
+  sim::LossyNetwork net(2, {});
+  EXPECT_THROW(net.send(datagram(0, 0)), fap::util::PreconditionError);
+  EXPECT_THROW(net.send(datagram(0, 5)), fap::util::PreconditionError);
+}
+
+}  // namespace

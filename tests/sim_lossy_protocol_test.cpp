@@ -1,0 +1,199 @@
+// run_protocol over the fault-injected network: a fault-free unreliable
+// run is bitwise the ideal trajectory, faulty runs converge to the
+// lossless optimum (the ISSUE 5 acceptance scenario), crash/rejoin
+// degrades gracefully, and everything replays bit-for-bit from the seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/allocator.hpp"
+#include "core/single_file.hpp"
+#include "sim/protocol_sim.hpp"
+#include "util/contracts.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+namespace core = fap::core;
+namespace sim = fap::sim;
+
+const std::vector<double> kStart{0.8, 0.1, 0.1, 0.0};
+
+sim::ProtocolConfig base_config(sim::AggregationScheme scheme) {
+  sim::ProtocolConfig config;
+  config.scheme = scheme;
+  config.algorithm.alpha = 0.3;
+  config.algorithm.epsilon = 1e-5;
+  config.algorithm.max_iterations = 5000;
+  return config;
+}
+
+sim::ProtocolConfig faulty_config(sim::AggregationScheme scheme,
+                                  double loss, std::uint64_t seed) {
+  sim::ProtocolConfig config = base_config(scheme);
+  config.unreliable.enabled = true;
+  config.unreliable.faults.loss = loss;
+  config.unreliable.faults.seed = seed;
+  config.unreliable.round_ticks = 16;
+  config.unreliable.correction_interval = 4;
+  return config;
+}
+
+TEST(LossyProtocol, FaultFreeUnreliablePathIsBitwiseTheIdealTrajectory) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  for (const auto scheme : {sim::AggregationScheme::kBroadcast,
+                            sim::AggregationScheme::kCentralAgent}) {
+    const sim::ProtocolResult ideal =
+        sim::run_protocol(model, kStart, base_config(scheme));
+
+    sim::ProtocolConfig unreliable = base_config(scheme);
+    unreliable.unreliable.enabled = true;  // zero faults configured
+    unreliable.unreliable.round_ticks = 4;
+    const sim::ProtocolResult faulty =
+        sim::run_protocol(model, kStart, unreliable);
+
+    ASSERT_TRUE(ideal.converged);
+    ASSERT_TRUE(faulty.converged);
+    EXPECT_EQ(faulty.rounds, ideal.rounds);
+    ASSERT_EQ(faulty.x.size(), ideal.x.size());
+    for (std::size_t i = 0; i < ideal.x.size(); ++i) {
+      EXPECT_EQ(faulty.x[i], ideal.x[i]) << "component " << i;
+    }
+    EXPECT_EQ(faulty.robustness.retransmissions, 0u);
+    EXPECT_EQ(faulty.robustness.messages_dropped, 0u);
+    EXPECT_EQ(faulty.robustness.rounds_with_missing_reports, 0u);
+    // Fresh views every round: only rounding residue in the sum.
+    EXPECT_LT(faulty.robustness.max_feasibility_drift, 1e-12);
+  }
+}
+
+TEST(LossyProtocol, TwentyPercentLossConvergesToTheLosslessCost) {
+  // ISSUE 5 acceptance: loss <= 20% with retransmission on the Figure-3
+  // ring lands within 1e-6 of the lossless final cost.
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  for (const auto scheme : {sim::AggregationScheme::kBroadcast,
+                            sim::AggregationScheme::kCentralAgent}) {
+    const sim::ProtocolResult lossless =
+        sim::run_protocol(model, kStart, base_config(scheme));
+    const sim::ProtocolResult lossy = sim::run_protocol(
+        model, kStart, faulty_config(scheme, /*loss=*/0.2, /*seed=*/11));
+    ASSERT_TRUE(lossless.converged);
+    ASSERT_TRUE(lossy.converged);
+    EXPECT_NEAR(lossy.cost, lossless.cost, 1e-6);
+    // The faults were real: the transport had to work for this.
+    EXPECT_GT(lossy.robustness.retransmissions, 0u);
+    EXPECT_GT(lossy.robustness.messages_dropped, 0u);
+    EXPECT_LT(lossy.robustness.final_feasibility_drift, 1e-3);
+  }
+}
+
+TEST(LossyProtocol, ReplaysBitForBitFromTheSeed) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  const sim::ProtocolConfig config =
+      faulty_config(sim::AggregationScheme::kBroadcast, 0.25, 42);
+  const sim::ProtocolResult a = sim::run_protocol(model, kStart, config);
+  const sim::ProtocolResult b = sim::run_protocol(model, kStart, config);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.point_to_point_messages, b.point_to_point_messages);
+  EXPECT_EQ(a.robustness.retransmissions, b.robustness.retransmissions);
+  EXPECT_EQ(a.robustness.messages_dropped, b.robustness.messages_dropped);
+  EXPECT_EQ(a.robustness.duplicates_suppressed,
+            b.robustness.duplicates_suppressed);
+  EXPECT_EQ(a.robustness.max_feasibility_drift,
+            b.robustness.max_feasibility_drift);
+
+  sim::ProtocolConfig other = config;
+  other.unreliable.faults.seed = 43;
+  const sim::ProtocolResult c = sim::run_protocol(model, kStart, other);
+  EXPECT_NE(a.point_to_point_messages, c.point_to_point_messages);
+}
+
+TEST(LossyProtocol, DuplicationAndJitterAreAbsorbedByTheTransport) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  sim::ProtocolConfig config =
+      faulty_config(sim::AggregationScheme::kBroadcast, 0.1, 7);
+  config.unreliable.faults.duplicate = 0.3;
+  config.unreliable.faults.jitter_ticks = 3;
+  const sim::ProtocolResult result =
+      sim::run_protocol(model, kStart, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.robustness.duplicates_suppressed, 0u);
+  const sim::ProtocolResult lossless = sim::run_protocol(
+      model, kStart, base_config(sim::AggregationScheme::kBroadcast));
+  EXPECT_NEAR(result.cost, lossless.cost, 1e-6);
+}
+
+TEST(LossyProtocol, CrashAndRejoinDegradesGracefullyAndRecovers) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  sim::ProtocolConfig config =
+      faulty_config(sim::AggregationScheme::kBroadcast, 0.05, 3);
+  config.unreliable.round_ticks = 8;
+  // Node 2 is down for rounds ~2..10 (ticks 16..80), then rejoins.
+  config.unreliable.faults.crashes = {{2, 16, 80}};
+  const sim::ProtocolResult result =
+      sim::run_protocol(model, kStart, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.robustness.rounds_with_missing_reports, 0u);
+  EXPECT_GT(result.robustness.messages_dropped, 0u);
+  const sim::ProtocolResult lossless = sim::run_protocol(
+      model, kStart, base_config(sim::AggregationScheme::kBroadcast));
+  // The outage stalls progress but the optimum is still reached.
+  EXPECT_NEAR(result.cost, lossless.cost, 1e-6);
+  EXPECT_GE(result.rounds, lossless.rounds);
+}
+
+TEST(LossyProtocol, CentralAgentCrashStallsRoundsUntilRejoin) {
+  // With the star's hub down nothing aggregates: those rounds all count
+  // as missing-report rounds, and convergence still happens afterwards.
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  sim::ProtocolConfig config =
+      faulty_config(sim::AggregationScheme::kCentralAgent, 0.0, 19);
+  config.unreliable.round_ticks = 8;
+  config.unreliable.faults.crashes = {{0, 8, 48}};  // hub down rounds 1..5
+  const sim::ProtocolResult result =
+      sim::run_protocol(model, kStart, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GE(result.robustness.rounds_with_missing_reports, 5u);
+  const sim::ProtocolResult lossless = sim::run_protocol(
+      model, kStart, base_config(sim::AggregationScheme::kCentralAgent));
+  EXPECT_NEAR(result.cost, lossless.cost, 1e-6);
+  EXPECT_GT(result.rounds, lossless.rounds);
+}
+
+TEST(LossyProtocol, AntiEntropyBoundsDriftUnderHeavyLoss) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  sim::ProtocolConfig no_correction =
+      faulty_config(sim::AggregationScheme::kBroadcast, 0.45, 23);
+  no_correction.unreliable.correction_interval = 0;
+  no_correction.unreliable.round_ticks = 4;  // tight deadline: stale views
+  no_correction.unreliable.max_view_drift = 1e9;  // measure, don't guard
+  no_correction.algorithm.max_iterations = 300;
+  no_correction.algorithm.epsilon = 1e-7;  // don't stop early; measure drift
+  const sim::ProtocolResult raw =
+      sim::run_protocol(model, kStart, no_correction);
+
+  sim::ProtocolConfig corrected = no_correction;
+  corrected.unreliable.correction_interval = 4;
+  const sim::ProtocolResult fixed =
+      sim::run_protocol(model, kStart, corrected);
+
+  EXPECT_GT(raw.robustness.max_feasibility_drift, 0.0);
+  EXPECT_LE(fixed.robustness.final_feasibility_drift,
+            raw.robustness.max_feasibility_drift + 1e-12);
+}
+
+TEST(LossyProtocol, RequiresSingleGroupModelsAndSaneRounds) {
+  const core::SingleFileModel model(core::make_paper_ring_problem());
+  sim::ProtocolConfig config =
+      faulty_config(sim::AggregationScheme::kBroadcast, 0.1, 1);
+  config.unreliable.round_ticks = 0;
+  EXPECT_THROW(sim::run_protocol(model, kStart, config),
+               fap::util::PreconditionError);
+  config.unreliable.round_ticks = 2;
+  config.unreliable.faults.min_delay_ticks = 5;  // cannot fit in a round
+  EXPECT_THROW(sim::run_protocol(model, kStart, config),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 namespace {
 
 namespace core = fap::core;
+namespace net = fap::net;
 namespace sim = fap::sim;
 
 core::AllocatorOptions paper_options() {
@@ -79,6 +80,44 @@ TEST(Protocol, MessageCountsCentralAgentScheme) {
   EXPECT_EQ(cost.point_to_point, 18u);     // 2(N-1)
   EXPECT_EQ(cost.broadcast_medium, 10u);   // N-1 uploads + 1 reply
   EXPECT_EQ(cost.payload_doubles, 18u);    // 9 up + 9 down, one scalar each
+}
+
+TEST(Protocol, SingleNodeExchangesNothing) {
+  // A single node never transmits: the old accounting charged one
+  // broadcast-medium transmission (and the central scheme one reply) to
+  // a network of one. All counts must be zero, under every scheme and
+  // payload mode.
+  for (const auto scheme : {sim::AggregationScheme::kBroadcast,
+                            sim::AggregationScheme::kCentralAgent}) {
+    for (const bool full_allocation : {false, true}) {
+      sim::ProtocolConfig config;
+      config.scheme = scheme;
+      config.needs_full_allocation = full_allocation;
+      const sim::RoundMessageCost cost = sim::round_message_cost(1, config);
+      EXPECT_EQ(cost.point_to_point, 0u);
+      EXPECT_EQ(cost.broadcast_medium, 0u);
+      EXPECT_EQ(cost.payload_doubles, 0u);
+    }
+  }
+}
+
+TEST(Protocol, SingleNodeRunConvergesWithZeroMessages) {
+  // n = 1 end to end (the multicopy payload mode exercised for good
+  // measure): the whole file sits on the only node, the protocol
+  // detects termination in its first round, and — after the accounting
+  // fix — reports zero traffic of any kind.
+  const core::SingleFileModel model(
+      core::SingleFileProblem{net::CostMatrix(1), {1.0}, {1.5}});
+  sim::ProtocolConfig config;
+  config.needs_full_allocation = true;
+  config.algorithm = paper_options();
+  const sim::ProtocolResult result = sim::run_protocol(model, {1.0}, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.x, (std::vector<double>{1.0}));
+  EXPECT_EQ(result.point_to_point_messages, 0u);
+  EXPECT_EQ(result.broadcast_medium_messages, 0u);
+  EXPECT_EQ(result.payload_doubles, 0u);
 }
 
 TEST(Protocol, BroadcastAndCentralCoincideOnABroadcastMedium) {

@@ -1,0 +1,197 @@
+// The transport's contract: exactly-once delivery to the application on
+// top of a network that loses, duplicates, and reorders — plus capped
+// exponential backoff, supersession via cancel_older, and crash
+// survival of pending state.
+#include "sim/reliable_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/lossy_network.hpp"
+#include "util/contracts.hpp"
+
+namespace {
+
+namespace sim = fap::sim;
+
+// Runs `ticks` ticks and appends every fresh delivery.
+std::vector<sim::Datagram> drain(sim::ReliableTransport& transport,
+                                 std::size_t ticks) {
+  std::vector<sim::Datagram> all;
+  for (std::size_t t = 0; t < ticks; ++t) {
+    for (sim::Datagram& d : transport.tick()) {
+      all.push_back(std::move(d));
+    }
+  }
+  return all;
+}
+
+TEST(ReliableTransport, LosslessDeliversOnceWithNoRetransmissions) {
+  sim::LossyNetwork net(2, {});
+  sim::ReliableTransport transport(net, {});
+  transport.send(0, 1, 5, {3.5});
+  const std::vector<sim::Datagram> got = drain(transport, 4);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].from, 0u);
+  EXPECT_EQ(got[0].to, 1u);
+  EXPECT_EQ(got[0].tag, 5u);
+  EXPECT_EQ(got[0].payload, (std::vector<double>{3.5}));
+  EXPECT_EQ(transport.stats().retransmissions, 0u);
+  EXPECT_EQ(transport.stats().duplicates_suppressed, 0u);
+  EXPECT_EQ(transport.pending(), 0u);  // ack retired it
+}
+
+TEST(ReliableTransport, RetransmitsThroughLossUntilDeliveredExactlyOnce) {
+  sim::FaultConfig faults;
+  faults.loss = 0.5;
+  faults.seed = 77;
+  sim::LossyNetwork net(4, faults);
+  sim::ReliableTransport transport(net, {});
+  // Every ordered pair sends a handful of messages.
+  std::size_t sent = 0;
+  for (std::size_t from = 0; from < 4; ++from) {
+    for (std::size_t to = 0; to < 4; ++to) {
+      if (from != to) {
+        for (std::uint64_t k = 0; k < 5; ++k) {
+          transport.send(from, to, k, {static_cast<double>(k)});
+          ++sent;
+        }
+      }
+    }
+  }
+  const std::vector<sim::Datagram> got = drain(transport, 400);
+  EXPECT_EQ(got.size(), sent);  // all delivered...
+  std::map<std::tuple<std::size_t, std::size_t, std::uint64_t>, int> count;
+  for (const sim::Datagram& d : got) {
+    ++count[{d.from, d.to, d.seq}];
+  }
+  for (const auto& [key, c] : count) {
+    EXPECT_EQ(c, 1) << "duplicate application delivery";
+  }
+  EXPECT_GT(transport.stats().retransmissions, 0u);
+  EXPECT_EQ(transport.pending(), 0u);
+}
+
+TEST(ReliableTransport, LostAcksCostSuppressedDuplicatesNotRedelivery) {
+  // Loss high enough that some acks vanish: the sender retransmits data
+  // the receiver already has, which must be suppressed, not redelivered.
+  sim::FaultConfig faults;
+  faults.loss = 0.6;
+  faults.seed = 5;
+  sim::LossyNetwork net(2, faults);
+  sim::ReliableTransport transport(net, {});
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    transport.send(0, 1, k, {1.0});
+  }
+  const std::vector<sim::Datagram> got = drain(transport, 600);
+  EXPECT_EQ(got.size(), 30u);
+  EXPECT_GT(transport.stats().duplicates_suppressed, 0u);
+}
+
+TEST(ReliableTransport, NetworkDuplicationIsInvisibleToTheApplication) {
+  sim::FaultConfig faults;
+  faults.duplicate = 1.0;
+  sim::LossyNetwork net(2, faults);
+  sim::ReliableTransport transport(net, {});
+  transport.send(0, 1, 0, {1.0});
+  transport.send(0, 1, 1, {2.0});
+  const std::vector<sim::Datagram> got = drain(transport, 6);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(transport.stats().duplicates_suppressed, 2u);
+}
+
+TEST(ReliableTransport, BackoffDoublesAndCaps) {
+  // A black hole: count the retransmissions of one message over a long
+  // window and check the capped-exponential schedule. With timeout 2 and
+  // cap 8 the re-send ticks are 2, 6(=2+4), 14(=6+8), 22, 30, ... — the
+  // gap doubles until it pins at the cap.
+  sim::FaultConfig faults;
+  faults.loss = 1.0;
+  sim::LossyNetwork net(2, faults);
+  sim::TransportConfig config;
+  config.retransmit_after_ticks = 2;
+  config.max_backoff_ticks = 8;
+  sim::ReliableTransport transport(net, config);
+  transport.send(0, 1, 0, {1.0});
+
+  std::vector<std::size_t> retransmit_ticks;
+  std::size_t seen = 0;
+  for (std::size_t t = 1; t <= 40; ++t) {
+    transport.tick();
+    if (transport.stats().retransmissions > seen) {
+      seen = transport.stats().retransmissions;
+      retransmit_ticks.push_back(t);
+    }
+  }
+  EXPECT_EQ(retransmit_ticks,
+            (std::vector<std::size_t>{2, 6, 14, 22, 30, 38}));
+  EXPECT_EQ(transport.pending(), 1u);  // never acked, never given up
+}
+
+TEST(ReliableTransport, CancelOlderAbandonsSupersededTraffic) {
+  sim::FaultConfig faults;
+  faults.loss = 1.0;  // nothing ever arrives, pendings accumulate
+  sim::LossyNetwork net(3, faults);
+  sim::ReliableTransport transport(net, {});
+  transport.send(0, 1, /*tag=*/1, {1.0});
+  transport.send(0, 2, /*tag=*/1, {1.0});
+  transport.send(0, 1, /*tag=*/2, {2.0});
+  EXPECT_EQ(transport.pending(), 3u);
+  transport.cancel_older(0, 2);
+  EXPECT_EQ(transport.pending(), 1u);  // only the tag-2 send survives
+  EXPECT_EQ(transport.stats().cancelled, 2u);
+  const std::size_t before = transport.stats().retransmissions;
+  drain(transport, 50);
+  // Cancelled messages are never retransmitted again; the survivor is.
+  EXPECT_GT(transport.stats().retransmissions, before);
+  EXPECT_EQ(transport.pending(), 1u);
+}
+
+TEST(ReliableTransport, PendingStateSurvivesACrashAndResumesAtRejoin) {
+  sim::FaultConfig faults;
+  faults.crashes = {{0, 2, 20}};  // sender crashes after the first send
+  sim::LossyNetwork net(2, faults);
+  sim::ReliableTransport transport(net, {});
+  transport.tick();  // tick 1: nothing yet
+  transport.send(0, 1, 0, {1.0});  // in flight, due tick 2... sender up now
+  // The datagram was accepted at tick 1 and delivers at tick 2 — but
+  // let's force the retransmission path instead: crash kills nothing
+  // in-flight here, so use a second message sent *during* the outage.
+  std::vector<sim::Datagram> got = drain(transport, 30);
+  ASSERT_EQ(got.size(), 1u);
+
+  // Receiver crashes: delivery + acks blocked until rejoin.
+  sim::FaultConfig faults2;
+  faults2.crashes = {{1, 0, 12}};
+  sim::LossyNetwork net2(2, faults2);
+  sim::ReliableTransport transport2(net2, {});
+  transport2.send(0, 1, 0, {4.0});
+  got = drain(transport2, 10);  // receiver down through tick 10
+  EXPECT_TRUE(got.empty());
+  EXPECT_GT(transport2.stats().retransmissions, 0u);
+  EXPECT_EQ(transport2.pending(), 1u);
+  got = drain(transport2, 30);  // rejoin at tick 12
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].payload, (std::vector<double>{4.0}));
+  EXPECT_EQ(transport2.pending(), 0u);
+}
+
+TEST(ReliableTransport, RejectsMisuse) {
+  sim::LossyNetwork net(2, {});
+  sim::ReliableTransport transport(net, {});
+  EXPECT_THROW(transport.send(0, 0, 0, {}), fap::util::PreconditionError);
+  EXPECT_THROW(transport.send(0, 7, 0, {}), fap::util::PreconditionError);
+  sim::TransportConfig bad;
+  bad.retransmit_after_ticks = 0;
+  EXPECT_THROW(sim::ReliableTransport(net, bad),
+               fap::util::PreconditionError);
+  sim::TransportConfig inverted;
+  inverted.retransmit_after_ticks = 8;
+  inverted.max_backoff_ticks = 4;
+  EXPECT_THROW(sim::ReliableTransport(net, inverted),
+               fap::util::PreconditionError);
+}
+
+}  // namespace

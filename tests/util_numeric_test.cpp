@@ -77,6 +77,49 @@ TEST(Sum, AddsElements) {
   EXPECT_DOUBLE_EQ(util::sum({1.5, 2.5, -1.0}), 3.0);
 }
 
+TEST(ParseUint64, AcceptsPlainDecimalValues) {
+  std::uint64_t value = 99;
+  EXPECT_TRUE(util::parse_uint64("0", value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(util::parse_uint64("8", value));
+  EXPECT_EQ(value, 8u);
+  EXPECT_TRUE(util::parse_uint64("123456789", value));
+  EXPECT_EQ(value, 123456789u);
+  // Exactly UINT64_MAX still fits.
+  EXPECT_TRUE(util::parse_uint64("18446744073709551615", value));
+  EXPECT_EQ(value, ~std::uint64_t{0});
+}
+
+TEST(ParseUint64, RejectsNegativeInput) {
+  // The regression this parser exists for: strtoull("-3") silently
+  // wraps to 2^64 - 3, so "--jobs -3" used to request ~1.8e19 threads.
+  std::uint64_t value = 7;
+  EXPECT_FALSE(util::parse_uint64("-3", value));
+  EXPECT_FALSE(util::parse_uint64("-0", value));
+  EXPECT_EQ(value, 7u);  // failure leaves the output untouched
+}
+
+TEST(ParseUint64, RejectsOverflow) {
+  std::uint64_t value = 7;
+  // One past UINT64_MAX, and something absurd.
+  EXPECT_FALSE(util::parse_uint64("18446744073709551616", value));
+  EXPECT_FALSE(util::parse_uint64("99999999999999999999999", value));
+  EXPECT_EQ(value, 7u);
+}
+
+TEST(ParseUint64, RejectsNonNumericJunk) {
+  std::uint64_t value = 7;
+  EXPECT_FALSE(util::parse_uint64(nullptr, value));
+  EXPECT_FALSE(util::parse_uint64("", value));
+  EXPECT_FALSE(util::parse_uint64("+3", value));
+  EXPECT_FALSE(util::parse_uint64(" 3", value));
+  EXPECT_FALSE(util::parse_uint64("3 ", value));
+  EXPECT_FALSE(util::parse_uint64("12x", value));
+  EXPECT_FALSE(util::parse_uint64("0x10", value));
+  EXPECT_FALSE(util::parse_uint64("1e3", value));
+  EXPECT_EQ(value, 7u);
+}
+
 TEST(LinfDistance, MaxAbsoluteDifference) {
   EXPECT_DOUBLE_EQ(util::linf_distance({1.0, 2.0}, {1.5, 1.0}), 1.0);
   EXPECT_THROW(util::linf_distance({1.0}, {1.0, 2.0}),
