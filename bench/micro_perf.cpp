@@ -7,6 +7,8 @@
 #include <map>
 
 #include "baselines/branch_and_bound.hpp"
+#include "catalog/catalog_solver.hpp"
+#include "catalog/catalog_spec.hpp"
 #include "core/allocator.hpp"
 #include "core/batch_allocator.hpp"
 #include "core/ring_model.hpp"
@@ -393,6 +395,35 @@ void BM_TraceJsonExport(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceJsonExport);
+
+// Price-decomposed catalog allocation end to end (Experiment A16's inner
+// engine): K objects over a 24-node network with moderate slack, so the
+// dual loop settles in one round and the measurement tracks the
+// per-object decomposition cost rather than tâtonnement behavior.
+void BM_CatalogSolve(benchmark::State& state) {
+  const auto objects = static_cast<std::size_t>(state.range(0));
+  static std::map<std::size_t, catalog::CatalogSpec> specs;
+  auto it = specs.find(objects);
+  if (it == specs.end()) {
+    catalog::SyntheticCatalogOptions synth;
+    synth.objects = objects;
+    synth.nodes = 24;
+    synth.headroom = 0.5;
+    synth.zipf_s = 0.9;
+    it = specs.emplace(objects, catalog::make_synthetic_catalog(synth, 7))
+             .first;
+  }
+  const catalog::CatalogSolver solver(it->second, catalog::CatalogOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(objects));
+}
+BENCHMARK(BM_CatalogSolve)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

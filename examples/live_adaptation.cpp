@@ -32,6 +32,7 @@ int main() {
   core::SingleFileProblem phase1{
       comm, {0.45, 0.05, 0.05, 0.05, 0.05, 0.05},
       std::vector<double>(6, 1.4), /*k=*/1.0, queueing::DelayModel(), {},
+      {},
       {}};
   // Hidden truth, phase 2: the hot spot jumps to node 3.
   core::SingleFileProblem phase2 = phase1;

@@ -28,6 +28,7 @@ fap::core::SingleFileProblem hidden_truth(const fap::net::CostMatrix& comm,
       /*k=*/1.0,
       fap::queueing::DelayModel(),
       {},
+      {},
       {}};
   if (epoch >= 2) {
     truth.mu[2] = 1.2;  // degraded disk

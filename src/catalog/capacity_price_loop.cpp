@@ -1,0 +1,71 @@
+#include "catalog/capacity_price_loop.hpp"
+
+#include <algorithm>
+
+#include "econ/price_directed.hpp"
+#include "util/contracts.hpp"
+
+namespace fap::catalog {
+
+namespace {
+
+// Guards the relative-overload division on a zero-budget node: such a
+// node's residual is measured against one volume unit instead.
+constexpr double kMinBudget = 1e-12;
+
+}  // namespace
+
+CapacityPriceLoop::CapacityPriceLoop(std::vector<double> capacity,
+                                     CapacityPriceLoopOptions options)
+    : capacity_(std::move(capacity)), options_(options) {
+  FAP_EXPECTS(!capacity_.empty(), "need at least one capacity budget");
+  for (const double cap : capacity_) {
+    FAP_EXPECTS(cap >= 0.0, "capacity budgets must be non-negative");
+  }
+  FAP_EXPECTS(options_.gamma > 0.0, "gamma must be positive");
+  FAP_EXPECTS(options_.decay > 0.0 && options_.decay < 1.0,
+              "decay must be in (0, 1)");
+  FAP_EXPECTS(options_.tolerance >= 0.0, "tolerance must be non-negative");
+  FAP_EXPECTS(options_.max_rounds >= 1, "need at least one round");
+  FAP_EXPECTS(options_.price_scale > 0.0, "price scale must be positive");
+  prices_.assign(capacity_.size(), 0.0);
+  gamma_.resize(capacity_.size());
+  diagnostics_.gamma = options_.gamma;
+}
+
+bool CapacityPriceLoop::update(const std::vector<double>& demand) {
+  FAP_EXPECTS(demand.size() == capacity_.size(),
+              "demand vector must match capacity vector");
+  FAP_EXPECTS(active(), "price loop already finished");
+
+  double residual = 0.0;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    const double budget = std::max(capacity_[i], kMinBudget);
+    residual = std::max(residual, (demand[i] - capacity_[i]) / budget);
+  }
+
+  const bool improved = diagnostics_.residual_history.empty() ||
+                        residual < diagnostics_.residual_history.back();
+  diagnostics_.residual_history.push_back(residual);
+
+  if (residual <= options_.tolerance) {
+    converged_ = true;
+    return true;
+  }
+
+  if (!improved) {
+    ++diagnostics_.oscillations;
+    if (options_.step_rule == PriceStepRule::kAdaptive) {
+      diagnostics_.gamma *= options_.decay;
+    }
+  }
+  for (std::size_t i = 0; i < gamma_.size(); ++i) {
+    gamma_[i] = diagnostics_.gamma * options_.price_scale /
+                std::max(capacity_[i], kMinBudget);
+  }
+  econ::tatonnement_step(prices_, demand, capacity_, gamma_);
+  ++diagnostics_.rounds;
+  return false;
+}
+
+}  // namespace fap::catalog

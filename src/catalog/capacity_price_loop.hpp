@@ -1,0 +1,106 @@
+// Outer dual loop of the catalog engine: tâtonnement on per-node
+// capacity prices.
+//
+// Lagrangian decomposition of the joint catalog problem: relaxing the
+// coupling constraints Σ_o v_o x_i^o <= B_i with multipliers p_i >= 0
+// adds v_o p_i to object o's access cost at node i and NOTHING else —
+// the relaxed problem separates into K independent single-file FAPs,
+// each solvable by the paper's resource-directed algorithm. The
+// multipliers themselves follow the price-directed mechanism of
+// Section 2 (econ::tatonnement_step), one resource per node:
+//
+//   p_i <- max(0, p_i + γ_i (demand_i - B_i)),   γ_i = γ · scale / B_i
+//
+// so a node overloaded by fraction f sees its price move by γ·scale·f
+// regardless of its absolute budget. CapacityPriceLoop owns the price
+// vector, the step rule (fixed or residual-adaptive γ), and the
+// convergence/oscillation diagnostics; the CatalogSolver feeds it one
+// demand vector per round of inner solves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fap::catalog {
+
+/// How the normalized speed γ evolves across rounds.
+enum class PriceStepRule {
+  kFixed,     ///< γ stays at CapacityPriceLoopOptions::gamma
+  kAdaptive,  ///< γ is multiplied by `decay` whenever a round fails to
+              ///< reduce the overload residual (the demand response of a
+              ///< mostly point-mass catalog is steppy; backing off the
+              ///< speed damps the resulting price oscillation)
+};
+
+struct CapacityPriceLoopOptions {
+  double gamma = 0.5;  ///< initial normalized adjustment speed
+  PriceStepRule step_rule = PriceStepRule::kAdaptive;
+  double decay = 0.5;  ///< kAdaptive: γ multiplier on a non-improving round
+  /// Convergence: max relative overload max_i (d_i - B_i)/B_i at or
+  /// below this. The deterministic repair pass (catalog_solver.cpp)
+  /// closes the remaining gap to exactly feasible, so the dual loop only
+  /// needs to get close, not exact.
+  double tolerance = 0.01;
+  std::size_t max_rounds = 16;  ///< price updates before giving up
+  /// Price units per unit of relative overload; converts the
+  /// dimensionless residual into the access-cost scale the inner solves
+  /// compare prices against. CatalogSolver computes a problem-derived
+  /// default (see CatalogOptions::auto_price_scale).
+  double price_scale = 1.0;
+};
+
+class CapacityPriceLoop {
+ public:
+  /// Capacities are the supply side B_i; prices start at 0 (every
+  /// constraint assumed slack until demand proves otherwise — this is
+  /// what keeps the slack-capacity path identical to the unconstrained
+  /// single-file solve).
+  CapacityPriceLoop(std::vector<double> capacity,
+                    CapacityPriceLoopOptions options);
+
+  const std::vector<double>& prices() const noexcept { return prices_; }
+  const std::vector<double>& capacity() const noexcept { return capacity_; }
+
+  /// Ingests one round's node demand (Σ_o v_o x_i^o per node). Computes
+  /// the relative overload residual FIRST; when it is within tolerance
+  /// the loop records convergence and returns true WITHOUT moving prices
+  /// — the caller's last allocation is the one produced by the posted
+  /// prices. Otherwise prices take one projected tâtonnement step (with
+  /// γ adapted per the step rule) and false is returned. Calling update
+  /// after convergence or after max_rounds price updates throws.
+  bool update(const std::vector<double>& demand);
+
+  bool converged() const noexcept { return converged_; }
+  /// True while another update() call is admissible.
+  bool active() const noexcept {
+    return !converged_ && diagnostics_.rounds < options_.max_rounds;
+  }
+  /// Residual of the most recent update (max relative overload).
+  double residual() const noexcept {
+    return diagnostics_.residual_history.empty()
+               ? 0.0
+               : diagnostics_.residual_history.back();
+  }
+
+  struct Diagnostics {
+    std::size_t rounds = 0;  ///< price updates taken
+    /// Residual observed by every update() call, in order (one more
+    /// entry than `rounds` once converged).
+    std::vector<double> residual_history;
+    /// Rounds whose residual was no better than the previous round's —
+    /// the oscillation/stall count the adaptive rule reacts to.
+    std::size_t oscillations = 0;
+    double gamma = 0.0;  ///< current speed after adaptation
+  };
+  const Diagnostics& diagnostics() const noexcept { return diagnostics_; }
+
+ private:
+  std::vector<double> capacity_;
+  std::vector<double> prices_;
+  std::vector<double> gamma_;  ///< per-node γ_i, refreshed when γ adapts
+  CapacityPriceLoopOptions options_;
+  Diagnostics diagnostics_;
+  bool converged_ = false;
+};
+
+}  // namespace fap::catalog

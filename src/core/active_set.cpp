@@ -56,6 +56,45 @@ void active_set_fast(const ConstraintGroup& group, const std::vector<double>& x,
     return;
   }
 
+  // Second fast path: step (i)'s survivors are often already the fixed
+  // point. The typical lane of a large catalog is a point mass whose
+  // active set is one interior node with every other node pinned at the
+  // floor below the average; the reference's round 0 then re-admits
+  // nobody (no excluded candidate's gap clears the active average — the
+  // first peek of either heap comes back empty-handed, which is exactly
+  // "no eligible outsider strictly beats the average") and its drop pass
+  // pins nobody, so it exits with the active set unchanged. Detecting
+  // that is two O(m) scans over the same sums and pinned() arithmetic
+  // the reference would evaluate — bit-identical decisions — and skips
+  // the O(dim) bitmask and the two heap builds below.
+  if (!active.empty()) {
+    double sum_active = 0.0;
+    for (const std::size_t i : active) {
+      sum_active += marginal_u[i];
+    }
+    const double avg = sum_active / static_cast<double>(active.size());
+    bool settled = true;
+    for (const std::size_t i : members) {
+      if (pinned(i, alpha * (marginal_u[i] - avg_full))) {
+        // Excluded by step (i): would round 0's re-admission take it?
+        const double gap = marginal_u[i] - avg;
+        if ((gap > 0.0 && x[i] < cap_of(i) - kBoundaryTol) ||
+            (gap < 0.0 && x[i] > kBoundaryTol)) {
+          settled = false;
+          break;
+        }
+      } else if (pinned(i, alpha * (marginal_u[i] - avg))) {
+        // Active member round 0's drop pass would pin.
+        settled = false;
+        break;
+      }
+    }
+    if (settled) {
+      std::sort(active.begin(), active.end());
+      return;
+    }
+  }
+
   // Membership bitmask (replaces the reference's std::find scans) and the
   // variable -> group-position map used to re-enqueue dropped nodes.
   ws.in_active.assign(dim, 0);

@@ -82,6 +82,82 @@ std::size_t BatchAllocator::submit(const SingleFileModel& model,
   return pending_.size() - 1;
 }
 
+std::size_t BatchAllocator::submit(const RawInstance& raw,
+                                   const AllocatorOptions& options) {
+  FAP_EXPECTS(options.alpha > 0.0, "step size must be positive");
+  FAP_EXPECTS(options.epsilon > 0.0, "epsilon must be positive");
+  FAP_EXPECTS(options.max_iterations > 0, "need at least one iteration");
+  FAP_EXPECTS(options.dynamic_safety > 0.0 && options.dynamic_safety <= 1.0,
+              "dynamic_safety must be in (0, 1]");
+  FAP_EXPECTS(!options.record_trace,
+              "BatchAllocator does not record traces; use the serial "
+              "ResourceDirectedAllocator for traced runs");
+  FAP_EXPECTS(!options.use_reference_active_set,
+              "BatchAllocator always uses the fast active set");
+
+  // Model-level validations, mirroring the SingleFileModel constructor.
+  FAP_EXPECTS(raw.n >= 1, "problem needs at least one node");
+  FAP_EXPECTS(raw.access_cost != nullptr && raw.mu != nullptr &&
+                  raw.start != nullptr,
+              "raw instance needs access costs, service rates and a start");
+  FAP_EXPECTS(raw.total_rate > 0.0,
+              "network-wide access rate must be positive");
+  FAP_EXPECTS(raw.k >= 0.0, "k must be non-negative");
+  for (std::size_t i = 0; i < raw.n; ++i) {
+    FAP_EXPECTS(raw.mu[i] > 0.0, "service rates must be positive");
+    if (raw.delay.rho_max() >= 1.0) {
+      FAP_EXPECTS(raw.total_rate < raw.delay.capacity(raw.mu[i]),
+                  "stability requires λ below every node's service "
+                  "capacity (or a linearized delay model, see DelayModel "
+                  "rho_max)");
+    }
+  }
+  if (raw.caps != nullptr) {
+    double capacity_total = 0.0;
+    for (std::size_t i = 0; i < raw.n; ++i) {
+      FAP_EXPECTS(raw.caps[i] >= 0.0, "storage capacities must be "
+                                      "non-negative");
+      capacity_total += raw.caps[i];
+    }
+    FAP_EXPECTS(capacity_total >= 1.0 - 1e-9,
+                "total storage capacity must hold at least one whole file");
+  }
+
+  // Start feasibility, mirroring CostModel::check_feasible (tol 1e-9,
+  // one Σ = 1 group).
+  constexpr double kTol = 1e-9;
+  double start_sum = 0.0;
+  for (std::size_t i = 0; i < raw.n; ++i) {
+    FAP_EXPECTS(raw.start[i] >= -kTol, "allocation must be non-negative");
+    if (raw.caps != nullptr) {
+      FAP_EXPECTS(raw.start[i] <= raw.caps[i] + kTol,
+                  "allocation exceeds a storage capacity");
+    }
+    start_sum += raw.start[i];
+  }
+  FAP_EXPECTS(std::fabs(start_sum - 1.0) <= kTol,
+              "allocation violates a resource-conservation constraint");
+
+  Instance inst;
+  inst.n = raw.n;
+  inst.alpha = options.alpha;
+  inst.epsilon = options.epsilon;
+  inst.dynamic_safety = options.dynamic_safety;
+  inst.dynamic_rule = options.step_rule == StepRule::kDynamic;
+  inst.max_iterations = options.max_iterations;
+  inst.total_rate = raw.total_rate;
+  inst.k = raw.k;
+  inst.delay = raw.delay;
+  inst.access_cost.assign(raw.access_cost, raw.access_cost + raw.n);
+  inst.mu.assign(raw.mu, raw.mu + raw.n);
+  if (raw.caps != nullptr) {
+    inst.caps.assign(raw.caps, raw.caps + raw.n);
+  }
+  inst.start.assign(raw.start, raw.start + raw.n);
+  pending_.push_back(std::move(inst));
+  return pending_.size() - 1;
+}
+
 void BatchAllocator::load_lane(std::size_t lane, std::size_t instance_id) {
   const Instance& inst = pending_[instance_id];
   const std::size_t s = lanes_;

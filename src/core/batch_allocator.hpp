@@ -73,6 +73,32 @@ class BatchAllocator {
                      const AllocatorOptions& options,
                      std::vector<double> start);
 
+  /// A submission without the SingleFileModel wrapper: exactly the fields
+  /// run_all() consumes, by pointer into caller-owned storage (borrowed
+  /// only for the duration of submit(), which copies). The catalog engine
+  /// feeds ~1e6 instances per pricing round; constructing a model object
+  /// (comm matrix + λ vector + access-cost aggregation) per instance
+  /// would dominate the solve, while the priced access-cost vector is
+  /// already assembled. `caps` may be null (unbounded).
+  struct RawInstance {
+    std::size_t n = 0;
+    double total_rate = 0.0;         ///< λ (arrival at node i is λ·x_i)
+    double k = 0.0;
+    queueing::DelayModel delay;
+    const double* access_cost = nullptr;  ///< C_i, length n
+    const double* mu = nullptr;           ///< length n
+    const double* caps = nullptr;         ///< length n, null = unbounded
+    const double* start = nullptr;        ///< feasible start, length n
+  };
+
+  /// Raw-field twin of submit(model, ...): applies the same validations
+  /// SingleFileModel's constructor and check_feasible() would (positive
+  /// rates, stability under pure delay models, capacity admits a whole
+  /// file, feasible start) and queues an instance that run_all() treats
+  /// identically — submitting the model's own access_costs()/μ/caps here
+  /// yields bitwise the same results.
+  std::size_t submit(const RawInstance& raw, const AllocatorOptions& options);
+
   /// Runs every pending submission to completion and returns their
   /// results in submission order. Clears the queue; the allocator can be
   /// reused for a new round of submissions afterwards.

@@ -116,6 +116,7 @@ JointRoutingResult JointRoutingOptimizer::run(
     SingleFileProblem sub{comm, problem_.workload.lambda, problem_.mu,
                           problem_.k, problem_.delay,
                           {},
+                          {},
                           {}};
     const SingleFileModel model(std::move(sub));
     const ResourceDirectedAllocator allocator(model, options_.allocator);

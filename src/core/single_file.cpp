@@ -57,6 +57,7 @@ SingleFileProblem make_problem(const net::Topology& topology,
       k,
       delay,
       {},
+      {},
       {}};
   return problem;
 }
@@ -73,6 +74,7 @@ SingleFileProblem make_problem(const net::Topology& topology,
       std::vector<double>(topology.node_count(), mu),
       k,
       delay,
+      {},
       {},
       {}};
   return problem;
@@ -93,8 +95,17 @@ SingleFileModel::SingleFileModel(SingleFileProblem problem)
     : problem_(std::move(problem)) {
   const std::size_t n = problem_.lambda.size();
   FAP_EXPECTS(n >= 1, "problem needs at least one node");
-  FAP_EXPECTS(problem_.comm.node_count() == n,
-              "cost matrix size must match node count");
+  const bool overridden = !problem_.access_cost_override.empty();
+  if (overridden) {
+    FAP_EXPECTS(problem_.access_cost_override.size() == n,
+                "access cost override must match node count");
+    FAP_EXPECTS(problem_.comm.node_count() == 0 ||
+                    problem_.comm.node_count() == n,
+                "cost matrix size must match node count");
+  } else {
+    FAP_EXPECTS(problem_.comm.node_count() == n,
+                "cost matrix size must match node count");
+  }
   FAP_EXPECTS(problem_.mu.size() == n, "mu size must match node count");
   FAP_EXPECTS(problem_.k >= 0.0, "k must be non-negative");
   for (const double rate : problem_.lambda) {
@@ -125,6 +136,11 @@ SingleFileModel::SingleFileModel(SingleFileProblem problem)
     }
     FAP_EXPECTS(capacity_total >= 1.0 - 1e-9,
                 "total storage capacity must hold at least one whole file");
+  }
+
+  if (overridden) {
+    access_cost_ = problem_.access_cost_override;
+    return;
   }
 
   // ω defaults to λ: the base model does not distinguish queries/updates.

@@ -66,6 +66,13 @@ struct SingleFileProblem {
   /// unconstrained. Must sum to at least 1 so a feasible allocation
   /// exists.
   std::vector<double> storage_capacity;
+  /// When non-empty (one entry per node), these ARE the access costs C_i:
+  /// the model skips the Σ_j (ω_j/λ) c_ji aggregation and `comm` may be
+  /// empty. The catalog engine uses this to hand the serial reference
+  /// allocator the exact priced access-cost vector its batched inner
+  /// solves see — assembling C_i twice through different summation orders
+  /// would break the bit-identity pin at the last ulp.
+  std::vector<double> access_cost_override;
 };
 
 /// Convenience: builds a SingleFileProblem from a physical topology using

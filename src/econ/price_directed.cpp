@@ -90,6 +90,22 @@ TatonnementResult tatonnement(const std::vector<ConcaveUtility>& agents,
   return result;
 }
 
+void tatonnement_step(std::vector<double>& prices,
+                      const std::vector<double>& demand,
+                      const std::vector<double>& supply,
+                      const std::vector<double>& gamma) {
+  FAP_EXPECTS(demand.size() == prices.size() &&
+                  supply.size() == prices.size() &&
+                  gamma.size() == prices.size(),
+              "price/demand/supply/gamma vectors must have equal size");
+  for (std::size_t i = 0; i < prices.size(); ++i) {
+    FAP_EXPECTS(gamma[i] >= 0.0, "price adjustment speed must be "
+                                 "non-negative");
+    const double next = prices[i] + gamma[i] * (demand[i] - supply[i]);
+    prices[i] = next > 0.0 ? next : 0.0;
+  }
+}
+
 Equilibrium walrasian_equilibrium(const std::vector<ConcaveUtility>& agents,
                                   double total, double demand_cap,
                                   double tol) {

@@ -65,6 +65,22 @@ TatonnementResult tatonnement(const std::vector<ConcaveUtility>& agents,
                               double total,
                               const TatonnementOptions& options);
 
+/// One projected tâtonnement step over a VECTOR of resources:
+///
+///   p_i <- max(0, p_i + γ_i (demand_i - supply_i))
+///
+/// the multi-resource form of the scalar price update above, used by the
+/// catalog engine's capacity price loop (one resource per storage node).
+/// Unlike the scalar process — where a negative clearing price is
+/// meaningful (agents paid to hold) — capacity prices are Lagrange
+/// multipliers of B_i-inequalities and are projected onto p >= 0: an
+/// underfull node's constraint is slack, so its price is 0, not negative.
+/// All three vectors must have equal size.
+void tatonnement_step(std::vector<double>& prices,
+                      const std::vector<double>& demand,
+                      const std::vector<double>& supply,
+                      const std::vector<double>& gamma);
+
 /// Exact market-clearing price by bisection on the (strictly decreasing)
 /// aggregate demand; returns the clearing allocation. This is the
 /// mechanism's fixed point, used as ground truth in tests.

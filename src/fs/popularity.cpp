@@ -1,9 +1,9 @@
 #include "fs/popularity.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/numeric.hpp"
 
 namespace fap::fs {
 
@@ -25,14 +25,19 @@ std::vector<double> zipf_popularity(std::size_t record_count, double s) {
 
 std::vector<double> normalized_popularity(std::vector<double> weights) {
   FAP_EXPECTS(!weights.empty(), "need at least one record");
-  double total = 0.0;
+  // Neumaier-compensated total: a naive sum of 1e6 same-sign weights
+  // carries ~5e-11 relative error, and dividing by it would push Σp_r
+  // that far from 1. With the compensated total the normalized masses
+  // sum to 1 within a few eps (~1e-15 at R = 1e6, pinned by fs tests).
+  util::NeumaierSum total;
   for (const double w : weights) {
     FAP_EXPECTS(w >= 0.0, "weights must be non-negative");
-    total += w;
+    total.add(w);
   }
-  FAP_EXPECTS(total > 0.0, "total weight must be positive");
+  const double t = total.value();
+  FAP_EXPECTS(t > 0.0, "total weight must be positive");
   for (double& w : weights) {
-    w /= total;
+    w /= t;
   }
   return weights;
 }
@@ -51,25 +56,18 @@ std::vector<double> node_access_shares(
   return shares;
 }
 
-RecordSampler::RecordSampler(const std::vector<double>& popularity) {
-  FAP_EXPECTS(!popularity.empty(), "need at least one record");
-  cumulative_.reserve(popularity.size());
-  double sum = 0.0;
-  for (const double p : popularity) {
-    FAP_EXPECTS(p >= 0.0, "popularity must be non-negative");
-    sum += p;
-    cumulative_.push_back(sum);
-  }
-  FAP_EXPECTS(std::fabs(sum - 1.0) < 1e-6,
-              "popularity must be a distribution");
-  cumulative_.back() = 1.0;
-}
-
-std::size_t RecordSampler::sample(util::Rng& rng) const {
-  const double u = rng.uniform();
-  const auto it =
-      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
-  return static_cast<std::size_t>(it - cumulative_.begin());
-}
+RecordSampler::RecordSampler(const std::vector<double>& popularity)
+    : alias_([&popularity] {
+        // Keep the CDF-era contract strictly: every mass must be
+        // non-negative (AliasSampler alone would clamp tiny negative
+        // dust) and the masses must form a distribution. The
+        // distribution-sum check is delegated to AliasSampler's own
+        // total-within-1e-6 validation.
+        FAP_EXPECTS(!popularity.empty(), "need at least one record");
+        for (const double p : popularity) {
+          FAP_EXPECTS(p >= 0.0, "popularity must be non-negative");
+        }
+        return popularity;
+      }()) {}
 
 }  // namespace fap::fs

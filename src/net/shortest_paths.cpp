@@ -12,9 +12,7 @@
 namespace fap::net {
 
 CostMatrix::CostMatrix(std::size_t node_count)
-    : n_(node_count), data_(node_count * node_count, 0.0) {
-  FAP_EXPECTS(node_count >= 1, "cost matrix needs at least one node");
-}
+    : n_(node_count), data_(node_count * node_count, 0.0) {}
 
 double CostMatrix::cost(NodeId i, NodeId j) const {
   FAP_EXPECTS(i < n_ && j < n_, "node id out of range");

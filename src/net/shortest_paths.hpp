@@ -20,6 +20,9 @@ namespace fap::net {
 /// from i serviced at j (request plus response over the least-cost route).
 class CostMatrix {
  public:
+  /// node_count 0 is allowed: an empty matrix is the "no routing
+  /// information" placeholder of SingleFileProblem::access_cost_override
+  /// and a default-constructed catalog::CatalogSpec.
   explicit CostMatrix(std::size_t node_count);
 
   std::size_t node_count() const noexcept { return n_; }

@@ -20,7 +20,9 @@ std::uint64_t task_seed(std::uint64_t base_seed, std::size_t task_index) {
   // Each Rng::split() consumes exactly one draw of the parent stream, so
   // the task_index-th split's seed is the task_index-th parent draw —
   // computable in O(task_index) without materializing the intermediate
-  // generators. Sweeps are at most thousands of points; this is free.
+  // generators. Fine for random access to a single index; anything
+  // enumerating seeds in order must use TaskSeedSequence, which walks
+  // the stream once (amortized O(1) per seed, same values).
   util::Rng root(base_seed);
   std::uint64_t seed = root();
   for (std::size_t i = 0; i < task_index; ++i) {
@@ -36,8 +38,16 @@ std::size_t resolve_jobs(std::size_t jobs) {
 void run_sweep(std::size_t count, const SweepOptions& options,
                const std::function<void(std::size_t, std::uint64_t)>& body) {
   const std::size_t jobs = resolve_jobs(options.jobs);
+  // Seeds come from one sequential walk of the root stream rather than a
+  // per-task task_seed(base, i) call, whose O(i) rewind makes the whole
+  // sweep quadratic in count. Same values, any schedule.
+  std::vector<std::uint64_t> seeds(count);
+  TaskSeedSequence sequence(options.base_seed);
+  for (std::uint64_t& seed : seeds) {
+    seed = sequence.next();
+  }
   const auto run_task = [&](std::size_t i) {
-    const std::uint64_t seed = task_seed(options.base_seed, i);
+    const std::uint64_t seed = seeds[i];
     // Scope the thread-local task-metric accumulator to this body: counters
     // added by any layer the task calls into (add_task_metric) land in this
     // task's record. Reset even without a sink so a previous non-sweep use

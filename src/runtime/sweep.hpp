@@ -26,6 +26,7 @@
 
 #include "runtime/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace fap::runtime {
@@ -47,6 +48,23 @@ struct SweepOptions {
 /// can be recomputed without running the others; distinct indices give
 /// statistically independent xoshiro streams (Rng::split).
 std::uint64_t task_seed(std::uint64_t base_seed, std::size_t task_index);
+
+/// Sequential enumeration of the task seeds: the k-th next() returns
+/// exactly task_seed(base_seed, k), but in amortized O(1) instead of
+/// O(k) — task_seed(base, k) is the (k+1)-th draw of the root stream,
+/// so walking the stream once enumerates every task's seed. Million-item
+/// batch sweeps (catalog allocation) would otherwise spend O(K^2) draws
+/// just deriving seeds.
+class TaskSeedSequence {
+ public:
+  explicit TaskSeedSequence(std::uint64_t base_seed) : root_(base_seed) {}
+
+  /// Seed of the next task index, starting from 0.
+  std::uint64_t next() { return root_(); }
+
+ private:
+  util::Rng root_;
+};
 
 /// Resolves SweepOptions::jobs (0 -> hardware) and never returns 0.
 std::size_t resolve_jobs(std::size_t jobs);
@@ -104,6 +122,14 @@ auto batch_sweep(std::size_t count, std::size_t width,
     return Results{};
   }
   const std::size_t batches = (count + width - 1) / width;
+  // Item seeds enumerated up front in one O(count) stream walk — the
+  // per-call task_seed(base, i) is O(i), which is quadratic over a
+  // million-item catalog. Values are identical by construction.
+  std::vector<std::uint64_t> item_seeds(count);
+  TaskSeedSequence seeds(options.base_seed);
+  for (std::uint64_t& s : item_seeds) {
+    s = seeds.next();
+  }
   std::vector<Results> parts(batches);
   run_sweep(batches, options, [&](std::size_t b, std::uint64_t) {
     const std::size_t first = b * width;
@@ -111,7 +137,7 @@ auto batch_sweep(std::size_t count, std::size_t width,
     std::vector<Item> items;
     items.reserve(last - first);
     for (std::size_t i = first; i < last; ++i) {
-      items.push_back(make(i, task_seed(options.base_seed, i)));
+      items.push_back(make(i, item_seeds[i]));
     }
     add_task_metric("batch_size", static_cast<double>(last - first));
     parts[b] = run(first, std::move(items));

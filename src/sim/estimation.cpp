@@ -64,6 +64,7 @@ core::SingleFileProblem problem_from_estimates(
   core::SingleFileProblem problem{comm, estimates.lambda, estimates.mu, k,
                                   delay,
                                   {},
+                                  {},
                                   {}};
   for (std::size_t i = 0; i < problem.mu.size(); ++i) {
     if (!estimates.mu_observed[i] || problem.mu[i] <= 0.0) {

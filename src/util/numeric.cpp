@@ -135,6 +135,14 @@ double sum(const std::vector<double>& v) noexcept {
   return total;
 }
 
+double stable_sum(const std::vector<double>& v) noexcept {
+  NeumaierSum acc;
+  for (const double x : v) {
+    acc.add(x);
+  }
+  return acc.value();
+}
+
 double linf_distance(const std::vector<double>& a,
                      const std::vector<double>& b) {
   FAP_EXPECTS(a.size() == b.size(), "size mismatch");

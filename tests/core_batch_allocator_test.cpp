@@ -278,6 +278,106 @@ TEST(BatchAllocator, ReusableAcrossRounds) {
   EXPECT_EQ(first[0].iterations, second[0].iterations);
 }
 
+// RawInstance is the model-free submit path the catalog engine feeds
+// ~1e6 instances through per pricing round: same fields by pointer, same
+// validations, bitwise the same results as the model overload.
+TEST(BatchAllocator, RawSubmitMatchesModelSubmitBitwise) {
+  constexpr std::size_t kInstances = 48;
+  std::vector<RandomInstance> instances;
+  instances.reserve(kInstances);
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    instances.push_back(make_random_instance(3000 + i));
+  }
+  for (const std::size_t width : {std::size_t{1}, std::size_t{16}}) {
+    BatchAllocator via_model(width);
+    BatchAllocator via_raw(width);
+    for (const RandomInstance& inst : instances) {
+      via_model.submit(inst.model, inst.options, inst.start);
+      const SingleFileProblem& problem = inst.model.problem();
+      BatchAllocator::RawInstance raw;
+      raw.n = problem.mu.size();
+      raw.total_rate = inst.model.total_rate();
+      raw.k = problem.k;
+      raw.delay = problem.delay;
+      raw.access_cost = inst.model.access_costs().data();
+      raw.mu = problem.mu.data();
+      raw.caps = problem.storage_capacity.empty()
+                     ? nullptr
+                     : problem.storage_capacity.data();
+      raw.start = inst.start.data();
+      via_raw.submit(raw, inst.options);
+    }
+    const std::vector<BatchRunResult> expected = via_model.run_all();
+    const std::vector<BatchRunResult> actual = via_raw.run_all();
+    ASSERT_EQ(expected.size(), kInstances);
+    ASSERT_EQ(actual.size(), kInstances);
+    for (std::size_t i = 0; i < kInstances; ++i) {
+      SCOPED_TRACE("instance " + std::to_string(i));
+      EXPECT_EQ(expected[i].converged, actual[i].converged);
+      EXPECT_EQ(expected[i].iterations, actual[i].iterations);
+      EXPECT_TRUE(BitsEqual(expected[i].cost, actual[i].cost));
+      ASSERT_EQ(expected[i].x.size(), actual[i].x.size());
+      for (std::size_t j = 0; j < expected[i].x.size(); ++j) {
+        EXPECT_TRUE(BitsEqual(expected[i].x[j], actual[i].x[j]))
+            << "node " << j;
+      }
+    }
+  }
+}
+
+// The raw path must enforce the same contracts SingleFileModel's
+// constructor and check_feasible would — it bypasses both.
+TEST(BatchAllocator, RawSubmitValidates) {
+  const std::vector<double> access = {1.0, 2.0, 3.0};
+  const std::vector<double> mu = {2.0, 2.0, 2.0};
+  const std::vector<double> start = {1.0, 0.0, 0.0};
+  BatchAllocator batch;
+  AllocatorOptions options;
+  BatchAllocator::RawInstance raw;
+  raw.n = 3;
+  raw.total_rate = 1.0;
+  raw.k = 1.0;
+  raw.delay = DelayModel::mm1();
+  raw.access_cost = access.data();
+  raw.mu = mu.data();
+  raw.start = start.data();
+  EXPECT_NO_THROW(batch.submit(raw, options));
+
+  BatchAllocator::RawInstance bad = raw;
+  bad.n = 0;
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  bad = raw;
+  bad.access_cost = nullptr;
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  bad = raw;
+  bad.total_rate = 0.0;
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  bad = raw;
+  bad.k = -1.0;
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  bad = raw;
+  bad.total_rate = 2.5;  // >= mu under the pure M/M/1 model: unstable
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  const std::vector<double> tight_caps = {0.4, 0.3, 0.2};  // Σ < 1
+  bad = raw;
+  bad.caps = tight_caps.data();
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  const std::vector<double> heavy = {0.8, 0.8, 0.0};  // Σ != 1
+  bad = raw;
+  bad.start = heavy.data();
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  const std::vector<double> over_cap = {0.9, 0.1, 0.0};
+  const std::vector<double> caps = {0.5, 0.5, 0.5};
+  bad = raw;
+  bad.caps = caps.data();
+  bad.start = over_cap.data();
+  EXPECT_THROW(batch.submit(bad, options), fap::util::PreconditionError);
+  AllocatorOptions trace_options;
+  trace_options.record_trace = true;
+  EXPECT_THROW(batch.submit(raw, trace_options),
+               fap::util::PreconditionError);
+}
+
 TEST(BatchAllocator, RejectsUnsupportedOptionsAndInfeasibleStarts) {
   const SingleFileModel model(fap::core::make_paper_ring_problem());
   BatchAllocator batch;

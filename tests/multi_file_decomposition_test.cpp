@@ -52,6 +52,7 @@ Scenario make_setup(double k, std::uint64_t seed) {
         comm, setup.joint.per_file_lambda[static_cast<std::size_t>(f)],
         std::vector<double>(5, mu), k, fap::queueing::DelayModel(),
         {},
+        {},
         {}});
   }
   return setup;

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "catalog/catalog_spec.hpp"
 #include "net/generators.hpp"
 #include "net/shortest_paths.hpp"
 
@@ -93,6 +95,55 @@ TEST(CostMatrixCache, ConcurrentRequestsComputeOnceAndShare) {
   for (std::size_t t = 1; t < kThreads; ++t) {
     EXPECT_EQ(results[0].get(), results[t].get());
   }
+}
+
+// The catalog-shard shape of the same contention: concurrent
+// make_synthetic_catalog calls sharing one cache, mixed over two seeds.
+// Each shard verifies its matrix CONTENT in-thread against a serially
+// precomputed reference — under TSan a torn publish of the shared matrix
+// is a data race on those reads, not just a wrong value. Exactly one
+// build per distinct topology.
+TEST(CostMatrixCache, ConcurrentCatalogShardsShareOneBuildPerTopology) {
+  fap::catalog::SyntheticCatalogOptions options;
+  options.objects = 16;
+  options.nodes = 24;
+  const std::uint64_t seeds[] = {3, 9};
+  std::vector<fap::catalog::CatalogSpec> reference;
+  for (const std::uint64_t seed : seeds) {
+    reference.push_back(fap::catalog::make_synthetic_catalog(options, seed));
+  }
+
+  CostMatrixCache cache;
+  constexpr std::size_t kThreads = 12;
+  std::vector<int> matches(kThreads, 0);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t]() {
+        const fap::catalog::CatalogSpec spec =
+            fap::catalog::make_synthetic_catalog(options, seeds[t % 2],
+                                                 cache);
+        const CostMatrix& expected = reference[t % 2].comm;
+        bool equal = spec.comm.node_count() == expected.node_count();
+        for (std::size_t i = 0; equal && i < expected.node_count(); ++i) {
+          for (std::size_t j = 0; j < expected.node_count(); ++j) {
+            equal &= spec.comm(i, j) == expected(i, j);
+          }
+        }
+        matches[t] = equal ? 1 : 0;
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(matches[t], 1) << "shard " << t;
+  }
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, kThreads - 2);
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 // A failing computation must not poison the cache: the error propagates,
