@@ -64,6 +64,19 @@ inline std::vector<ExtraNumericFlag>& extra_numeric_flags() {
   return flags;
 }
 
+/// A bench-specific `--flag WORD` registered before init() (see
+/// register_string_flag below).
+struct ExtraStringFlag {
+  std::string name;
+  std::string help;
+  std::string* value = nullptr;
+};
+
+inline std::vector<ExtraStringFlag>& extra_string_flags() {
+  static std::vector<ExtraStringFlag> flags;
+  return flags;
+}
+
 [[noreturn]] inline void usage(const char* binary, int exit_code) {
   std::ostream& out = (exit_code == 0 ? std::cout : std::cerr);
   out << "usage: " << binary << " [options]\n"
@@ -75,6 +88,13 @@ inline std::vector<ExtraNumericFlag>& extra_numeric_flags() {
   for (const ExtraNumericFlag& flag : extra_numeric_flags()) {
     out << "  " << flag.name << " N"
         << std::string(flag.name.size() + 2 < 15 ? 15 - flag.name.size() - 2
+                                                 : 1,
+                       ' ')
+        << flag.help << "\n";
+  }
+  for (const ExtraStringFlag& flag : extra_string_flags()) {
+    out << "  " << flag.name << " WORD"
+        << std::string(flag.name.size() + 5 < 15 ? 15 - flag.name.size() - 5
                                                  : 1,
                        ' ')
         << flag.help << "\n";
@@ -112,12 +132,31 @@ inline void register_numeric_flag(const char* name, const char* help,
       detail::ExtraNumericFlag{name, help, value});
 }
 
+/// String-valued sibling of register_numeric_flag for enumerated choices
+/// like `--topology fat-tree`. The VALUE is taken verbatim; the bench
+/// validates it (and errors via usage) after init().
+inline void register_string_flag(const char* name, const char* help,
+                                 std::string* value) {
+  detail::extra_string_flags().push_back(
+      detail::ExtraStringFlag{name, help, value});
+}
+
 /// Parses bench command-line flags. Rejects anything it does not know.
 inline void init(int argc, char** argv) {
   const auto match_extra = [&](int& i) {
     for (detail::ExtraNumericFlag& flag : detail::extra_numeric_flags()) {
       if (std::strcmp(argv[i], flag.name.c_str()) == 0) {
         *flag.value = detail::numeric_flag_value(argc, argv, i);
+        return true;
+      }
+    }
+    for (detail::ExtraStringFlag& flag : detail::extra_string_flags()) {
+      if (std::strcmp(argv[i], flag.name.c_str()) == 0) {
+        if (i + 1 >= argc) {
+          std::cerr << argv[0] << ": " << argv[i] << " requires a value\n";
+          detail::usage(argv[0], 2);
+        }
+        *flag.value = argv[++i];
         return true;
       }
     }

@@ -18,7 +18,9 @@
 #include "fs/popularity.hpp"
 #include "fs/weighted_assignment.hpp"
 #include "net/cost_cache.hpp"
+#include "net/cost_provider.hpp"
 #include "net/generators.hpp"
+#include "net/hierarchy.hpp"
 #include "net/shortest_paths.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
@@ -218,6 +220,46 @@ void BM_CostMatrixCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CostMatrixCache);
+
+// The row-provider miss path: every request asks for a new source row
+// (stride 7919 is coprime to n, so the walk cycles through all sources
+// and a capacity-8 LRU never hits) — each iteration pays one CSR
+// Dijkstra plus the cache bookkeeping. Compare n× this against
+// BM_AllPairsShortestPaths at the same n for the full-matrix cost the
+// on-demand path avoids.
+void BM_RowProvider(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  const net::Topology topology = net::make_random_metric(n, 4, rng);
+  const net::RowCostProvider provider(topology, /*row_cache_capacity=*/8);
+  std::size_t source = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.row(source));
+    source = (source + 7919) % n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RowProvider)->Arg(1000)->Arg(10000);
+
+// The implicit tier-tree pair cost: O(depth) arithmetic per c_ij with no
+// graph in sight. geo_tiers(255, 4, 4) is the catalog_scale N=4101
+// acceptance network; the id walk covers sources and destinations across
+// all four levels. items = pair costs computed.
+void BM_HierarchicalCost(benchmark::State& state) {
+  const net::TieredNetwork tiered = net::make_geo_tiers(255, 4, 4);
+  const net::HierarchicalCostProvider provider(tiered.spec);
+  const std::size_t n = provider.node_count();
+  std::size_t i = 0;
+  std::size_t j = n / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.cost(i, j));
+    i = (i + 7919) % n;
+    j = (j + 104729) % n;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchicalCost);
 
 void BM_RingGradient(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

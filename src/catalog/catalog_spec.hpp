@@ -26,9 +26,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/cost_cache.hpp"
+#include "net/cost_provider.hpp"
 #include "net/shortest_paths.hpp"
 #include "queueing/delay.hpp"
 
@@ -37,6 +39,12 @@ namespace fap::catalog {
 struct CatalogSpec {
   // --- shared network side.
   net::CostMatrix comm{0};            ///< c_ij: least-cost access i -> j
+  /// Row-based alternative to `comm` for large N: when set (and `comm` is
+  /// empty) the solver streams provider rows instead of indexing a dense
+  /// matrix — same bytes out (providers return bit-equal rows by
+  /// contract), O(n + cached rows) memory instead of n². A populated
+  /// `comm` always wins (the dense fast path stays the small-N default).
+  std::shared_ptr<const net::CostProvider> comm_provider;
   std::vector<double> node_capacity;  ///< B_i, in volume units
   std::vector<double> mu;             ///< per-node service rates
   double k = 1.0;                     ///< delay-vs-communication scaling
@@ -96,5 +104,21 @@ CatalogSpec make_synthetic_catalog(const SyntheticCatalogOptions& options,
 CatalogSpec make_synthetic_catalog(const SyntheticCatalogOptions& options,
                                    std::uint64_t seed,
                                    net::CostMatrixCache& cache);
+
+/// Explicit-network variant: same synthetic object/origin data (the RNG
+/// streams do not depend on the network), but the communication side is
+/// the caller's matrix — e.g. the APSP of a structured fat-tree /
+/// geo-tiers topology instead of the default random metric. The matrix
+/// must be options.nodes × options.nodes.
+CatalogSpec make_synthetic_catalog(const SyntheticCatalogOptions& options,
+                                   std::uint64_t seed, net::CostMatrix comm);
+
+/// Provider-backed variant for large N: no dense matrix is built — the
+/// solver streams rows from `comm` (which must span options.nodes nodes).
+/// With a provider and matrix describing the same network, the solved
+/// results are byte-identical.
+CatalogSpec make_synthetic_catalog(
+    const SyntheticCatalogOptions& options, std::uint64_t seed,
+    std::shared_ptr<const net::CostProvider> comm);
 
 }  // namespace fap::catalog

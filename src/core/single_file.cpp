@@ -80,6 +80,25 @@ SingleFileProblem make_problem(const net::Topology& topology,
   return problem;
 }
 
+SingleFileProblem make_problem(std::shared_ptr<const net::CostProvider> comm,
+                               const Workload& workload, double mu, double k,
+                               queueing::DelayModel delay) {
+  FAP_EXPECTS(comm != nullptr, "provider overload needs a provider");
+  FAP_EXPECTS(workload.lambda.size() == comm->node_count(),
+              "workload size must match node count");
+  const std::size_t n = comm->node_count();
+  SingleFileProblem problem{net::CostMatrix(0),
+                            workload.lambda,
+                            std::vector<double>(n, mu),
+                            k,
+                            delay,
+                            {},
+                            {},
+                            {},
+                            std::move(comm)};
+  return problem;
+}
+
 SingleFileProblem make_paper_ring_problem() {
   const net::Topology ring = net::make_ring(4, 1.0);
   return make_problem(ring, Workload::uniform(4, 1.0), /*mu=*/1.5, /*k=*/1.0);
@@ -96,6 +115,11 @@ SingleFileModel::SingleFileModel(SingleFileProblem problem)
   const std::size_t n = problem_.lambda.size();
   FAP_EXPECTS(n >= 1, "problem needs at least one node");
   const bool overridden = !problem_.access_cost_override.empty();
+  const bool has_provider = problem_.comm_provider != nullptr;
+  if (has_provider) {
+    FAP_EXPECTS(problem_.comm_provider->node_count() == n,
+                "cost provider size must match node count");
+  }
   if (overridden) {
     FAP_EXPECTS(problem_.access_cost_override.size() == n,
                 "access cost override must match node count");
@@ -103,8 +127,9 @@ SingleFileModel::SingleFileModel(SingleFileProblem problem)
                     problem_.comm.node_count() == n,
                 "cost matrix size must match node count");
   } else {
-    FAP_EXPECTS(problem_.comm.node_count() == n,
-                "cost matrix size must match node count");
+    FAP_EXPECTS(problem_.comm.node_count() == n ||
+                    (has_provider && problem_.comm.node_count() == 0),
+                "need a full cost matrix or a cost provider");
   }
   FAP_EXPECTS(problem_.mu.size() == n, "mu size must match node count");
   FAP_EXPECTS(problem_.k >= 0.0, "k must be non-negative");
@@ -153,11 +178,22 @@ SingleFileModel::SingleFileModel(SingleFileProblem problem)
   // unchecked row accessor: per destination i the additions still happen in
   // increasing j, so the totals are bit-identical to the column-major
   // double loop, but each row of the O(n²) matrix is walked contiguously
-  // and without per-element bounds checks.
+  // and without per-element bounds checks. The provider branch streams the
+  // identical rows in the identical order (providers return bit-equal rows
+  // by contract), so both branches produce the same bytes; it just never
+  // materializes the n×n matrix.
   access_cost_.assign(n, 0.0);
+  const bool dense = problem_.comm.node_count() == n;
   for (std::size_t j = 0; j < n; ++j) {
     const double weight = omega[j];
-    const double* row = problem_.comm.row(j);
+    net::CostRow provider_row;
+    const double* row;
+    if (dense) {
+      row = problem_.comm.row(j);
+    } else {
+      provider_row = problem_.comm_provider->row(j);
+      row = provider_row.data();
+    }
     for (std::size_t i = 0; i < n; ++i) {
       access_cost_[i] += weight * row[i];
     }

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/cost_model.hpp"
 #include "net/cost_cache.hpp"
+#include "net/cost_provider.hpp"
 #include "net/shortest_paths.hpp"
 #include "net/topology.hpp"
 #include "queueing/delay.hpp"
@@ -73,6 +75,13 @@ struct SingleFileProblem {
   /// solves see — assembling C_i twice through different summation orders
   /// would break the bit-identity pin at the last ulp.
   std::vector<double> access_cost_override;
+  /// Row-based alternative to `comm` for large N: when set (and `comm` is
+  /// empty), C_i is assembled by streaming provider rows j = 0..n-1 in the
+  /// same order as the dense loop, so the result is byte-identical to the
+  /// dense path while the cost structure stays O(n + cached rows) instead
+  /// of n². A populated `comm` always wins over the provider (the dense
+  /// fast path stays the small-N default).
+  std::shared_ptr<const net::CostProvider> comm_provider;
 };
 
 /// Convenience: builds a SingleFileProblem from a physical topology using
@@ -90,6 +99,14 @@ SingleFileProblem make_problem(const net::Topology& topology,
 SingleFileProblem make_problem(const net::Topology& topology,
                                const Workload& workload, double mu, double k,
                                net::CostMatrixCache& cache,
+                               queueing::DelayModel delay = {});
+
+/// Provider-backed variant for large N: no dense matrix is ever built —
+/// the model streams provider rows during C_i assembly, byte-identical to
+/// the dense overloads on the same network (providers return bit-equal
+/// rows by contract) with memory O(n + cached rows).
+SingleFileProblem make_problem(std::shared_ptr<const net::CostProvider> comm,
+                               const Workload& workload, double mu, double k,
                                queueing::DelayModel delay = {});
 
 /// The paper's four-node-ring experimental setup (Section 6): unit link

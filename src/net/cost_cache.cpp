@@ -7,55 +7,41 @@
 
 namespace fap::net {
 
-namespace {
-
-// FNV-1a over the topology content. Costs are hashed by bit pattern
-// (std::bit_cast), so any two costs that differ in any bit — including
-// -0.0 vs +0.0 — hash (and compare, see operator==) as different, which
-// errs on the side of a spurious miss, never a wrong hit.
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
-
-void fnv_mix(std::uint64_t& h, std::uint64_t value) {
-  h ^= value;
-  h *= kFnvPrime;
+std::size_t CostMatrixCache::KeyHash::operator()(const Key& key) const noexcept {
+  // The fingerprint lanes are already well-mixed; fold them with the
+  // counts so unordered_map bucketing sees all the entropy.
+  std::uint64_t h = key.fingerprint.lo;
+  h ^= key.fingerprint.hi + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= key.node_count + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= key.edge_count + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return static_cast<std::size_t>(h);
 }
 
-}  // namespace
+CostMatrixCache::Key CostMatrixCache::make_key(const Topology& topology) {
+  return Key{topology.fingerprint(),
+             static_cast<std::uint64_t>(topology.node_count()),
+             static_cast<std::uint64_t>(topology.edge_count())};
+}
 
-bool CostMatrixCache::Key::operator==(const Key& other) const {
-  if (node_count != other.node_count || edges.size() != other.edges.size()) {
+bool CostMatrixCache::same_content(const std::vector<Edge>& edges,
+                                   const Topology& topology) {
+  const std::vector<Edge>& other = topology.edges();
+  if (edges.size() != other.size()) {
     return false;
   }
   for (std::size_t i = 0; i < edges.size(); ++i) {
-    if (edges[i].u != other.edges[i].u || edges[i].v != other.edges[i].v ||
+    if (edges[i].u != other[i].u || edges[i].v != other[i].v ||
         std::bit_cast<std::uint64_t>(edges[i].cost) !=
-            std::bit_cast<std::uint64_t>(other.edges[i].cost)) {
+            std::bit_cast<std::uint64_t>(other[i].cost)) {
       return false;
     }
   }
   return true;
 }
 
-std::size_t CostMatrixCache::KeyHash::operator()(const Key& key) const noexcept {
-  std::uint64_t h = kFnvOffset;
-  fnv_mix(h, key.node_count);
-  fnv_mix(h, key.edges.size());
-  for (const Edge& edge : key.edges) {
-    fnv_mix(h, edge.u);
-    fnv_mix(h, edge.v);
-    fnv_mix(h, std::bit_cast<std::uint64_t>(edge.cost));
-  }
-  return static_cast<std::size_t>(h);
-}
-
-CostMatrixCache::Key CostMatrixCache::make_key(const Topology& topology) {
-  return Key{topology.node_count(), topology.edges()};
-}
-
 std::shared_ptr<const CostMatrix> CostMatrixCache::get(
     const Topology& topology) {
-  Key key = make_key(topology);
+  const Key key = make_key(topology);
 
   std::shared_ptr<Slot> slot;
   bool owner = false;
@@ -64,7 +50,8 @@ std::shared_ptr<const CostMatrix> CostMatrixCache::get(
     auto it = slots_.find(key);
     if (it == slots_.end()) {
       slot = std::make_shared<Slot>();
-      slots_.emplace(std::move(key), slot);
+      slot->edges = topology.edges();  // the one copy, paid at insert
+      slots_.emplace(key, slot);
       owner = true;
     } else {
       slot = it->second;
@@ -82,6 +69,12 @@ std::shared_ptr<const CostMatrix> CostMatrixCache::get(
   }
 
   if (!owner) {
+    if (!same_content(slot->edges, topology)) {
+      // True 128-bit fingerprint collision between different topologies.
+      // Never alias: serve this caller an uncached exact computation.
+      return std::make_shared<const CostMatrix>(
+          all_pairs_shortest_paths(topology));
+    }
     hits_.fetch_add(1, std::memory_order_relaxed);
     runtime::add_task_metric("cost_cache_hit", 1.0);
     return slot->value;
@@ -105,7 +98,7 @@ std::shared_ptr<const CostMatrix> CostMatrixCache::get(
       slot->failed = true;
       // Erase only OUR slot — a retrying waiter may already have
       // re-inserted a fresh one under the same key.
-      auto it = slots_.find(make_key(topology));
+      auto it = slots_.find(key);
       if (it != slots_.end() && it->second == slot) {
         slots_.erase(it);
       }

@@ -17,10 +17,13 @@
 // cleared or destroyed.
 //
 // Determinism: a cache hit returns a matrix computed by the identical
-// all_pairs_shortest_paths call the caller would have made, and keys
-// compare by FULL content equality (the hash only buckets), so a
-// collision can never alias two different topologies. Cached and
-// uncached runs are therefore byte-identical.
+// all_pairs_shortest_paths call the caller would have made. Lookup is
+// keyed by Topology's O(1) incremental 128-bit content fingerprint (so a
+// get() no longer copies the edge list), but every hit still verifies
+// FULL content equality against the edges stored with the slot; in the
+// (never expected) event of a fingerprint collision between different
+// topologies, the matrix is computed uncached rather than aliased.
+// Cached and uncached runs are therefore byte-identical.
 //
 // Observability: hits/misses are counted atomically and, when a
 // runtime::sweep task is executing, mirrored into its --metrics record
@@ -71,16 +74,16 @@ class CostMatrixCache {
   void clear();
 
  private:
-  /// Content key: full structural identity of a topology. Edges are kept
-  /// in insertion order — Topology preserves it and two topologies that
-  /// differ only in edge order are different objects for our purposes
-  /// (cheap, and order-normalizing would buy nothing: generators are
-  /// deterministic, so equal content implies equal order in practice).
+  /// O(1) lookup key: the topology's incremental 128-bit content
+  /// fingerprint plus the two cheap structural counts. Building it copies
+  /// nothing — the old key copied the whole edge vector on EVERY get(),
+  /// an O(m) tax that dominated small-matrix hits.
   struct Key {
-    std::size_t node_count = 0;
-    std::vector<Edge> edges;
+    TopologyFingerprint fingerprint;
+    std::uint64_t node_count = 0;
+    std::uint64_t edge_count = 0;
 
-    bool operator==(const Key& other) const;
+    friend bool operator==(const Key&, const Key&) = default;
   };
 
   struct KeyHash {
@@ -88,14 +91,21 @@ class CostMatrixCache {
   };
 
   /// Single-flight slot: the first missing thread inserts it and
-  /// computes; later arrivals wait on `cv` until `ready`.
+  /// computes; later arrivals wait on `cv` until `ready`. The edge list
+  /// is copied ONCE, at insert, so hits can content-verify the
+  /// fingerprint match without trusting 128 bits alone.
   struct Slot {
+    std::vector<Edge> edges;
     std::shared_ptr<const CostMatrix> value;
     bool ready = false;
     bool failed = false;
   };
 
   static Key make_key(const Topology& topology);
+  /// Alloc-free full content comparison between a slot's stored edges and
+  /// a candidate topology (bit-exact costs, insertion order).
+  static bool same_content(const std::vector<Edge>& edges,
+                           const Topology& topology);
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/contracts.hpp"
 
@@ -55,7 +56,11 @@ Topology make_line(std::size_t n, double cost) {
 
 Topology make_grid(std::size_t rows, std::size_t cols, double cost) {
   FAP_EXPECTS(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  FAP_EXPECTS(rows <= std::numeric_limits<std::size_t>::max() / cols,
+              "grid node count overflows");
   FAP_EXPECTS(rows * cols >= 2, "grid needs at least two nodes");
+  FAP_EXPECTS(std::isfinite(cost) && cost > 0.0,
+              "link cost must be positive and finite");
   Topology topology(rows * cols);
   const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
   for (std::size_t r = 0; r < rows; ++r) {
@@ -76,7 +81,10 @@ Topology make_erdos_renyi(std::size_t n, double p, double cost_lo,
                           std::size_t max_attempts) {
   FAP_EXPECTS(n >= 2, "network needs at least two nodes");
   FAP_EXPECTS(p >= 0.0 && p <= 1.0, "p must be a probability");
-  FAP_EXPECTS(cost_lo > 0.0 && cost_hi >= cost_lo, "bad cost range");
+  FAP_EXPECTS(cost_lo > 0.0 && std::isfinite(cost_hi) && cost_hi >= cost_lo,
+              "bad cost range");
+  FAP_EXPECTS(max_attempts >= 1,
+              "need at least one sampling attempt before the fallback");
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     Topology topology(n);
     for (std::size_t i = 0; i < n; ++i) {

@@ -31,13 +31,18 @@ Topology make_star(std::size_t n, double cost = 1.0);
 /// Line (path) network: node i - node i+1, cost `cost`.
 Topology make_line(std::size_t n, double cost = 1.0);
 
-/// rows x cols grid with unit-cost nearest-neighbor links.
+/// rows x cols grid with unit-cost nearest-neighbor links. Throws
+/// PreconditionError on degenerate shapes: zero dimensions, a 1x1 grid
+/// (no links), a rows*cols product that overflows std::size_t, or a cost
+/// that is not positive and finite.
 Topology make_grid(std::size_t rows, std::size_t cols, double cost = 1.0);
 
 /// Erdős–Rényi G(n, p) with link costs uniform in [cost_lo, cost_hi].
 /// Retries until the sample is connected (and always succeeds eventually
 /// because a random spanning tree is added when p is too sparse to connect
-/// after `max_attempts` samples).
+/// after `max_attempts` samples). Throws PreconditionError when p is not a
+/// probability (NaN included), the cost range is empty/non-positive/
+/// infinite, or max_attempts is zero.
 Topology make_erdos_renyi(std::size_t n, double p, double cost_lo,
                           double cost_hi, util::Rng& rng,
                           std::size_t max_attempts = 64);

@@ -1,0 +1,101 @@
+#include "net/hierarchy.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.hpp"
+
+namespace fap::net {
+
+void HierarchySpec::validate() const {
+  FAP_EXPECTS(!fanout.empty(), "hierarchy needs at least one tier");
+  FAP_EXPECTS(fanout.size() == tier_cost.size(),
+              "one link cost per fanout tier");
+  for (const std::size_t f : fanout) {
+    FAP_EXPECTS(f >= 1, "tier fanout must be at least 1");
+  }
+  for (const double c : tier_cost) {
+    FAP_EXPECTS(std::isfinite(c) && c > 0.0,
+                "tier link cost must be positive and finite");
+  }
+  // Overflow guard: the running level width and the node total must both
+  // fit std::size_t (a bad spec should throw here, not wrap silently).
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t width = 1;
+  std::size_t total = 1;
+  for (const std::size_t f : fanout) {
+    FAP_EXPECTS(width <= kMax / f, "hierarchy node count overflows");
+    width *= f;
+    FAP_EXPECTS(total <= kMax - width, "hierarchy node count overflows");
+    total += width;
+  }
+}
+
+std::size_t HierarchySpec::node_count() const {
+  validate();
+  std::size_t width = 1;
+  std::size_t total = 1;
+  for (const std::size_t f : fanout) {
+    width *= f;
+    total += width;
+  }
+  return total;
+}
+
+std::vector<std::size_t> HierarchySpec::level_offsets() const {
+  validate();
+  std::vector<std::size_t> offsets(depth() + 2, 0);
+  std::size_t width = 1;
+  for (std::size_t t = 0; t <= depth(); ++t) {
+    offsets[t + 1] = offsets[t] + width;
+    if (t < depth()) {
+      width *= fanout[t];
+    }
+  }
+  return offsets;
+}
+
+Topology make_tier_topology(const HierarchySpec& spec) {
+  const std::vector<std::size_t> offsets = spec.level_offsets();
+  Topology topology(offsets.back());
+  for (std::size_t t = 0; t < spec.depth(); ++t) {
+    const std::size_t parents = offsets[t + 1] - offsets[t];
+    for (std::size_t r = 0; r < parents; ++r) {
+      const NodeId parent = offsets[t] + r;
+      for (std::size_t c = 0; c < spec.fanout[t]; ++c) {
+        const NodeId child = offsets[t + 1] + r * spec.fanout[t] + c;
+        topology.add_edge(parent, child, spec.tier_cost[t]);
+      }
+    }
+  }
+  return topology;
+}
+
+TieredNetwork make_fat_tree(std::size_t k, std::size_t depth) {
+  FAP_EXPECTS(k >= 1, "fat tree needs fanout of at least 1");
+  FAP_EXPECTS(depth >= 1, "fat tree needs at least one link tier");
+  HierarchySpec spec;
+  spec.fanout.assign(depth, k);
+  spec.tier_cost.resize(depth);
+  for (std::size_t t = 0; t < depth; ++t) {
+    // 2^(t+1-depth): leaf links cost 1, each tier toward the root halves.
+    // std::ldexp is exact for power-of-two scaling.
+    spec.tier_cost[t] = std::ldexp(
+        1.0, static_cast<int>(t) + 1 - static_cast<int>(depth));
+  }
+  spec.validate();
+  return TieredNetwork{make_tier_topology(spec), std::move(spec)};
+}
+
+TieredNetwork make_geo_tiers(std::size_t racks, std::size_t dcs,
+                             std::size_t regions, GeoTierCosts costs) {
+  FAP_EXPECTS(racks >= 1 && dcs >= 1 && regions >= 1,
+              "geo hierarchy needs at least one rack, dc and region");
+  HierarchySpec spec;
+  spec.fanout = {regions, dcs, racks};
+  spec.tier_cost = {costs.region, costs.dc, costs.rack};
+  spec.validate();
+  return TieredNetwork{make_tier_topology(spec), std::move(spec)};
+}
+
+}  // namespace fap::net

@@ -1,0 +1,82 @@
+// Structured tier-tree topologies (fat-tree, geo-tiers) with an implicit
+// cost form.
+//
+// Production networks are hierarchies — racks under datacenters under
+// regions, or the client/ISP/datacenter tiers of the "Greening File
+// Distribution" model (PAPERS.md) — and on a tree the least-cost route
+// between two nodes is unique: up from i to the lowest common ancestor,
+// down to j. With one shared link cost per tier the whole c_ij structure
+// is a pure function of (tier depths, LCA), so no Dijkstra and no dense
+// matrix are ever needed (see net::HierarchicalCostProvider).
+//
+// HierarchySpec is the implicit form; make_fat_tree / make_geo_tiers also
+// build the explicit Topology (BFS node numbering: node 0 is the root,
+// level t occupies one contiguous id range) so tests and the dense code
+// paths can run on the exact same graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace fap::net {
+
+/// Rooted fixed-fanout tier tree. Level 0 is the single root; every
+/// level-t node has fanout[t] children, reached over links of cost
+/// tier_cost[t]. Node ids are BFS order: id(level, rank) =
+/// level_offset(level) + rank, children of (t, r) are
+/// (t+1, r*fanout[t] .. r*fanout[t]+fanout[t]-1).
+struct HierarchySpec {
+  std::vector<std::size_t> fanout;    ///< children per level-t node
+  std::vector<double> tier_cost;      ///< level t -> t+1 link cost
+
+  std::size_t depth() const noexcept { return fanout.size(); }
+
+  /// 1 + fanout[0] + fanout[0]*fanout[1] + ... (the full tree).
+  std::size_t node_count() const;
+
+  /// First node id of each level, plus the total as a sentinel
+  /// (depth()+2 entries).
+  std::vector<std::size_t> level_offsets() const;
+
+  /// Throws PreconditionError unless well-formed: at least one tier,
+  /// matching fanout/tier_cost lengths, every fanout >= 1, every tier
+  /// cost positive and finite, and a node count that fits std::size_t.
+  void validate() const;
+};
+
+/// A structured network in both forms: the explicit link graph (for the
+/// dense / Dijkstra paths) and the implicit tier spec (for
+/// HierarchicalCostProvider). Both describe the identical graph.
+struct TieredNetwork {
+  Topology topology;
+  HierarchySpec spec;
+};
+
+/// Builds the explicit Topology of `spec` (BFS numbering as documented on
+/// HierarchySpec). O(node_count) nodes and node_count-1 edges.
+Topology make_tier_topology(const HierarchySpec& spec);
+
+/// Complete k-ary fat tree of `depth` link tiers (depth+1 node levels,
+/// (k^(depth+1)-1)/(k-1) nodes). Links get cheaper toward the root —
+/// tier_cost[t] = 2^(t+1-depth), i.e. leaf links cost 1 and each level up
+/// halves — the fat-tree property that aggregate bandwidth (here: inverse
+/// cost) grows toward the core. All costs are exact powers of two.
+TieredNetwork make_fat_tree(std::size_t k, std::size_t depth = 3);
+
+/// Per-tier link costs of the geo hierarchy: core <-> region crossings are
+/// expensive, rack links nearly free. Defaults are round dyadic values.
+struct GeoTierCosts {
+  double region = 8.0;  ///< core -> region
+  double dc = 2.0;      ///< region -> datacenter
+  double rack = 0.5;    ///< datacenter -> rack
+};
+
+/// Geographic hierarchy: one core node, `regions` regions, `dcs`
+/// datacenters per region, `racks` racks per datacenter —
+/// 1 + R + R*D + R*D*K nodes in four levels.
+TieredNetwork make_geo_tiers(std::size_t racks, std::size_t dcs,
+                             std::size_t regions, GeoTierCosts costs = {});
+
+}  // namespace fap::net

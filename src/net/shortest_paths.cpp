@@ -182,7 +182,8 @@ struct CsrAdjacency {
 // later candidate. Relaxations are the same as dijkstra_impl's (and
 // final distances are minima over path sums, independent of settle
 // order), so the output is byte-identical.
-void dijkstra_csr(const CsrAdjacency& adj, std::size_t n, NodeId source,
+void dijkstra_csr(const std::size_t* offsets, const NodeId* targets,
+                  const double* costs, std::size_t n, NodeId source,
                   double* dist, std::vector<double>& heap_dist,
                   std::vector<NodeId>& heap_node,
                   std::vector<std::int32_t>& pos) {
@@ -245,10 +246,10 @@ void dijkstra_csr(const CsrAdjacency& adj, std::size_t n, NodeId source,
       heap_node[hole] = last_node;
       pos[last_node] = static_cast<std::int32_t>(hole);
     }
-    const std::size_t end = adj.offsets[top_node + 1];
-    for (std::size_t e = adj.offsets[top_node]; e < end; ++e) {
-      const double candidate = top_dist + adj.costs[e];
-      const NodeId v = adj.targets[e];
+    const std::size_t end = offsets[top_node + 1];
+    for (std::size_t e = offsets[top_node]; e < end; ++e) {
+      const double candidate = top_dist + costs[e];
+      const NodeId v = targets[e];
       if (candidate < dist[v]) {
         dist[v] = candidate;
         const std::int32_t slot = pos[v];
@@ -370,8 +371,9 @@ CostMatrix all_pairs_shortest_paths(const Topology& topology) {
   std::vector<NodeId> heap_node;
   std::vector<std::int32_t> pos;
   for (NodeId source = 0; source < n; ++source) {
-    dijkstra_csr(adj, n, source, matrix.mutable_row(source), heap_dist,
-                 heap_node, pos);
+    dijkstra_csr(adj.offsets.data(), adj.targets.data(), adj.costs.data(), n,
+                 source, matrix.mutable_row(source), heap_dist, heap_node,
+                 pos);
   }
   return matrix;
 }
@@ -387,10 +389,28 @@ CostMatrix all_pairs_shortest_paths(const Topology& topology,
     thread_local std::vector<double> heap_dist;
     thread_local std::vector<NodeId> heap_node;
     thread_local std::vector<std::int32_t> pos;
-    dijkstra_csr(adj, n, source, matrix.mutable_row(source), heap_dist,
-                 heap_node, pos);
+    dijkstra_csr(adj.offsets.data(), adj.targets.data(), adj.costs.data(), n,
+                 source, matrix.mutable_row(source), heap_dist, heap_node,
+                 pos);
   });
   return matrix;
+}
+
+SingleSourceDijkstra::SingleSourceDijkstra(const Topology& topology) {
+  FAP_EXPECTS(topology.connected(),
+              "topology must be connected for file access to be possible");
+  n_ = topology.node_count();
+  CsrAdjacency adj(topology);
+  offsets_ = std::move(adj.offsets);
+  targets_ = std::move(adj.targets);
+  costs_ = std::move(adj.costs);
+}
+
+void SingleSourceDijkstra::solve_into(NodeId source, double* dist,
+                                      Scratch& scratch) const {
+  FAP_EXPECTS(source < n_, "source out of range");
+  dijkstra_csr(offsets_.data(), targets_.data(), costs_.data(), n_, source,
+               dist, scratch.heap_dist, scratch.heap_node, scratch.pos);
 }
 
 }  // namespace fap::net

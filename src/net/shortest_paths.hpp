@@ -5,6 +5,7 @@
 // distance matrix is exactly the c_ij of the cost model (c_ii = 0).
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -50,6 +51,39 @@ class CostMatrix {
  private:
   std::size_t n_;
   std::vector<double> data_;
+};
+
+/// Reusable single-source shortest-path engine over a frozen topology:
+/// the CSR adjacency is built once (O(n + m)) and each solve_into() runs
+/// the indexed 4-ary-heap Dijkstra that fills one row. This is the SAME
+/// kernel all_pairs_shortest_paths runs per source (shared code path), so
+/// a solved row is byte-identical to the corresponding row of the dense
+/// matrix — the contract net::RowCostProvider builds on.
+class SingleSourceDijkstra {
+ public:
+  /// Requires a connected topology, like all_pairs_shortest_paths (a
+  /// disconnected pair would make file access impossible).
+  explicit SingleSourceDijkstra(const Topology& topology);
+
+  std::size_t node_count() const noexcept { return n_; }
+
+  /// Scratch buffers for solve_into. The engine itself is read-only after
+  /// construction; callers owning one Scratch per thread may run
+  /// concurrent solves against the same engine.
+  struct Scratch {
+    std::vector<double> heap_dist;
+    std::vector<NodeId> heap_node;
+    std::vector<std::int32_t> pos;
+  };
+
+  /// Writes the least costs from `source` into dist[0 .. node_count()).
+  void solve_into(NodeId source, double* dist, Scratch& scratch) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> targets_;
+  std::vector<double> costs_;
 };
 
 /// Computes the all-pairs shortest-path cost matrix of `topology` by running

@@ -16,12 +16,15 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "catalog/catalog_spec.hpp"
 #include "core/allocator.hpp"
 #include "core/single_file.hpp"
+#include "net/cost_provider.hpp"
 #include "net/generators.hpp"
+#include "net/hierarchy.hpp"
 #include "net/shortest_paths.hpp"
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
@@ -77,7 +80,8 @@ AllocationResult serial_reference(const CatalogSpec& spec,
                             spec.delay,
                             {},
                             {},
-                            solver.object_access_cost(o, prices)};
+                            solver.object_access_cost(o, prices),
+                            nullptr};
   const SingleFileModel model(std::move(problem));
   const ResourceDirectedAllocator serial(model, solver.options().inner);
   return serial.run(solver.object_start(o, prices));
@@ -318,6 +322,53 @@ TEST(CatalogSpecTest, SyntheticCatalogIsDeterministic) {
   // Rates follow the Zipf head-first ordering and keep queues stable.
   EXPECT_GT(a.rate.front(), a.rate.back());
   EXPECT_LT(a.rate.front(), a.mu.front());
+}
+
+// Providers are unobservable in the catalog result: the identical
+// synthetic catalog over a geo-tier tree, solved through the dense matrix,
+// the row-based provider, and the implicit tier-arithmetic provider, must
+// return bit-identical CatalogResults — including after priced rounds.
+TEST(CatalogSolver, ProviderBackedCatalogMatchesDenseBitwise) {
+  const fap::net::TieredNetwork tiered = fap::net::make_geo_tiers(2, 2, 2);
+  SyntheticCatalogOptions synth;
+  synth.objects = 96;
+  synth.nodes = tiered.topology.node_count();  // 21
+  synth.headroom = 0.12;  // tight: the price loop actually engages
+  synth.zipf_s = 1.0;
+  const std::uint64_t seed = 29;
+
+  const CatalogSpec dense = make_synthetic_catalog(
+      synth, seed, fap::net::all_pairs_shortest_paths(tiered.topology));
+  const CatalogResult reference = CatalogSolver(dense, CatalogOptions{}).solve();
+
+  const CatalogSpec rows = make_synthetic_catalog(
+      synth, seed,
+      std::make_shared<fap::net::RowCostProvider>(tiered.topology,
+                                                  /*row_cache_capacity=*/4));
+  expect_identical(reference, CatalogSolver(rows, CatalogOptions{}).solve());
+
+  const CatalogSpec implicit = make_synthetic_catalog(
+      synth, seed,
+      std::make_shared<fap::net::HierarchicalCostProvider>(tiered.spec));
+  expect_identical(reference,
+                   CatalogSolver(implicit, CatalogOptions{}).solve());
+
+  // Provider-backed solves stay jobs-invariant too (the row cache is
+  // shared across workers; single-flight keeps the bytes deterministic).
+  CatalogOptions parallel;
+  parallel.jobs = 4;
+  expect_identical(reference, CatalogSolver(rows, parallel).solve());
+}
+
+TEST(CatalogSpecTest, ProviderOverloadValidatesNodeCount) {
+  SyntheticCatalogOptions synth;
+  synth.objects = 8;
+  synth.nodes = 6;
+  const fap::net::Topology ring = fap::net::make_ring(5, 1.0);  // wrong size
+  EXPECT_THROW(
+      make_synthetic_catalog(synth, 3,
+                             std::make_shared<fap::net::RowCostProvider>(ring)),
+      PreconditionError);
 }
 
 TEST(CatalogSolver, ValidatesSpecAndOptions) {

@@ -3,13 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 
 #include "core/cost_model.hpp"
+#include "net/cost_provider.hpp"
 #include "net/generators.hpp"
+#include "net/hierarchy.hpp"
 #include "test_helpers.hpp"
 #include "util/contracts.hpp"
 #include "util/numeric.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -219,6 +225,67 @@ TEST(SingleFileModel, CheckFeasibleValidates) {
   EXPECT_THROW(model.check_feasible({1.0}), PreconditionError);  // dimension
   EXPECT_TRUE(core::is_feasible(model, {1.0, 0.0, 0.0, 0.0}));
   EXPECT_FALSE(core::is_feasible(model, {1.0, 0.1, 0.0, 0.0}));
+}
+
+// Cost providers are drop-in replacements for the dense matrix: the
+// assembled C_i, and therefore every downstream cost/gradient, must be
+// byte-identical — not merely close — to the dense-backed model.
+void expect_models_bitwise_equal(const core::SingleFileModel& dense,
+                                 const core::SingleFileModel& provider,
+                                 std::uint64_t seed) {
+  ASSERT_EQ(dense.dimension(), provider.dimension());
+  for (std::size_t i = 0; i < dense.dimension(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(dense.access_cost(i)),
+              std::bit_cast<std::uint64_t>(provider.access_cost(i)))
+        << "C_" << i;
+  }
+  const std::vector<double> x = fap::testing::random_feasible(dense, seed);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(dense.cost(x)),
+            std::bit_cast<std::uint64_t>(provider.cost(x)));
+  const std::vector<double> dg = dense.gradient(x);
+  const std::vector<double> pg = provider.gradient(x);
+  for (std::size_t i = 0; i < dg.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(dg[i]),
+              std::bit_cast<std::uint64_t>(pg[i]))
+        << "grad " << i;
+  }
+}
+
+TEST(SingleFileModel, RowProviderModelMatchesDenseBitwise) {
+  fap::util::Rng rng(17);
+  const fap::net::Topology topology =
+      fap::net::make_random_metric(12, 3, rng);
+  core::Workload workload;
+  workload.lambda = {0.05, 0.1, 0.02, 0.08, 0.04, 0.11,
+                     0.03, 0.07, 0.09, 0.06, 0.01, 0.12};
+  const core::SingleFileModel dense(
+      core::make_problem(topology, workload, /*mu=*/2.0, /*k=*/1.0));
+  const core::SingleFileModel rows(core::make_problem(
+      std::make_shared<fap::net::RowCostProvider>(topology,
+                                                  /*row_cache_capacity=*/4),
+      workload, /*mu=*/2.0, /*k=*/1.0));
+  expect_models_bitwise_equal(dense, rows, 41);
+}
+
+TEST(SingleFileModel, HierarchicalProviderModelMatchesDenseBitwise) {
+  const fap::net::TieredNetwork tiered = fap::net::make_geo_tiers(2, 2, 2);
+  const core::Workload workload =
+      core::Workload::uniform(tiered.topology.node_count(), 1.0);
+  const core::SingleFileModel dense(
+      core::make_problem(tiered.topology, workload, /*mu=*/2.0, /*k=*/1.0));
+  const core::SingleFileModel implicit(core::make_problem(
+      std::make_shared<fap::net::HierarchicalCostProvider>(tiered.spec),
+      workload, /*mu=*/2.0, /*k=*/1.0));
+  expect_models_bitwise_equal(dense, implicit, 43);
+}
+
+TEST(SingleFileModel, ProviderMakeProblemValidatesNodeCounts) {
+  const fap::net::Topology ring = fap::net::make_ring(4, 1.0);
+  // 5-node workload against a 4-node provider must be rejected.
+  EXPECT_THROW(
+      core::make_problem(std::make_shared<fap::net::RowCostProvider>(ring),
+                         core::Workload::uniform(5, 1.0), 2.0, 1.0),
+      PreconditionError);
 }
 
 TEST(SingleFileModel, UniformAllocationHelper) {

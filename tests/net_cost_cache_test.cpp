@@ -17,6 +17,33 @@ using fap::net::all_pairs_shortest_paths;
 using fap::net::CostMatrix;
 using fap::net::CostMatrixCache;
 using fap::net::Topology;
+using fap::net::TopologyFingerprint;
+
+TEST(TopologyFingerprint, PureFunctionOfConstructionSequence) {
+  const Topology a = fap::net::make_ring(6, 2.0);
+  const Topology b = fap::net::make_ring(6, 2.0);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // Any content difference — node count, edge set, a single cost bit —
+  // must move the fingerprint.
+  EXPECT_NE(a.fingerprint(), fap::net::make_ring(7, 2.0).fingerprint());
+  EXPECT_NE(a.fingerprint(), fap::net::make_ring(6, 2.5).fingerprint());
+  EXPECT_NE(a.fingerprint(), fap::net::make_line(6, 2.0).fingerprint());
+  EXPECT_NE(Topology(3).fingerprint(), Topology(4).fingerprint());
+}
+
+TEST(TopologyFingerprint, TracksIncrementalMutation) {
+  Topology a(4);
+  Topology b(4);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  a.add_edge(0, 1, 1.0);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b.add_edge(0, 1, 1.0);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // Edge endpoints and insertion order are part of the identity.
+  Topology swapped(4);
+  swapped.add_edge(1, 0, 1.0);
+  EXPECT_NE(a.fingerprint(), swapped.fingerprint());
+}
 
 void expect_same_matrix(const CostMatrix& a, const CostMatrix& b) {
   ASSERT_EQ(a.node_count(), b.node_count());

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "net/cost_provider.hpp"
+#include "net/generators.hpp"
+#include "net/hierarchy.hpp"
+#include "net/shortest_paths.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace net = fap::net;
+using fap::util::PreconditionError;
+
+TEST(HierarchySpec, NodeCountAndOffsets) {
+  net::HierarchySpec spec;
+  spec.fanout = {2, 3};
+  spec.tier_cost = {4.0, 1.0};
+  EXPECT_EQ(spec.depth(), 2u);
+  EXPECT_EQ(spec.node_count(), 1u + 2u + 6u);
+  const std::vector<std::size_t> offsets = spec.level_offsets();
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 1u);
+  EXPECT_EQ(offsets[2], 3u);
+  EXPECT_EQ(offsets[3], 9u);
+}
+
+TEST(HierarchySpec, ValidationRejectsDegenerateSpecs) {
+  net::HierarchySpec spec;
+  EXPECT_THROW(spec.validate(), PreconditionError);  // no tiers
+
+  spec.fanout = {2};
+  spec.tier_cost = {1.0, 2.0};
+  EXPECT_THROW(spec.validate(), PreconditionError);  // length mismatch
+
+  spec.tier_cost = {0.0};
+  EXPECT_THROW(spec.validate(), PreconditionError);  // zero cost
+
+  spec.tier_cost = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(spec.validate(), PreconditionError);  // infinite cost
+
+  spec.tier_cost = {1.0};
+  spec.fanout = {0};
+  EXPECT_THROW(spec.validate(), PreconditionError);  // zero fanout
+
+  // Node count overflow: fanout^depth blows past size_t.
+  spec.fanout.assign(9, 1u << 20);
+  spec.tier_cost.assign(9, 1.0);
+  EXPECT_THROW(spec.validate(), PreconditionError);
+}
+
+TEST(FatTree, ShapeAndTierCosts) {
+  const net::TieredNetwork tiered = net::make_fat_tree(3, 3);
+  EXPECT_EQ(tiered.topology.node_count(), 1u + 3u + 9u + 27u);
+  EXPECT_EQ(tiered.topology.edge_count(), tiered.topology.node_count() - 1);
+  EXPECT_TRUE(tiered.topology.connected());
+  // Leaf links cost 1, halving toward the root: {1/4, 1/2, 1}.
+  ASSERT_EQ(tiered.spec.tier_cost.size(), 3u);
+  EXPECT_EQ(tiered.spec.tier_cost[0], 0.25);
+  EXPECT_EQ(tiered.spec.tier_cost[1], 0.5);
+  EXPECT_EQ(tiered.spec.tier_cost[2], 1.0);
+  EXPECT_THROW(net::make_fat_tree(0), PreconditionError);
+  EXPECT_THROW(net::make_fat_tree(2, 0), PreconditionError);
+}
+
+TEST(GeoTiers, ShapeAndDefaults) {
+  const net::TieredNetwork tiered = net::make_geo_tiers(2, 3, 2);
+  // 1 core + 2 regions + 6 DCs + 12 racks.
+  EXPECT_EQ(tiered.topology.node_count(), 21u);
+  EXPECT_EQ(tiered.topology.edge_count(), 20u);
+  EXPECT_TRUE(tiered.topology.connected());
+  ASSERT_EQ(tiered.spec.fanout.size(), 3u);
+  EXPECT_EQ(tiered.spec.fanout[0], 2u);  // regions
+  EXPECT_EQ(tiered.spec.fanout[1], 3u);  // dcs per region
+  EXPECT_EQ(tiered.spec.fanout[2], 2u);  // racks per dc
+  EXPECT_EQ(tiered.spec.tier_cost[0], 8.0);
+  EXPECT_EQ(tiered.spec.tier_cost[1], 2.0);
+  EXPECT_EQ(tiered.spec.tier_cost[2], 0.5);
+  EXPECT_THROW(net::make_geo_tiers(0, 1, 1), PreconditionError);
+}
+
+// The implicit provider's LCA arithmetic must reproduce Dijkstra on the
+// explicit tree EXACTLY (same bytes, not just same values): Dijkstra's
+// dist is the left-to-right fold of link costs in path order, and the
+// provider accumulates in that same order.
+void expect_hierarchical_matches_dijkstra(const net::TieredNetwork& tiered) {
+  const net::HierarchicalCostProvider provider(tiered.spec);
+  const net::CostMatrix dense =
+      net::all_pairs_shortest_paths(tiered.topology);
+  const std::size_t n = dense.node_count();
+  ASSERT_EQ(provider.node_count(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(provider.cost(i, j), dense(i, j)) << i << " -> " << j;
+    }
+  }
+}
+
+TEST(HierarchicalCostProvider, MatchesDijkstraOnFatTree) {
+  expect_hierarchical_matches_dijkstra(net::make_fat_tree(3, 3));
+}
+
+TEST(HierarchicalCostProvider, MatchesDijkstraOnGeoTiers) {
+  expect_hierarchical_matches_dijkstra(net::make_geo_tiers(3, 2, 3));
+}
+
+TEST(HierarchicalCostProvider, MatchesDijkstraOnUnaryPath) {
+  // fanout 1 everywhere: a 6-node path — the deepest-LCA corner (every
+  // pair's route passes through the root's single chain).
+  expect_hierarchical_matches_dijkstra(net::make_fat_tree(1, 5));
+}
+
+TEST(HierarchicalCostProvider, RowsMatchPairCosts) {
+  const net::TieredNetwork tiered = net::make_geo_tiers(2, 2, 2);
+  const net::HierarchicalCostProvider provider(tiered.spec);
+  const std::size_t n = provider.node_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::CostRow row = provider.row(i);
+    ASSERT_EQ(row.size(), n);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(row[j], provider.cost(i, j));
+    }
+    EXPECT_EQ(row[i], 0.0);
+  }
+}
+
+// --- Generator boundary contracts (grid / Erdős–Rényi). ---
+
+TEST(MakeGrid, RejectsDegenerateShapes) {
+  EXPECT_THROW(net::make_grid(0, 5), PreconditionError);
+  EXPECT_THROW(net::make_grid(5, 0), PreconditionError);
+  EXPECT_THROW(net::make_grid(1, 1), PreconditionError);  // no links
+  // rows*cols would wrap around std::size_t without the overflow guard.
+  const std::size_t huge = std::numeric_limits<std::size_t>::max() / 2;
+  EXPECT_THROW(net::make_grid(huge, 4), PreconditionError);
+  EXPECT_THROW(net::make_grid(2, 2, 0.0), PreconditionError);
+  EXPECT_THROW(net::make_grid(2, 2, -1.0), PreconditionError);
+  EXPECT_THROW(net::make_grid(2, 2, std::numeric_limits<double>::infinity()),
+               PreconditionError);
+  EXPECT_THROW(
+      net::make_grid(2, 2, std::numeric_limits<double>::quiet_NaN()),
+      PreconditionError);
+}
+
+TEST(MakeGrid, AcceptsBoundaryShapes) {
+  // 1×2 is the smallest legal grid; 1×n degenerates to a line.
+  const net::Topology tiny = net::make_grid(1, 2);
+  EXPECT_EQ(tiny.node_count(), 2u);
+  EXPECT_EQ(tiny.edge_count(), 1u);
+  const net::Topology line = net::make_grid(1, 5);
+  EXPECT_EQ(line.edge_count(), 4u);
+  EXPECT_TRUE(line.connected());
+}
+
+TEST(MakeErdosRenyi, RejectsDegenerateParameters) {
+  fap::util::Rng rng(3);
+  EXPECT_THROW(net::make_erdos_renyi(1, 0.5, 1.0, 2.0, rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(8, -0.1, 1.0, 2.0, rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(8, 1.1, 1.0, 2.0, rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(
+                   8, std::numeric_limits<double>::quiet_NaN(), 1.0, 2.0, rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(8, 0.5, 0.0, 2.0, rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(8, 0.5, 2.0, 1.0, rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(8, 0.5, 1.0,
+                                     std::numeric_limits<double>::infinity(),
+                                     rng),
+               PreconditionError);
+  EXPECT_THROW(net::make_erdos_renyi(8, 0.5, 1.0, 2.0, rng,
+                                     /*max_attempts=*/0),
+               PreconditionError);
+}
+
+TEST(MakeErdosRenyi, BoundaryProbabilitiesStayConnected) {
+  fap::util::Rng sparse_rng(5);
+  // p = 0 never connects by sampling: the spanning-chain fallback must
+  // still deliver a connected graph after max_attempts exhausts.
+  const net::Topology sparse =
+      net::make_erdos_renyi(12, 0.0, 1.0, 2.0, sparse_rng, 2);
+  EXPECT_TRUE(sparse.connected());
+  EXPECT_EQ(sparse.edge_count(), 11u);  // exactly the chain
+
+  fap::util::Rng dense_rng(5);
+  const net::Topology dense =
+      net::make_erdos_renyi(6, 1.0, 1.0, 2.0, dense_rng);
+  EXPECT_TRUE(dense.connected());
+  EXPECT_EQ(dense.edge_count(), 15u);  // complete graph
+}
+
+}  // namespace
