@@ -24,9 +24,32 @@ REPS="${REPS:-5}"
 MIN_TIME="${MIN_TIME:-0.05}"
 FILTER="${FILTER:-.*}"
 
+# Refuse to capture a baseline from a debug tree: -O0 numbers are 5-20x
+# slower than Release, so a debug capture poisons every later comparison
+# (PR 8 found the committed baseline had been captured this way).
+# A missing cache / unset CMAKE_BUILD_TYPE is fine — the top-level
+# CMakeLists defaults a fresh configure to RelWithDebInfo. Checked
+# before the build step so a Debug tree is refused without building.
+check_build_type() {
+  local bt
+  bt="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+      "${BUILD_DIR}/CMakeCache.txt" 2>/dev/null || true)"
+  case "${bt}" in
+    Release|RelWithDebInfo|"") ;;
+    *)
+      echo "error: ${BUILD_DIR} is a ${bt} build;" \
+           "capture baselines from Release or RelWithDebInfo" \
+           "(cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+      exit 1
+      ;;
+  esac
+}
+
+check_build_type
 if [ ! -x "${BUILD_DIR}/bench/micro_perf" ]; then
   cmake -B "${BUILD_DIR}" -S .
   cmake --build "${BUILD_DIR}" --target micro_perf
+  check_build_type
 fi
 
 "${BUILD_DIR}/bench/micro_perf" \

@@ -31,6 +31,22 @@ import json
 import sys
 
 
+def build_type(path: str) -> str:
+    """Best-effort build type recorded in a benchmark JSON's context.
+
+    bench/micro_perf stamps ``fap_build_type`` (release/debug, from
+    NDEBUG in the benchmark binary itself). Older captures lack it; fall
+    back to google-benchmark's ``library_build_type``, which describes
+    how libbenchmark was compiled — usually, but not always, the same
+    toolchain configuration. Returns "" when neither is present.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    context = data.get("context", {})
+    return str(context.get("fap_build_type",
+                           context.get("library_build_type", ""))).lower()
+
+
 def load_times(path: str) -> dict[str, float]:
     """Benchmark name -> real time in ns (medians preferred)."""
     with open(path, "r", encoding="utf-8") as fh:
@@ -77,6 +93,14 @@ def main() -> int:
     args = parser.parse_args()
     if args.tolerance <= 0 or args.hard_fail < args.tolerance:
         parser.error("need 0 < tolerance <= hard-fail")
+
+    for label, path in (("baseline", args.baseline),
+                        ("current", args.current)):
+        if build_type(path) == "debug":
+            print(f"WARNING: {label} {path} was captured from a DEBUG "
+                  f"build; its timings are not comparable to optimized "
+                  f"runs (recapture from a Release tree with "
+                  f"scripts/perf_baseline.sh)")
 
     baseline = load_times(args.baseline)
     current = load_times(args.current)

@@ -1,10 +1,11 @@
-// SoA lockstep kernel. See batch_allocator.hpp for the contract; the
-// comments here focus on the padding invariants that let the row loops
-// run dense (no per-element lane guards) without perturbing any lane's
-// arithmetic:
+// SoA lockstep driver. See batch_allocator.hpp for the contract and
+// core/batch_kernels.hpp for the kernel table the dense passes dispatch
+// through; the comments here focus on the padding invariants that let
+// the row loops run dense (no per-element lane guards) without
+// perturbing any lane's arithmetic:
 //
-//   rows j >= lane_n_[k] of column k hold  x = 0, mu = 1, cap = +inf,
-//   du = 0  at every point where a dense loop reads them.
+//   rows j >= lane_n_[k] of column k hold  x = 0, mu = 1, imu = 1,
+//   cap = +inf, du = 0  at every point where a dense loop reads them.
 //
 // Consequences, each load-bearing for bit-identity:
 //   * the derivative row loop may evaluate padding cells (a = 0, mu = 1
@@ -18,20 +19,24 @@
 //   * the pinned/violation row predicates are identically false on
 //     padding cells (x = 0 with step d >= 0 against cap = +inf);
 //   * min/max spread reductions CANNOT include padding (a 0.0 would
-//     masquerade as the max of all-negative utilities), so they are the
-//     one pair of loops with an explicit [n_min, n_max) scalar tail.
+//     masquerade as the max of all-negative utilities), so the spread
+//     kernels guard the [n_min, n_max) tail explicitly.
 //
-// This TU is compiled with -O3 -ffp-contract=off (see src/CMakeLists.txt):
-// -O3 so GCC's vectorizer takes the division-heavy row loops at stride-1,
-// -ffp-contract=off so no FMA contraction can ever fuse a multiply-add
-// the serial path rounds twice.
+// Columns are another matter: the AVX2 kernels process whole 4-lane
+// groups, so columns in [live, round_up4(live)) — initial zero-fill or a
+// retired lane's stale values — are computed on but never read, and a
+// backfilled lane has its whole column rewritten by load_lane before it
+// goes live.
 
 #include "core/batch_allocator.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
+#include "core/simd_dispatch.hpp"
 #include "util/contracts.hpp"
 
 namespace fap::core {
@@ -160,161 +165,104 @@ std::size_t BatchAllocator::submit(const RawInstance& raw,
 
 void BatchAllocator::load_lane(std::size_t lane, std::size_t instance_id) {
   const Instance& inst = pending_[instance_id];
-  const std::size_t s = lanes_;
+  const std::size_t s = soa_.stride;
   for (std::size_t j = 0; j < node_cap_; ++j) {
     const bool real = j < inst.n;
-    x_[j * s + lane] = real ? inst.start[j] : 0.0;
-    c_[j * s + lane] = real ? inst.access_cost[j] : 0.0;
-    mu_[j * s + lane] = real ? inst.mu[j] : 1.0;
-    cap_[j * s + lane] =
+    const double m = real ? inst.mu[j] : 1.0;
+    soa_.x[j * s + lane] = real ? inst.start[j] : 0.0;
+    soa_.c[j * s + lane] = real ? inst.access_cost[j] : 0.0;
+    soa_.mu[j * s + lane] = m;
+    // Cached quotient: 1/μ divides the same operands the delay-law
+    // expression would every iteration, so reusing it is bitwise
+    // reevaluation (division is deterministic).
+    soa_.imu[j * s + lane] = 1.0 / m;
+    soa_.cap[j * s + lane] =
         (real && !inst.caps.empty()) ? inst.caps[j] : kInf;
   }
   lane_inst_[lane] = instance_id;
   lane_n_[lane] = inst.n;
   lane_maxit_[lane] = inst.max_iterations;
   lane_iter_[lane] = 0;
-  lane_tr_[lane] = inst.total_rate;
-  lane_k_[lane] = inst.k;
-  lane_alpha_opt_[lane] = inst.alpha;
   lane_eps_[lane] = inst.epsilon;
-  lane_safety_[lane] = inst.dynamic_safety;
-  lane_scv_[lane] = inst.delay.scv();
-  lane_rho_[lane] = inst.delay.rho_max();
   lane_dyn_[lane] = inst.dynamic_rule ? 1 : 0;
   lane_single_[lane] =
       inst.delay.discipline() != queueing::Discipline::kMMc ? 1 : 0;
   lane_delay_[lane] = inst.delay;
+  soa_.lane_tr[lane] = inst.total_rate;
+  soa_.lane_k[lane] = inst.k;
+  soa_.lane_scv[lane] = inst.delay.scv();
+  soa_.lane_rho[lane] = inst.delay.rho_max();
+  soa_.lane_nd[lane] = static_cast<double>(inst.n);
+  soa_.lane_dynd[lane] = inst.dynamic_rule ? 1.0 : 0.0;
+  soa_.lane_alpha_opt[lane] = inst.alpha;
+  soa_.lane_safety[lane] = inst.dynamic_safety;
 }
 
 void BatchAllocator::refresh_lane_summary() {
-  n_min_ = std::numeric_limits<std::size_t>::max();
-  n_max_ = 0;
+  std::size_t n_min = std::numeric_limits<std::size_t>::max();
+  std::size_t n_max = 0;
   all_single_ = true;
-  any_dyn_ = false;
+  bool any_dyn = false;
   for (std::size_t k = 0; k < live_; ++k) {
-    n_min_ = std::min(n_min_, lane_n_[k]);
-    n_max_ = std::max(n_max_, lane_n_[k]);
+    n_min = std::min(n_min, lane_n_[k]);
+    n_max = std::max(n_max, lane_n_[k]);
     all_single_ = all_single_ && lane_single_[k] != 0;
-    any_dyn_ = any_dyn_ || lane_dyn_[k] != 0;
+    any_dyn = any_dyn || lane_dyn_[k] != 0;
   }
   if (live_ == 0) {
-    n_min_ = n_max_ = 0;
+    n_min = n_max = 0;
   }
+  soa_.live = live_;
+  soa_.n_min = n_min;
+  soa_.n_max = n_max;
+  soa_.any_dyn = any_dyn;
 }
 
 void BatchAllocator::compute_derivatives() {
-  const std::size_t s = lanes_;
-  const std::size_t live = live_;
   if (all_single_) {
-    // Vectorized rows: identical per-cell expression sequence as
-    // SingleFileModel::gradient_into + marginal_utilities_into's negation
-    // (the lin_* helpers are bit-equal to DelayModel::sojourn et al. for
-    // single-server disciplines — see queueing/delay.hpp).
-    if (any_dyn_) {
-      for (std::size_t j = 0; j < n_max_; ++j) {
-        const double* xr = x_.data() + j * s;
-        const double* mr = mu_.data() + j * s;
-        const double* cr = c_.data() + j * s;
-        double* dur = du_.data() + j * s;
-        double* d2r = d2c_.data() + j * s;
-        for (std::size_t k = 0; k < live; ++k) {
-          const double a = lane_tr_[k] * xr[k];
-          const double m = mr[k];
-          const double scv = lane_scv_[k];
-          const double rho = lane_rho_[k];
-          const double T = queueing::detail::lin_sojourn(a, m, scv, rho);
-          const double dT = queueing::detail::lin_d_sojourn(a, m, scv, rho);
-          const double d2T = queueing::detail::lin_d2_sojourn(a, m, scv, rho);
-          dur[k] = -(cr[k] + lane_k_[k] * (T + a * dT));
-          d2r[k] = lane_tr_[k] * lane_k_[k] * (2.0 * dT + a * d2T);
-        }
-      }
-    } else {
-      for (std::size_t j = 0; j < n_max_; ++j) {
-        const double* xr = x_.data() + j * s;
-        const double* mr = mu_.data() + j * s;
-        const double* cr = c_.data() + j * s;
-        double* dur = du_.data() + j * s;
-        for (std::size_t k = 0; k < live; ++k) {
-          const double a = lane_tr_[k] * xr[k];
-          const double m = mr[k];
-          const double scv = lane_scv_[k];
-          const double rho = lane_rho_[k];
-          const double T = queueing::detail::lin_sojourn(a, m, scv, rho);
-          const double dT = queueing::detail::lin_d_sojourn(a, m, scv, rho);
-          dur[k] = -(cr[k] + lane_k_[k] * (T + a * dT));
-        }
-      }
-    }
-  } else {
-    // A multi-server lane is present: evaluate per lane through the exact
-    // scalar DelayModel entry points (Erlang C has a data-dependent
-    // series; there is nothing to vectorize across lanes).
-    for (std::size_t k = 0; k < live; ++k) {
-      const queueing::DelayModel& delay = lane_delay_[k];
-      const double tr = lane_tr_[k];
-      const double kk = lane_k_[k];
-      const bool dyn = lane_dyn_[k] != 0;
-      for (std::size_t j = 0; j < lane_n_[k]; ++j) {
-        const double a = tr * x_[j * s + k];
-        const double m = mu_[j * s + k];
-        const double T = delay.sojourn(a, m);
-        const double dT = delay.d_sojourn(a, m);
-        du_[j * s + k] = -(c_[j * s + k] + kk * (T + a * dT));
-        if (dyn) {
-          const double d2T = delay.d2_sojourn(a, m);
-          d2c_[j * s + k] = tr * kk * (2.0 * dT + a * d2T);
-        }
+    kernels_->derivative_rows(soa_, soa_.any_dyn);
+    return;
+  }
+  // A multi-server lane is present: evaluate per lane through the exact
+  // scalar DelayModel entry points (Erlang C has a data-dependent
+  // series; there is nothing to vectorize across lanes).
+  const std::size_t s = soa_.stride;
+  for (std::size_t k = 0; k < live_; ++k) {
+    const queueing::DelayModel& delay = lane_delay_[k];
+    const double tr = soa_.lane_tr[k];
+    const double kk = soa_.lane_k[k];
+    const bool dyn = lane_dyn_[k] != 0;
+    for (std::size_t j = 0; j < lane_n_[k]; ++j) {
+      const double a = tr * soa_.x[j * s + k];
+      const double m = soa_.mu[j * s + k];
+      const double T = delay.sojourn(a, m);
+      const double dT = delay.d_sojourn(a, m);
+      soa_.du[j * s + k] = -(soa_.c[j * s + k] + kk * (T + a * dT));
+      if (dyn) {
+        const double d2T = delay.d2_sojourn(a, m);
+        soa_.d2c[j * s + k] = tr * kk * (2.0 * dT + a * d2T);
       }
     }
   }
-  // Restore the du padding invariant (the vector path computed garbage on
-  // padding cells; the per-lane path left stale values).
-  for (std::size_t j = n_min_; j < n_max_; ++j) {
-    double* dur = du_.data() + j * s;
-    for (std::size_t k = 0; k < live; ++k) {
-      if (j >= lane_n_[k]) {
-        dur[k] = 0.0;
-      }
-    }
-  }
-}
-
-void BatchAllocator::scalar_theta(std::size_t lane) {
-  // The serial second-pass θ loop over a full active set (all nodes).
-  const std::size_t s = lanes_;
-  const std::size_t n = lane_n_[lane];
-  const double al = alpha_[lane];
-  const double avg = avg_full_[lane];
-  double theta = 1.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    const double d = al * (du_[j * s + lane] - avg);
-    const double xj = x_[j * s + lane];
-    if (d < 0.0 && xj + d < 0.0) {
-      theta = std::min(theta, xj / -d);
-    }
-    const double cp = cap_[j * s + lane];
-    if (d > 0.0 && xj + d > cp) {
-      theta = std::min(theta, (cp - xj) / d);
-    }
-  }
-  theta_[lane] = std::max(theta, 0.0);
+  // Restore the du padding invariant (the per-lane path left stale
+  // values on padding rows).
+  kernels_->zero_du_padding(soa_);
 }
 
 void BatchAllocator::scalar_lane_step(std::size_t lane) {
   // A lane with a pinned node: gather it into contiguous scratch and run
   // the serial step verbatim — the SAME shared active-set fast path the
   // serial allocator calls, then the dynamic-α refinement, spread check
-  // and θ-scaled apply, writing the stepped column into xn_.
-  const std::size_t s = lanes_;
+  // and θ-scaled apply, writing the stepped column into xn.
+  const std::size_t s = soa_.stride;
   const std::size_t n = lane_n_[lane];
   gx_.resize(n);
   gdu_.resize(n);
   gcaps_.resize(n);
   for (std::size_t j = 0; j < n; ++j) {
-    gx_[j] = x_[j * s + lane];
-    gdu_[j] = du_[j * s + lane];
-    gcaps_[j] = cap_[j * s + lane];
+    gx_[j] = soa_.x[j * s + lane];
+    gdu_[j] = soa_.du[j * s + lane];
+    gcaps_[j] = soa_.cap[j * s + lane];
   }
   ConstraintGroup& group = group_by_n_[n];
   if (group.indices.size() != n) {
@@ -325,7 +273,7 @@ void BatchAllocator::scalar_lane_step(std::size_t lane) {
     group.total = 1.0;
   }
 
-  double al = alpha_[lane];
+  double al = soa_.alpha[lane];
   detail::active_set_fast(group, gx_, gdu_, al, gcaps_, n, aset_);
   const std::vector<std::size_t>& active = aset_.active;
 
@@ -341,11 +289,12 @@ void BatchAllocator::scalar_lane_step(std::size_t lane) {
     for (const std::size_t i : active) {
       const double dev = gdu_[i] - avg;
       numerator += dev * dev;
-      denominator += std::fabs(d2c_[i * s + lane]) * dev * dev;
+      denominator += std::fabs(soa_.d2c[i * s + lane]) * dev * dev;
     }
-    const double bound = denominator <= 0.0 ? lane_alpha_opt_[lane]
-                                            : 2.0 * numerator / denominator;
-    al = lane_safety_[lane] * bound;
+    const double bound = denominator <= 0.0
+                             ? soa_.lane_alpha_opt[lane]
+                             : 2.0 * numerator / denominator;
+    al = soa_.lane_safety[lane] * bound;
   }
 
   double lo = kInf;
@@ -381,7 +330,7 @@ void BatchAllocator::scalar_lane_step(std::size_t lane) {
 
   // x_out = x, then overwrite the active entries (serial order).
   for (std::size_t j = 0; j < n; ++j) {
-    xn_[j * s + lane] = gx_[j];
+    soa_.xn[j * s + lane] = gx_[j];
   }
   for (std::size_t idx = 0; idx < active.size(); ++idx) {
     const std::size_t i = active[idx];
@@ -392,16 +341,16 @@ void BatchAllocator::scalar_lane_step(std::size_t lane) {
     if (t > gcaps_[i]) {
       t = gcaps_[i];
     }
-    xn_[i * s + lane] = t;
+    soa_.xn[i * s + lane] = t;
   }
 }
 
 double BatchAllocator::column_cost(std::size_t lane,
-                                   const std::vector<double>& plane) const {
+                                   const util::AlignedVector& plane) const {
   // SingleFileModel::cost in node order over the lane's column.
-  const std::size_t s = lanes_;
-  const double tr = lane_tr_[lane];
-  const double kk = lane_k_[lane];
+  const std::size_t s = soa_.stride;
+  const double tr = soa_.lane_tr[lane];
+  const double kk = soa_.lane_k[lane];
   const queueing::DelayModel& delay = lane_delay_[lane];
   double total = 0.0;
   for (std::size_t j = 0; j < lane_n_[lane]; ++j) {
@@ -410,15 +359,16 @@ double BatchAllocator::column_cost(std::size_t lane,
       continue;  // zero fragment contributes zero cost regardless of T_i
     }
     const double a = tr * xj;
-    total += xj * (c_[j * s + lane] + kk * delay.sojourn(a, mu_[j * s + lane]));
+    total += xj * (soa_.c[j * s + lane] +
+                   kk * delay.sojourn(a, soa_.mu[j * s + lane]));
   }
   return total;
 }
 
-void BatchAllocator::harvest(std::size_t lane, const std::vector<double>& plane,
-                             bool converged,
+void BatchAllocator::harvest(std::size_t lane,
+                             const util::AlignedVector& plane, bool converged,
                              std::vector<BatchRunResult>& results) const {
-  const std::size_t s = lanes_;
+  const std::size_t s = soa_.stride;
   BatchRunResult& out = results[lane_inst_[lane]];
   out.x.resize(lane_n_[lane]);
   for (std::size_t j = 0; j < lane_n_[lane]; ++j) {
@@ -432,6 +382,10 @@ void BatchAllocator::harvest(std::size_t lane, const std::vector<double>& plane,
 std::vector<BatchRunResult> BatchAllocator::run_all() {
   stats_ = Stats{};
   stats_.instances = pending_.size();
+  // Dispatch is resolved once per run: override > env > CPUID (see
+  // core/simd_dispatch.hpp). Every kernel set yields identical results.
+  kernels_ = &detail::select_batch_kernels();
+  stats_.kernels = kernels_->name;
   std::vector<BatchRunResult> results(pending_.size());
   if (pending_.empty()) {
     return results;
@@ -442,41 +396,50 @@ std::vector<BatchRunResult> BatchAllocator::run_all() {
   for (const Instance& inst : pending_) {
     node_cap_ = std::max(node_cap_, inst.n);
   }
-  const std::size_t cells = node_cap_ * lanes_;
-  x_.assign(cells, 0.0);
-  xn_.assign(cells, 0.0);
-  du_.assign(cells, 0.0);
-  d2c_.assign(cells, 0.0);
-  c_.assign(cells, 0.0);
-  mu_.assign(cells, 1.0);
-  cap_.assign(cells, kInf);
-  const auto resize_lane_arrays = [this]() {
-    lane_inst_.resize(lanes_);
-    lane_n_.resize(lanes_);
-    lane_maxit_.resize(lanes_);
-    lane_iter_.resize(lanes_);
-    lane_tr_.resize(lanes_);
-    lane_k_.resize(lanes_);
-    lane_alpha_opt_.resize(lanes_);
-    lane_eps_.resize(lanes_);
-    lane_safety_.resize(lanes_);
-    lane_scv_.resize(lanes_);
-    lane_rho_.resize(lanes_);
-    lane_dyn_.resize(lanes_);
-    lane_single_.resize(lanes_);
-    lane_delay_.resize(lanes_);
-    sum_full_.resize(lanes_);
-    avg_full_.resize(lanes_);
-    alpha_.resize(lanes_);
-    lo_.resize(lanes_);
-    hi_.resize(lanes_);
-    theta_.resize(lanes_);
-    pinc_.resize(lanes_);
-    viol_.resize(lanes_);
-    term_.resize(lanes_);
-    scalar_lane_.resize(lanes_);
-  };
-  resize_lane_arrays();
+  const std::size_t stride = detail::round_up_stride(lanes_);
+  soa_.stride = stride;
+  soa_.node_cap = node_cap_;
+  const std::size_t cells = node_cap_ * stride;
+  soa_.x.assign(cells, 0.0);
+  soa_.xn.assign(cells, 0.0);
+  soa_.du.assign(cells, 0.0);
+  soa_.d2c.assign(cells, 0.0);
+  soa_.c.assign(cells, 0.0);
+  soa_.mu.assign(cells, 1.0);
+  soa_.imu.assign(cells, 1.0);
+  soa_.cap.assign(cells, kInf);
+  // Lane-indexed arrays are allocated at the full stride and
+  // zero-initialized so the vector kernels' whole-group loads never see
+  // uninitialized memory in the dead columns.
+  for (util::AlignedVector* v :
+       {&soa_.lane_tr, &soa_.lane_k, &soa_.lane_scv, &soa_.lane_rho,
+        &soa_.lane_nd, &soa_.lane_dynd, &soa_.lane_alpha_opt,
+        &soa_.lane_safety, &soa_.sum_full, &soa_.avg_full, &soa_.alpha,
+        &soa_.lo, &soa_.hi, &soa_.theta}) {
+    v->assign(stride, 0.0);
+  }
+  soa_.pinc.assign(stride, 0u);
+  soa_.viol.assign(stride, 0u);
+  lane_inst_.resize(lanes_);
+  lane_n_.resize(lanes_);
+  lane_maxit_.resize(lanes_);
+  lane_iter_.resize(lanes_);
+  lane_eps_.resize(lanes_);
+  lane_dyn_.resize(lanes_);
+  lane_single_.resize(lanes_);
+  lane_delay_.resize(lanes_);
+  term_.resize(lanes_);
+  scalar_lane_.resize(lanes_);
+
+  // The aligned-row geometry the vector kernels rely on: 64-byte plane
+  // bases and a stride that keeps every row on a cache line.
+  assert(stride % util::kDoublesPerCacheLine == 0);
+  assert(reinterpret_cast<std::uintptr_t>(soa_.x.data()) %
+             util::kCacheLineBytes ==
+         0);
+  assert(reinterpret_cast<std::uintptr_t>(soa_.du.data()) %
+             util::kCacheLineBytes ==
+         0);
 
   std::size_t next_pending = 0;
   live_ = 0;
@@ -486,7 +449,7 @@ std::vector<BatchRunResult> BatchAllocator::run_all() {
   refresh_lane_summary();
 
   std::vector<unsigned char> retired(lanes_, 0);
-  const std::size_t s = lanes_;
+  const std::size_t s = stride;
 
   while (live_ > 0) {
     ++stats_.lockstep_iterations;
@@ -494,129 +457,33 @@ std::vector<BatchRunResult> BatchAllocator::run_all() {
 
     compute_derivatives();
 
-    // Lane sums Σ_j du (left-to-right over node rows, so bit-equal to the
-    // serial mean_over sums; padding adds trailing +0.0 terms — see the
-    // file comment).
-    std::fill(sum_full_.begin(), sum_full_.begin() + live, 0.0);
-    for (std::size_t j = 0; j < n_max_; ++j) {
-      const double* dur = du_.data() + j * s;
-      for (std::size_t k = 0; k < live; ++k) {
-        sum_full_[k] += dur[k];
-      }
-    }
+    // Dense lockstep passes through the dispatched kernel table (each
+    // documented in core/batch_kernels.hpp).
+    kernels_->lane_sums(soa_);
+    kernels_->step_sizes(soa_);
+    kernels_->census_theta(soa_);
+    kernels_->spread(soa_);
+
+    // Classify lanes: full-active lanes resolve termination here (their
+    // θ came out of census_theta); lanes with a pinned node take the
+    // gathered scalar path below, which re-derives everything — the θ
+    // the kernels computed for them is dead.
     for (std::size_t k = 0; k < live; ++k) {
-      avg_full_[k] = sum_full_[k] / static_cast<double>(lane_n_[k]);
-    }
-
-    // Provisional per-lane step size (the serial first-pass α: fixed, or
-    // the dynamic Theorem-2 bound over the whole group).
-    for (std::size_t k = 0; k < live; ++k) {
-      if (lane_dyn_[k] == 0) {
-        alpha_[k] = lane_alpha_opt_[k];
-        continue;
-      }
-      const std::size_t n = lane_n_[k];
-      const double avg = avg_full_[k];
-      double numerator = 0.0;
-      double denominator = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double dev = du_[j * s + k] - avg;
-        numerator += dev * dev;
-        denominator += std::fabs(d2c_[j * s + k]) * dev * dev;
-      }
-      const double bound = denominator <= 0.0 ? lane_alpha_opt_[k]
-                                              : 2.0 * numerator / denominator;
-      alpha_[k] = lane_safety_[k] * bound;
-    }
-
-    // Step (i) census: per lane, how many nodes the full-group average
-    // pins (active-set fast-path predicate) and how many the unscaled
-    // step would push outside [0, cap] (θ != 1 predicate). Padding cells
-    // satisfy neither (x = 0, d >= 0, cap = +inf).
-    std::fill(pinc_.begin(), pinc_.begin() + live, 0u);
-    std::fill(viol_.begin(), viol_.begin() + live, 0u);
-    for (std::size_t j = 0; j < n_max_; ++j) {
-      const double* xr = x_.data() + j * s;
-      const double* dur = du_.data() + j * s;
-      const double* capr = cap_.data() + j * s;
-      for (std::size_t k = 0; k < live; ++k) {
-        const double d = alpha_[k] * (dur[k] - avg_full_[k]);
-        const double xj = xr[k];
-        const double cp = capr[k];
-        const bool pin = (xj <= kBoundaryTol && d < 0.0 && xj + d <= 0.0) ||
-                         (xj >= cp - kBoundaryTol && d > 0.0 && xj + d >= cp);
-        const bool vi = (d < 0.0 && xj + d < 0.0) || (d > 0.0 && xj + d > cp);
-        pinc_[k] += pin ? 1u : 0u;
-        viol_[k] += vi ? 1u : 0u;
-      }
-    }
-
-    // Marginal-utility spread per lane (over all nodes == the full active
-    // set). min/max must not see padding: vector region + scalar tail.
-    std::fill(lo_.begin(), lo_.begin() + live, kInf);
-    std::fill(hi_.begin(), hi_.begin() + live, -kInf);
-    for (std::size_t j = 0; j < n_min_; ++j) {
-      const double* dur = du_.data() + j * s;
-      for (std::size_t k = 0; k < live; ++k) {
-        lo_[k] = std::min(lo_[k], dur[k]);
-        hi_[k] = std::max(hi_[k], dur[k]);
-      }
-    }
-    for (std::size_t j = n_min_; j < n_max_; ++j) {
-      const double* dur = du_.data() + j * s;
-      for (std::size_t k = 0; k < live; ++k) {
-        if (j < lane_n_[k]) {
-          lo_[k] = std::min(lo_[k], dur[k]);
-          hi_[k] = std::max(hi_[k], dur[k]);
-        }
-      }
-    }
-
-    // Classify lanes: full-active lanes resolve termination and θ here;
-    // lanes with a pinned node take the gathered scalar path below.
-    for (std::size_t k = 0; k < live; ++k) {
-      theta_[k] = 1.0;
       term_[k] = 0;
       scalar_lane_[k] = 0;
-      if (pinc_[k] != 0) {
+      if (soa_.pinc[k] != 0) {
         scalar_lane_[k] = 1;
         continue;
       }
-      if (hi_[k] - lo_[k] < lane_eps_[k]) {
+      if (soa_.hi[k] - soa_.lo[k] < lane_eps_[k]) {
         term_[k] = 1;
-        continue;
-      }
-      if (viol_[k] != 0) {
-        scalar_theta(k);
       }
     }
 
     // Vectorized apply: xn = clamp(x + θ·α·(du - avg)). Runs for every
-    // lane — terminal lanes harvest from x_ so their xn garbage is dead,
+    // lane — terminal lanes harvest from x so their xn garbage is dead,
     // and scalar lanes overwrite their column immediately after.
-    for (std::size_t j = 0; j < n_max_; ++j) {
-      const double* xr = x_.data() + j * s;
-      const double* dur = du_.data() + j * s;
-      const double* capr = cap_.data() + j * s;
-      double* xnr = xn_.data() + j * s;
-      for (std::size_t k = 0; k < live; ++k) {
-        const double d = alpha_[k] * (dur[k] - avg_full_[k]);
-        double t = xr[k] + theta_[k] * d;
-        t = t < 0.0 ? 0.0 : t;
-        const double cp = capr[k];
-        t = t > cp ? cp : t;
-        xnr[k] = t;
-      }
-    }
-    // Restore the x-plane padding invariant on the soon-to-be x plane.
-    for (std::size_t j = n_min_; j < n_max_; ++j) {
-      double* xnr = xn_.data() + j * s;
-      for (std::size_t k = 0; k < live; ++k) {
-        if (j >= lane_n_[k]) {
-          xnr[k] = 0.0;
-        }
-      }
-    }
+    kernels_->apply_step(soa_);
 
     for (std::size_t k = 0; k < live; ++k) {
       if (scalar_lane_[k] != 0) {
@@ -631,20 +498,20 @@ std::vector<BatchRunResult> BatchAllocator::run_all() {
     std::fill(retired.begin(), retired.begin() + live, 0);
     for (std::size_t k = 0; k < live; ++k) {
       if (term_[k] != 0) {
-        harvest(k, x_, /*converged=*/true, results);
+        harvest(k, soa_.x, /*converged=*/true, results);
         retired[k] = 1;
         changed = true;
         continue;
       }
       ++lane_iter_[k];
       if (lane_iter_[k] >= lane_maxit_[k]) {
-        harvest(k, xn_, /*converged=*/false, results);
+        harvest(k, soa_.xn, /*converged=*/false, results);
         retired[k] = 1;
         changed = true;
       }
     }
 
-    std::swap(x_, xn_);
+    std::swap(soa_.x, soa_.xn);
 
     if (changed) {
       // Compact survivors left (full-column copies preserve the padding
@@ -656,25 +523,28 @@ std::vector<BatchRunResult> BatchAllocator::run_all() {
         }
         if (dst != src) {
           for (std::size_t j = 0; j < node_cap_; ++j) {
-            x_[j * s + dst] = x_[j * s + src];
-            c_[j * s + dst] = c_[j * s + src];
-            mu_[j * s + dst] = mu_[j * s + src];
-            cap_[j * s + dst] = cap_[j * s + src];
+            soa_.x[j * s + dst] = soa_.x[j * s + src];
+            soa_.c[j * s + dst] = soa_.c[j * s + src];
+            soa_.mu[j * s + dst] = soa_.mu[j * s + src];
+            soa_.imu[j * s + dst] = soa_.imu[j * s + src];
+            soa_.cap[j * s + dst] = soa_.cap[j * s + src];
           }
           lane_inst_[dst] = lane_inst_[src];
           lane_n_[dst] = lane_n_[src];
           lane_maxit_[dst] = lane_maxit_[src];
           lane_iter_[dst] = lane_iter_[src];
-          lane_tr_[dst] = lane_tr_[src];
-          lane_k_[dst] = lane_k_[src];
-          lane_alpha_opt_[dst] = lane_alpha_opt_[src];
           lane_eps_[dst] = lane_eps_[src];
-          lane_safety_[dst] = lane_safety_[src];
-          lane_scv_[dst] = lane_scv_[src];
-          lane_rho_[dst] = lane_rho_[src];
           lane_dyn_[dst] = lane_dyn_[src];
           lane_single_[dst] = lane_single_[src];
           lane_delay_[dst] = lane_delay_[src];
+          soa_.lane_tr[dst] = soa_.lane_tr[src];
+          soa_.lane_k[dst] = soa_.lane_k[src];
+          soa_.lane_scv[dst] = soa_.lane_scv[src];
+          soa_.lane_rho[dst] = soa_.lane_rho[src];
+          soa_.lane_nd[dst] = soa_.lane_nd[src];
+          soa_.lane_dynd[dst] = soa_.lane_dynd[src];
+          soa_.lane_alpha_opt[dst] = soa_.lane_alpha_opt[src];
+          soa_.lane_safety[dst] = soa_.lane_safety[src];
         }
         ++dst;
       }

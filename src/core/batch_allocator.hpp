@@ -9,17 +9,26 @@
 // laid out [node][lane] (lane = instance) so the delay-law and utility
 // arithmetic of one node row vectorizes across the batch dimension.
 //
+// The dense passes of the lockstep iteration live behind the
+// core/batch_kernels.hpp function table: a portable scalar set (the
+// loops this class always had) and a hand-vectorized AVX2 set, selected
+// at runtime by core/simd_dispatch (CPUID, overridable via
+// FAP_FORCE_SCALAR_KERNELS or force_simd_level). The two sets are
+// bitwise equivalent — see batch_kernels.hpp for the argument — so
+// dispatch is purely a speed decision.
+//
 // Bit-identity contract: lanes are independent instances, so no
 // cross-lane reduction exists anywhere — each lane executes exactly the
 // scalar operation sequence of ResourceDirectedAllocator::run /
 // Workspace::step_into (same expressions, same order, same boundary
 // logic via the shared core/active_set.hpp fast path), and IEEE-754 ops
 // are exactly rounded regardless of whether they sit in a vector
-// register. The kernel TU is compiled with -ffp-contract=off so no FMA
+// register. The kernel TUs are compiled with -ffp-contract=off so no FMA
 // contraction can perturb a rounding. Consequently run_all() returns
 // results (x, cost, converged, iterations) bitwise equal to running each
 // submission through ResourceDirectedAllocator serially — pinned across
-// randomized instances by core_batch_allocator_test.
+// randomized instances by core_batch_allocator_test, which also pins the
+// AVX2 and scalar kernel sets against each other.
 //
 // Lane lifecycle: submissions queue in submit() order; run_all() loads
 // the first `width` of them into lanes and iterates. A lane retires when
@@ -42,8 +51,10 @@
 
 #include "core/active_set.hpp"
 #include "core/allocator.hpp"
+#include "core/batch_kernels.hpp"
 #include "core/single_file.hpp"
 #include "queueing/delay.hpp"
+#include "util/aligned.hpp"
 
 namespace fap::core {
 
@@ -112,6 +123,8 @@ class BatchAllocator {
     std::size_t instances = 0;
     /// Lockstep iterations executed (each steps every live lane once).
     std::size_t lockstep_iterations = 0;
+    /// Name of the kernel set the run dispatched to ("scalar"/"avx2").
+    const char* kernels = "";
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -136,38 +149,36 @@ class BatchAllocator {
   void load_lane(std::size_t lane, std::size_t instance_id);
   void refresh_lane_summary();
   void compute_derivatives();
-  void scalar_theta(std::size_t lane);
   void scalar_lane_step(std::size_t lane);
-  double column_cost(std::size_t lane, const std::vector<double>& plane) const;
-  void harvest(std::size_t lane, const std::vector<double>& plane,
+  double column_cost(std::size_t lane,
+                     const util::AlignedVector& plane) const;
+  void harvest(std::size_t lane, const util::AlignedVector& plane,
                bool converged, std::vector<BatchRunResult>& results) const;
 
   std::size_t width_;
   std::vector<Instance> pending_;
   Stats stats_;
 
-  // --- run_all() state. Planes are row-major [node][lane] with stride
-  // lanes_ (the loaded width); per-lane metadata is indexed by column.
-  // Padding rows (j >= lane n) hold x = 0, mu = 1, cap = +inf, du = 0 so
-  // the dense row loops never need per-element guards (see the padding
-  // invariants in batch_allocator.cpp).
-  std::size_t lanes_ = 0;       ///< columns allocated this run
+  // --- run_all() state. The planes, lane constants and per-iteration
+  // outputs the kernels touch live in soa_ (row-major [node][lane],
+  // 64-byte-aligned rows, stride = lanes_ rounded up to 8 — see
+  // core/batch_kernels.hpp); what follows is the bookkeeping only the
+  // driver needs. Padding rows (j >= lane n) hold x = 0, mu = 1, imu = 1,
+  // cap = +inf, du = 0 so the dense row loops never need per-element
+  // guards (see the padding invariants in batch_allocator.cpp).
+  detail::BatchSoA soa_;
+  const detail::BatchKernels* kernels_ = nullptr;
+  std::size_t lanes_ = 0;       ///< columns occupied at full width
   std::size_t live_ = 0;        ///< columns currently occupied (prefix)
   std::size_t node_cap_ = 0;    ///< plane row count
-  std::vector<double> x_, xn_, du_, d2c_, c_, mu_, cap_;
   std::vector<std::size_t> lane_inst_, lane_n_, lane_maxit_, lane_iter_;
-  std::vector<double> lane_tr_, lane_k_, lane_alpha_opt_, lane_eps_,
-      lane_safety_, lane_scv_, lane_rho_;
+  std::vector<double> lane_eps_;
   std::vector<unsigned char> lane_dyn_, lane_single_;
   std::vector<queueing::DelayModel> lane_delay_;
-  // Per-iteration lane scalars.
-  std::vector<double> sum_full_, avg_full_, alpha_, lo_, hi_, theta_;
-  std::vector<std::uint32_t> pinc_, viol_;
   std::vector<unsigned char> term_, scalar_lane_;
-  // Lane summary, refreshed when lane membership changes.
-  std::size_t n_min_ = 0, n_max_ = 0;
+  // Lane summary, refreshed when lane membership changes (n_min / n_max /
+  // any_dyn live in soa_ where the kernels read them).
   bool all_single_ = true;
-  bool any_dyn_ = false;
   // Scalar-tail scratch (boundary lanes).
   std::vector<double> gx_, gdu_, gd2c_, gcaps_, deltas_;
   detail::ActiveSetWorkspace aset_;

@@ -1,0 +1,87 @@
+// AVX2 flavor of the single-server delay-law primitives.
+//
+// queueing/delay.hpp's detail::pk_* / lin_* inline expressions are the one
+// scalar definition of the Pollaczek–Khinchine delay law; this header is
+// their 4-lane AVX2 twin, used by the batched allocator's vector kernels
+// (core/batch_kernels_avx2.cpp). Each function mirrors the scalar
+// expression TREE operation for operation — same multiplies, same
+// divides, same operand order, ternaries rendered as min/blend selections
+// with identical tie behavior — and every AVX2 arithmetic instruction is
+// exactly rounded per IEEE-754, so evaluating a lane here returns
+// bitwise the scalar result. No FMA intrinsics appear anywhere in this
+// header (fused rounding would break the equivalence); the TU including
+// it is compiled with -ffp-contract=off so the compiler cannot introduce
+// one either.
+//
+// The `stride`/width view of the batch planes lives in the kernels that
+// include this header: they walk [node][lane] rows four lanes at a time
+// and call these primitives on each 32-byte group.
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace fap::queueing::detail::avx2 {
+
+/// T(a) = 1/μ + a(1+c²) / (2μ(μ−a)), four lanes at once.
+/// Matches pk_sojourn's tree: (1.0/mu) + ((a*(1+scv)) / ((2*mu)*(mu-a))).
+inline __m256d pk_sojourn(__m256d a, __m256d mu, __m256d scv) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d num = _mm256_mul_pd(a, _mm256_add_pd(one, scv));
+  const __m256d den =
+      _mm256_mul_pd(_mm256_mul_pd(two, mu), _mm256_sub_pd(mu, a));
+  return _mm256_add_pd(_mm256_div_pd(one, mu), _mm256_div_pd(num, den));
+}
+
+/// Same as pk_sojourn but with the leading 1/μ term supplied by the
+/// caller. Division is deterministic, so a cached quotient computed once
+/// (at lane load) is bitwise the quotient pk_sojourn would recompute —
+/// this shaves one divide per cell per iteration off the hot row loops.
+inline __m256d pk_sojourn_cached_imu(__m256d a, __m256d mu, __m256d inv_mu,
+                                     __m256d scv) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d num = _mm256_mul_pd(a, _mm256_add_pd(one, scv));
+  const __m256d den =
+      _mm256_mul_pd(_mm256_mul_pd(two, mu), _mm256_sub_pd(mu, a));
+  return _mm256_add_pd(inv_mu, _mm256_div_pd(num, den));
+}
+
+/// T'(a) = (1+c²) / (2(μ−a)²). Matches pk_d_sojourn's tree:
+/// (1+scv) / ((2*gap)*gap) with gap = mu - a.
+inline __m256d pk_d_sojourn(__m256d a, __m256d mu, __m256d scv) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d gap = _mm256_sub_pd(mu, a);
+  return _mm256_div_pd(_mm256_add_pd(one, scv),
+                       _mm256_mul_pd(_mm256_mul_pd(two, gap), gap));
+}
+
+/// T''(a) = (1+c²) / (μ−a)³. Matches pk_d2_sojourn's tree:
+/// (1+scv) / ((gap*gap)*gap).
+inline __m256d pk_d2_sojourn(__m256d a, __m256d mu, __m256d scv) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d gap = _mm256_sub_pd(mu, a);
+  return _mm256_div_pd(_mm256_add_pd(one, scv),
+                       _mm256_mul_pd(_mm256_mul_pd(gap, gap), gap));
+}
+
+/// The knee clamp ae = a < knee ? a : knee. VMINPD's semantics are
+/// exactly this ternary (src2 returned when a >= knee or unordered), so
+/// ties and signed zeros behave identically to the scalar expression.
+inline __m256d knee_clamp(__m256d a, __m256d knee) {
+  return _mm256_min_pd(a, knee);
+}
+
+/// lin_d2_sojourn's selection a < knee ? pk_d2(a) : 0.0. The masked AND
+/// yields +0.0 on the extension side, bitwise the scalar literal.
+inline __m256d lin_d2_select(__m256d a, __m256d knee, __m256d pk_d2_at_a) {
+  const __m256d below = _mm256_cmp_pd(a, knee, _CMP_LT_OQ);
+  return _mm256_and_pd(pk_d2_at_a, below);
+}
+
+}  // namespace fap::queueing::detail::avx2
+
+#endif  // __AVX2__

@@ -12,9 +12,11 @@
 
 #include <bit>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "core/simd_dispatch.hpp"
 #include "core/single_file.hpp"
 #include "net/generators.hpp"
 #include "util/contracts.hpp"
@@ -322,6 +324,96 @@ TEST(BatchAllocator, RawSubmitMatchesModelSubmitBitwise) {
             << "node " << j;
       }
     }
+  }
+}
+
+// Pins dispatch to one kernel set for a scope (and restores env/CPUID
+// dispatch on exit, even through assertion failures).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(fap::core::SimdLevel level) {
+    fap::core::force_simd_level(level);
+  }
+  ~ScopedSimdLevel() { fap::core::clear_simd_override(); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+};
+
+bool avx2_available() {
+  return fap::core::avx2_kernels_compiled() && fap::core::cpu_supports_avx2();
+}
+
+// The second equivalence pin: the hand-vectorized AVX2 kernels must be
+// bitwise equal to the portable scalar kernels — same randomized
+// instance mix as the serial pin (capacity-clipped boundary lanes, M/M/c
+// fallback lanes, dynamic-step lanes, retire/backfill/compaction churn
+// from mixed iteration caps), both batch widths. Skipped (not silently
+// passed) on machines without AVX2.
+TEST(BatchAllocator, Avx2KernelsBitIdenticalToScalarKernels) {
+  if (!avx2_available()) {
+    GTEST_SKIP() << "AVX2 kernels not compiled in or CPU lacks AVX2";
+  }
+  constexpr std::size_t kInstances = 200;
+  std::vector<RandomInstance> instances;
+  instances.reserve(kInstances);
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    instances.push_back(make_random_instance(7000 + i));
+  }
+  for (const std::size_t width : {std::size_t{8}, std::size_t{64}}) {
+    std::vector<BatchRunResult> scalar_results;
+    std::vector<BatchRunResult> avx2_results;
+    {
+      ScopedSimdLevel pin(fap::core::SimdLevel::kScalar);
+      BatchAllocator batch(width);
+      for (const RandomInstance& inst : instances) {
+        batch.submit(inst.model, inst.options, inst.start);
+      }
+      scalar_results = batch.run_all();
+      EXPECT_STREQ(batch.stats().kernels, "scalar");
+    }
+    {
+      ScopedSimdLevel pin(fap::core::SimdLevel::kAvx2);
+      BatchAllocator batch(width);
+      for (const RandomInstance& inst : instances) {
+        batch.submit(inst.model, inst.options, inst.start);
+      }
+      avx2_results = batch.run_all();
+      EXPECT_STREQ(batch.stats().kernels, "avx2");
+    }
+    ASSERT_EQ(scalar_results.size(), avx2_results.size());
+    for (std::size_t i = 0; i < kInstances; ++i) {
+      SCOPED_TRACE("width " + std::to_string(width) + " instance " +
+                   std::to_string(i));
+      EXPECT_EQ(scalar_results[i].converged, avx2_results[i].converged);
+      EXPECT_EQ(scalar_results[i].iterations, avx2_results[i].iterations);
+      EXPECT_TRUE(BitsEqual(scalar_results[i].cost, avx2_results[i].cost));
+      ASSERT_EQ(scalar_results[i].x.size(), avx2_results[i].x.size());
+      for (std::size_t j = 0; j < scalar_results[i].x.size(); ++j) {
+        EXPECT_TRUE(BitsEqual(scalar_results[i].x[j], avx2_results[i].x[j]))
+            << "node " << j;
+      }
+    }
+  }
+}
+
+// Whatever level dispatch picks on this machine must also be bitwise
+// equal to the serial allocator (the headline pin runs dispatched; this
+// one makes the triangle serial == scalar == dispatched explicit on a
+// smaller mix).
+TEST(BatchAllocator, DispatchedKernelsMatchSerialAndScalar) {
+  constexpr std::size_t kInstances = 40;
+  BatchAllocator dispatched(16);
+  std::vector<RandomInstance> instances;
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    instances.push_back(make_random_instance(9100 + i));
+    dispatched.submit(instances.back().model, instances.back().options,
+                      instances.back().start);
+  }
+  const std::vector<BatchRunResult> results = dispatched.run_all();
+  EXPECT_STREQ(dispatched.stats().kernels,
+               fap::core::simd_level_name(fap::core::active_simd_level()));
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    expect_matches_serial(instances[i], results[i], i);
   }
 }
 
