@@ -27,6 +27,7 @@
 #include "net/shortest_paths.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/trace_server.hpp"
 #include "sim/des.hpp"
 #include "sim/des_system.hpp"
 #include "util/rng.hpp"
@@ -478,6 +479,63 @@ void BM_DesReplicationBatch(benchmark::State& state) {
                           static_cast<int64_t>(config.measured_accesses));
 }
 BENCHMARK(BM_DesReplicationBatch);
+
+// Trace generation alone: the open-loop workload source serve_trace
+// drives 10M+ requests through. Drift is set so the alias table rebuilds
+// on a realistic cadence (a few records of rotation per epoch batch).
+// items/sec is generated requests/sec — the ceiling on serving
+// throughput that is pure workload synthesis.
+void BM_TraceGen(benchmark::State& state) {
+  const auto records = static_cast<std::size_t>(state.range(0));
+  serve::TraceWorkload workload;
+  workload.records = records;
+  workload.total_rate = 9.6;
+  workload.zipf_s = 0.9;
+  workload.drift_rate = 0.001;
+  workload.update_fraction = 0.15;
+  workload.epoch_requests = 8192;
+  workload.seed = 20260809;
+  serve::TraceGenerator generator(workload, /*node_count=*/16);
+  std::size_t produced = 0;
+  for (auto _ : state) {
+    const std::vector<serve::TraceRequest>& epoch =
+        generator.next_epoch(workload.epoch_requests);
+    benchmark::DoNotOptimize(epoch.data());
+    produced += epoch.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(produced));
+}
+BENCHMARK(BM_TraceGen)->Arg(5000)->Arg(200000);
+
+// End-to-end trace serving at the CI smoke scale (Experiment A18's
+// pipeline in miniature): generator -> DES injection -> per-window
+// estimation, with the arg selecting the policy (0 = static, 1 = online
+// with re-solves + live migration). items/sec is served requests/sec.
+void BM_ServeTrace(benchmark::State& state) {
+  const net::Topology topology = net::make_ring(4);
+  serve::TraceWorkload workload;
+  workload.records = 5000;
+  workload.total_rate = 2.4;  // 60% of 4 nodes at mu = 1
+  workload.zipf_s = 0.9;
+  workload.update_fraction = 0.15;
+  workload.epoch_requests = 8192;
+  workload.seed = 20260809;
+  const double window_time = 2.0 * 8192.0 / workload.total_rate;
+  workload.drift_rate = 2.0 / window_time;
+  serve::TraceServeOptions options;
+  options.mode = state.range(0) == 0 ? serve::ServeMode::kStatic
+                                     : serve::ServeMode::kOnline;
+  options.estimation_epochs = 2;
+  options.hysteresis = 0.05;
+  constexpr std::size_t kRequests = 100000;
+  for (auto _ : state) {
+    serve::TraceServer server(topology, workload, options);
+    benchmark::DoNotOptimize(server.serve(kRequests));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequests));
+}
+BENCHMARK(BM_ServeTrace)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_FragmentMapLookup(benchmark::State& state) {
   const auto records = static_cast<std::size_t>(state.range(0));

@@ -28,7 +28,16 @@ CapacityPriceLoop::CapacityPriceLoop(std::vector<double> capacity,
   FAP_EXPECTS(options_.tolerance >= 0.0, "tolerance must be non-negative");
   FAP_EXPECTS(options_.max_rounds >= 1, "need at least one round");
   FAP_EXPECTS(options_.price_scale > 0.0, "price scale must be positive");
-  prices_.assign(capacity_.size(), 0.0);
+  if (options_.initial_prices.empty()) {
+    prices_.assign(capacity_.size(), 0.0);
+  } else {
+    FAP_EXPECTS(options_.initial_prices.size() == capacity_.size(),
+                "initial prices must have one entry per node");
+    for (const double price : options_.initial_prices) {
+      FAP_EXPECTS(price >= 0.0, "initial prices must be non-negative");
+    }
+    prices_ = options_.initial_prices;
+  }
   gamma_.resize(capacity_.size());
   diagnostics_.gamma = options_.gamma;
 }

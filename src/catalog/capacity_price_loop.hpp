@@ -47,14 +47,21 @@ struct CapacityPriceLoopOptions {
   /// compare prices against. CatalogSolver computes a problem-derived
   /// default (see CatalogOptions::auto_price_scale).
   double price_scale = 1.0;
+  /// Warm start: initial capacity prices p_i (one per node). Empty means
+  /// all-zero — the cold start, where every constraint is assumed slack
+  /// until demand proves otherwise. Re-solving a perturbed spec from the
+  /// previous solve's final prices skips the rounds the tâtonnement
+  /// would spend re-discovering which nodes are scarce.
+  std::vector<double> initial_prices;
 };
 
 class CapacityPriceLoop {
  public:
-  /// Capacities are the supply side B_i; prices start at 0 (every
-  /// constraint assumed slack until demand proves otherwise — this is
-  /// what keeps the slack-capacity path identical to the unconstrained
-  /// single-file solve).
+  /// Capacities are the supply side B_i; prices start at
+  /// options.initial_prices, or 0 when that is empty (every constraint
+  /// assumed slack until demand proves otherwise — the zero cold start
+  /// is what keeps the slack-capacity path identical to the
+  /// unconstrained single-file solve).
   CapacityPriceLoop(std::vector<double> capacity,
                     CapacityPriceLoopOptions options);
 

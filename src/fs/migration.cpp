@@ -33,6 +33,29 @@ std::vector<Transfer> plan_migration(const FragmentMap& from,
   return plan;
 }
 
+std::vector<net::NodeId> apply_migration(const FragmentMap& from,
+                                         const std::vector<Transfer>& plan) {
+  std::vector<net::NodeId> homes(from.record_count());
+  for (net::NodeId node = 0; node < from.node_count(); ++node) {
+    const RecordRange& range = from.range_at(node);
+    for (std::size_t r = range.begin; r < range.end; ++r) {
+      homes[r] = node;
+    }
+  }
+  for (const Transfer& transfer : plan) {
+    FAP_EXPECTS(transfer.range.end <= from.record_count(),
+                "transfer range outside the file");
+    FAP_EXPECTS(transfer.source != transfer.target,
+                "a transfer must change the record's home");
+    for (std::size_t r = transfer.range.begin; r < transfer.range.end; ++r) {
+      FAP_EXPECTS(homes[r] == transfer.source,
+                  "transfer source does not hold the record");
+      homes[r] = transfer.target;
+    }
+  }
+  return homes;
+}
+
 std::size_t migration_volume(const std::vector<Transfer>& plan) {
   std::size_t volume = 0;
   for (const Transfer& transfer : plan) {

@@ -42,6 +42,16 @@ std::vector<Transfer> plan_migration(const FragmentMap& from,
 /// Directory::migration_records(from -> to)).
 std::size_t migration_volume(const std::vector<Transfer>& plan);
 
+/// Replays a plan against `from` and returns the resulting per-record
+/// home vector (index = record). Each transfer must move records that
+/// actually live at its source — applying a plan to a layout it was not
+/// planned from throws. The result of applying plan_migration(from, to)
+/// matches `to` record for record (pinned by a property test); the
+/// record-granular return type exists because intermediate states (a
+/// partially executed plan) need not be contiguous.
+std::vector<net::NodeId> apply_migration(const FragmentMap& from,
+                                         const std::vector<Transfer>& plan);
+
 /// Groups transfers into waves; within a wave every node appears as
 /// source or target at most `max_transfers_per_node` times. Transfers
 /// within a wave may run concurrently. Greedy first-fit over the plan

@@ -56,6 +56,59 @@ std::vector<double> node_access_shares(
   return shares;
 }
 
+FragmentMap popularity_split(const std::vector<double>& popularity,
+                             const std::vector<double>& shares) {
+  FAP_EXPECTS(!popularity.empty(), "need at least one record");
+  FAP_EXPECTS(!shares.empty(), "need at least one node");
+  util::NeumaierSum pop_total;
+  for (const double p : popularity) {
+    FAP_EXPECTS(p >= 0.0, "popularity must be non-negative");
+    pop_total.add(p);
+  }
+  util::NeumaierSum share_total;
+  for (const double s : shares) {
+    FAP_EXPECTS(s >= 0.0, "shares must be non-negative");
+    share_total.add(s);
+  }
+  const double mass = pop_total.value();
+  const double share_sum = share_total.value();
+  FAP_EXPECTS(mass > 0.0, "total popularity must be positive");
+  FAP_EXPECTS(share_sum > 0.0, "total share must be positive");
+
+  // One pass over the record space: node i's range closes at the record
+  // where the cumulative popularity is nearest the cumulative target
+  // mass Σ_{j<=i} shares_j · mass. The last node takes the remainder, so
+  // every record is assigned exactly once.
+  const std::size_t n = shares.size();
+  std::vector<std::size_t> counts(n, 0);
+  util::NeumaierSum target_acc;
+  util::NeumaierSum cum;
+  std::size_t r = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    target_acc.add(shares[i] / share_sum * mass);
+    const double target = target_acc.value();
+    std::size_t taken = 0;
+    while (r < popularity.size()) {
+      const double before = cum.value();
+      if (before >= target) {
+        break;
+      }
+      // Take record r only if doing so lands the cumulative mass no
+      // further from the target than stopping here would.
+      const double after = before + popularity[r];
+      if (after - target > target - before) {
+        break;
+      }
+      cum.add(popularity[r]);
+      ++r;
+      ++taken;
+    }
+    counts[i] = taken;
+  }
+  counts[n - 1] = popularity.size() - r;
+  return FragmentMap(std::move(counts));
+}
+
 RecordSampler::RecordSampler(const std::vector<double>& popularity)
     : alias_([&popularity] {
         // Keep the CDF-era contract strictly: every mass must be

@@ -47,6 +47,19 @@ std::vector<double> normalized_popularity(std::vector<double> weights);
 std::vector<double> node_access_shares(const FragmentMap& layout,
                                        const std::vector<double>& popularity);
 
+/// Inverse of node_access_shares for contiguous layouts: a FragmentMap
+/// whose per-node POPULARITY MASS (not record count) approximates the
+/// target shares — the rounding step that deploys an allocator solution
+/// x when record access is non-uniform. FragmentMap::from_allocation
+/// splits by record count, which under Zipf popularity hands the first
+/// node nearly all the traffic regardless of x; this split walks the
+/// record space once and closes each node's range at the record that
+/// lands the cumulative mass nearest the cumulative target share.
+/// `shares` must be non-negative with a positive sum (it is normalized
+/// internally); a zero share is legal and yields an empty range.
+FragmentMap popularity_split(const std::vector<double>& popularity,
+                             const std::vector<double>& shares);
+
 /// Draws records according to a popularity distribution. One uniform per
 /// draw through a Walker/Vose alias table (kRecordSamplerRevision 2), so
 /// sampling is O(1) regardless of the record count.

@@ -31,6 +31,7 @@ DesResult measure(DesSystem& system, const DesConfig& config) {
   result.sojourn = window.sojourn;
   result.response_time = window.response_time;
   result.sojourn_histogram = window.sojourn_histogram;
+  result.response_hist = window.response_hist;
   result.node = window.node;
   result.simulated_time = window.span;
   result.measured_cost =

@@ -72,6 +72,13 @@ struct DesConfig {
   std::size_t event_budget_per_completion = 1000;
   std::size_t event_budget_floor = 1000000;
 
+  /// Open-loop mode (trace serving): no node generates its own Poisson
+  /// stream — all traffic enters through DesSystem::inject_access — so
+  /// all-zero lambda is legal and restart() seeds no generate events.
+  /// run_des() cannot be used with an open-loop config (it would wait
+  /// forever for completions that nothing generates).
+  bool open_loop = false;
+
   /// Accesses completing before this time are excluded from statistics.
   double warmup_time = 200.0;
   /// Number of measured (post-warmup) access completions to collect.
@@ -81,6 +88,16 @@ struct DesConfig {
   /// the raw material for measurement-driven parameter estimation
   /// (sim/estimation.hpp, the Section 8 adaptive scheme).
   bool record_log = false;
+
+  /// Window attribution rule for DesSystem. Default (false): an access
+  /// counts toward the window it ARRIVED in, so a freshly reset window
+  /// is not polluted by the tail of the previous regime — the right
+  /// semantics for steady-state measurement. When true, an access counts
+  /// toward the window it COMPLETED in: the union of consecutive windows
+  /// is then an exact partition of all completions (nothing in flight
+  /// across a reset is ever dropped), which is what cumulative
+  /// trace-serving statistics need.
+  bool window_by_completion = false;
 };
 
 /// One completed access, as a monitoring system would log it.
@@ -108,6 +125,10 @@ struct DesResult {
   /// transit); equals sojourn when hop_latency is 0.
   util::RunningStats response_time;
   util::Histogram sojourn_histogram{0.0, 1.0, 1};
+  /// Response-time distribution on exponential buckets — the tail
+  /// (p99/p999) source; the linear sojourn histogram would quantize it
+  /// into one coarse bucket under heavy-tailed service.
+  util::LogHistogram response_hist{1e-4, 1e6, 512};
   std::vector<NodeStats> node;
   double simulated_time = 0.0;  ///< post-warmup measurement span
   /// Measured per-access cost: mean comm + k * mean sojourn — directly

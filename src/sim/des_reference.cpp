@@ -300,9 +300,10 @@ void DesReferenceSystem::process_one_event() {
       window_.sojourn_histogram.add(sojourn);
       window_.node[node].sojourn.add(sojourn);
       // Response reaches the requester after the return transit.
-      window_.response_time.add(now_ +
-                                impl.transit(pending.source, node) -
-                                pending.generated_time);
+      const double response =
+          now_ + impl.transit(pending.source, node) - pending.generated_time;
+      window_.response_time.add(response);
+      window_.response_hist.add(response);
       ++window_.completions;
       if (impl.config.record_log) {
         window_.log.push_back(AccessObservation{

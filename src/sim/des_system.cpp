@@ -359,7 +359,7 @@ struct DesSystem::Impl {
         events.push(generate);
       }
     }
-    FAP_EXPECTS(!events.empty(),
+    FAP_EXPECTS(config.open_loop || !events.empty(),
                 "at least one node must generate accesses");
   }
 
@@ -486,6 +486,32 @@ void DesSystem::set_routing(const std::vector<std::vector<double>>& routing) {
   impl_->config.routing = routing;
 }
 
+void DesSystem::inject_access(double time, std::size_t source,
+                              std::size_t target, double comm,
+                              double extra_latency) {
+  Impl& impl = *impl_;
+  const std::size_t n = impl.config.lambda.size();
+  FAP_EXPECTS(time >= now_, "cannot inject an access in the past");
+  FAP_EXPECTS(source < n && target < n, "node out of range");
+  FAP_EXPECTS(extra_latency >= 0.0, "extra latency must be non-negative");
+  const std::uint32_t slot = impl.jobs.allocate();
+  JobRecord& job = impl.jobs[slot];
+  job.comm_cost = comm;
+  job.generated_time = time;
+  job.source = static_cast<std::uint32_t>(source);
+  // Reuse the store-and-forward arrival path: the access is "in flight"
+  // until generation time + stall + transit, then queues at the target
+  // through the same kArrive handler generated traffic uses (including
+  // the failed-node drop and the window arrival accounting).
+  EventEntry arrival;
+  arrival.time = time + extra_latency + impl.transit(source, target);
+  arrival.seq = impl.seq++;
+  arrival.kind = EventKind::kArrive;
+  arrival.node = static_cast<std::uint32_t>(target);
+  arrival.slot = slot;
+  impl.events.push(arrival);
+}
+
 void DesSystem::set_node_failed(std::size_t node, bool failed) {
   FAP_EXPECTS(node < impl_->config.lambda.size(), "node out of range");
   if (impl_->failed[node] == failed) {
@@ -604,14 +630,17 @@ void DesSystem::process_one_event() {
     const double service_start = job.service_start;
     const double sojourn = now_ - job.arrival_time;
     ++impl.total_completions;
-    if (job.arrival_time >= window_.start_time) {
+    if (impl.config.window_by_completion ||
+        job.arrival_time >= window_.start_time) {
       window_.comm_cost.add(job.comm_cost);
       window_.sojourn.add(sojourn);
       window_.sojourn_histogram.add(sojourn);
       window_.node[node].sojourn.add(sojourn);
       // Response reaches the requester after the return transit.
-      window_.response_time.add(now_ + impl.transit(job.source, node) -
-                                job.generated_time);
+      const double response =
+          now_ + impl.transit(job.source, node) - job.generated_time;
+      window_.response_time.add(response);
+      window_.response_hist.add(response);
       ++window_.completions;
       if (impl.config.record_log) {
         window_.log.push_back(AccessObservation{
@@ -668,6 +697,7 @@ void DesSystem::reset_window() {
   window_.sojourn = util::RunningStats();
   window_.response_time = util::RunningStats();
   window_.sojourn_histogram.clear();
+  window_.response_hist.clear();
   window_.node.assign(n, NodeStats());
   window_.log.clear();
   window_.start_time = now_;

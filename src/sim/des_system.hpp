@@ -44,6 +44,10 @@ struct WindowStats {
   /// hop_latency is 0.
   util::RunningStats response_time;
   util::Histogram sojourn_histogram{0.0, 50.0, 500};
+  /// Response-time distribution on exponential buckets (same samples as
+  /// response_time), so p99/p999 keep constant relative resolution under
+  /// heavy-tailed delays. Same parameters as DesResult::response_hist.
+  util::LogHistogram response_hist{1e-4, 1e6, 512};
   std::vector<NodeStats> node;
   std::vector<AccessObservation> log;  ///< when record_log is set
   double start_time = 0.0;
@@ -99,6 +103,19 @@ class DesSystem {
   /// those nodes cannot be accessed". Work already queued at the node
   /// when it fails is lost as well.
   void set_node_failed(std::size_t node, bool failed);
+
+  /// Injects one externally generated access (open-loop trace serving):
+  /// an access from `source`, generated at `time` (>= now()), that will
+  /// reach `target`'s queue after `extra_latency` plus the configured
+  /// source->target transit, paying `comm` communication cost. The
+  /// access then queues, receives service and is counted exactly like a
+  /// generated one; its response time spans from `time` to service
+  /// completion plus return transit, so `extra_latency` (e.g. a
+  /// migration stall) shows up in the delay statistics. Injection does
+  /// not advance the clock — call advance_until / advance_completions to
+  /// process the scheduled work.
+  void inject_access(double time, std::size_t source, std::size_t target,
+                     double comm, double extra_latency = 0.0);
 
   /// Processes events until simulated time reaches `time`.
   void advance_until(double time);

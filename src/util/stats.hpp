@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -55,6 +56,12 @@ class RunningStats {
 /// Time-weighted average of a piecewise-constant signal, e.g. queue length
 /// over simulated time. Call record(t, value) whenever the signal changes;
 /// the value is held until the next record.
+///
+/// Timestamps are expected to be non-decreasing. A record whose time lies
+/// before the previous one is clamped to the previous time (the change is
+/// treated as simultaneous with the last one): the signal value updates,
+/// no interval is accumulated, and — crucially — the clock never rewinds,
+/// so a later in-order record cannot double-count the overlapped span.
 class TimeWeightedStats {
  public:
   void record(double time, double value) noexcept;
@@ -70,8 +77,10 @@ class TimeWeightedStats {
   double weighted_sum_ = 0.0;
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples are clamped
-/// into the edge buckets. Used for delay distributions in the DES.
+/// Fixed-width histogram over [lo, hi); out-of-range finite samples are
+/// clamped into the edge buckets, non-finite samples are counted aside
+/// (they carry no position, so filing them into a bucket would silently
+/// poison every quantile). Used for delay distributions in the DES.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -79,6 +88,10 @@ class Histogram {
   /// Inline for the same reason as RunningStats::add — once per DES
   /// completion.
   void add(double x) noexcept {
+    if (!std::isfinite(x)) {
+      ++nonfinite_;
+      return;
+    }
     std::size_t idx = 0;
     if (x >= hi_) {
       idx = counts_.size() - 1;
@@ -96,9 +109,13 @@ class Histogram {
   std::size_t bucket_count() const noexcept { return counts_.size(); }
   std::size_t count(std::size_t bucket) const;
   std::size_t total() const noexcept { return total_; }
+  /// Samples rejected by add() for being NaN or infinite.
+  std::size_t nonfinite() const noexcept { return nonfinite_; }
   /// Inclusive lower edge of the given bucket.
   double bucket_lo(std::size_t bucket) const;
-  /// Linearly interpolated quantile estimate, q in [0, 1].
+  /// Linearly interpolated quantile estimate, q in [0, 1]. Empty buckets
+  /// are skipped when the target lands exactly on a cumulative boundary,
+  /// and the interpolated value never exceeds hi_.
   double quantile(double q) const;
 
  private:
@@ -107,6 +124,63 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nonfinite_ = 0;
+};
+
+/// Histogram with exponentially spaced bucket edges over [lo, hi), lo > 0:
+/// bucket b covers [lo·r^b, lo·r^(b+1)) with r = (hi/lo)^(1/buckets), so
+/// relative resolution is constant across the range. This is what makes
+/// p999 of a heavy-tailed delay distribution meaningful: a linear
+/// histogram wide enough for the tail quantizes the body into one coarse
+/// bucket, while here every decade gets the same number of buckets.
+///
+/// Finite samples at or below lo land in bucket 0 and samples at or above
+/// hi in the last bucket (clamped, like Histogram); non-finite samples
+/// are counted aside. merge() makes the per-window accumulation in the
+/// trace server exact under any merge order (integer bucket adds).
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t buckets);
+
+  /// Inline: once per served request in the trace-serving loop.
+  void add(double x) noexcept {
+    if (!std::isfinite(x)) {
+      ++nonfinite_;
+      return;
+    }
+    std::size_t idx = 0;
+    if (x >= hi_) {
+      idx = counts_.size() - 1;
+    } else if (x > lo_) {
+      idx = static_cast<std::size_t>(std::log(x / lo_) * inv_log_step_);
+      idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+  void clear() noexcept;
+  /// Adds the other histogram's buckets into this one. The two must have
+  /// been constructed with identical (lo, hi, buckets).
+  void merge(const LogHistogram& other);
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t nonfinite() const noexcept { return nonfinite_; }
+  /// Inclusive lower edge of the given bucket: lo·r^bucket.
+  double bucket_lo(std::size_t bucket) const;
+  /// Quantile estimate with linear interpolation inside the (geometric)
+  /// bucket, q in [0, 1]; same empty-bucket-skip and hi_ clamp semantics
+  /// as Histogram::quantile.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double log_step_;      ///< ln r
+  double inv_log_step_;  ///< 1 / ln r
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t nonfinite_ = 0;
 };
 
 }  // namespace fap::util

@@ -100,6 +100,38 @@ TEST(CapacityPriceLoop, FixedRuleNeverAdapts) {
   EXPECT_EQ(loop.diagnostics().oscillations, 1u);
 }
 
+TEST(CapacityPriceLoop, WarmStartSeedsPricesAndZeroWarmEqualsCold) {
+  // Explicit zeros must be bit-identical to the default cold start.
+  CapacityPriceLoopOptions zeros = fixed_options();
+  zeros.initial_prices = {0.0, 0.0};
+  CapacityPriceLoop warm_zero({2.0, 4.0}, zeros);
+  CapacityPriceLoop cold({2.0, 4.0}, fixed_options());
+  EXPECT_EQ(warm_zero.prices(), cold.prices());
+  warm_zero.update({3.0, 2.0});
+  cold.update({3.0, 2.0});
+  EXPECT_EQ(warm_zero.prices(), cold.prices());
+
+  // A genuine warm start begins at the handed-in prices; a demand that
+  // already clears at those prices converges without moving them.
+  CapacityPriceLoopOptions warm_options = fixed_options();
+  warm_options.initial_prices = {0.5, 0.0};
+  CapacityPriceLoop warm({2.0, 4.0}, warm_options);
+  EXPECT_EQ(warm.prices(), std::vector<double>({0.5, 0.0}));
+  EXPECT_TRUE(warm.update({2.0, 3.0}));
+  EXPECT_TRUE(warm.converged());
+  EXPECT_EQ(warm.prices(), std::vector<double>({0.5, 0.0}));
+  EXPECT_EQ(warm.diagnostics().rounds, 0u);
+}
+
+TEST(CapacityPriceLoop, WarmStartValidatesItsInputs) {
+  CapacityPriceLoopOptions bad = fixed_options();
+  bad.initial_prices = {0.5};  // two nodes, one price
+  EXPECT_THROW(CapacityPriceLoop({1.0, 1.0}, bad), PreconditionError);
+  bad = fixed_options();
+  bad.initial_prices = {0.5, -0.1};
+  EXPECT_THROW(CapacityPriceLoop({1.0, 1.0}, bad), PreconditionError);
+}
+
 TEST(CapacityPriceLoop, RefusesUpdatesAfterFinishing) {
   CapacityPriceLoopOptions options = fixed_options();
   options.max_rounds = 2;

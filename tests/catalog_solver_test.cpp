@@ -259,6 +259,42 @@ TEST(CatalogSolver, TightCapacityYieldsFeasibleAllocation) {
   EXPECT_GE(result.mean_fragments, 1.0);
 }
 
+// Warm-started re-solve: seeding the price loop with a previous solve's
+// final prices must stay feasible and not spend more rounds than the
+// cold start — the point of carrying prices across perturbed specs.
+TEST(CatalogSolver, WarmStartedResolveIsFeasibleAndNoSlower) {
+  SyntheticCatalogOptions synth;
+  synth.objects = 2000;
+  synth.nodes = 16;
+  synth.headroom = 0.1;
+  synth.zipf_s = 0.9;
+  const CatalogSpec spec = make_synthetic_catalog(synth, 77);
+  const CatalogResult cold = CatalogSolver(spec, CatalogOptions{}).solve();
+  EXPECT_GT(cold.rounds, 1u);  // tight capacity: prices actually move
+
+  CatalogOptions warm_options;
+  warm_options.price.initial_prices = cold.prices;
+  const CatalogResult warm = CatalogSolver(spec, warm_options).solve();
+  EXPECT_LE(warm.residual, 1e-9);
+  EXPECT_LE(warm.rounds, cold.rounds);
+  for (std::size_t i = 0; i < spec.node_count(); ++i) {
+    EXPECT_LE(warm.node_load[i], spec.node_capacity[i] + 1e-9)
+        << "node " << i;
+  }
+  for (std::size_t o = 0; o < spec.object_count(); ++o) {
+    fap::util::NeumaierSum mass;
+    for (std::uint32_t p = warm.offsets[o]; p < warm.offsets[o + 1]; ++p) {
+      mass.add(warm.placements[p].fraction);
+    }
+    EXPECT_NEAR(mass.value(), 1.0, 1e-9) << "object " << o;
+  }
+
+  // Explicit zeros are the cold start, bit for bit.
+  CatalogOptions zeros;
+  zeros.price.initial_prices.assign(spec.node_count(), 0.0);
+  expect_identical(cold, CatalogSolver(spec, zeros).solve());
+}
+
 // A hand-built spec where the optimum is obvious: full locality, huge
 // capacity, cheap home service — everything lands at home, so hit rate
 // is exactly 1 and external traffic exactly 0.

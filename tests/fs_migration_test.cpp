@@ -12,6 +12,7 @@
 namespace {
 
 namespace fs = fap::fs;
+namespace net = fap::net;
 
 TEST(MigrationPlan, IdenticalLayoutsNeedNoTransfers) {
   const fs::FragmentMap layout =
@@ -134,6 +135,98 @@ TEST(MigrationSchedule, RejectsBadInput) {
   EXPECT_THROW(fs::schedule_waves(out_of_range, 4),
                fap::util::PreconditionError);
   EXPECT_THROW(fs::schedule_waves({}, 4, 0),
+               fap::util::PreconditionError);
+}
+
+// Property: for random layout pairs, every wave of every schedule stays
+// within the per-node transfer limit, and the schedule partitions the
+// plan (volumes add up).
+TEST(MigrationSchedule, RandomizedPlansNeverExceedPerNodeLimit) {
+  fap::util::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t nodes = 3 + rng.uniform_index(8);
+    auto random_fractions = [&]() {
+      std::vector<double> x(nodes, 0.0);
+      double sum = 0.0;
+      for (double& xi : x) {
+        xi = rng.exponential(1.0);
+        sum += xi;
+      }
+      for (double& xi : x) {
+        xi /= sum;
+      }
+      return x;
+    };
+    const std::size_t records = 100 + rng.uniform_index(900);
+    const fs::FragmentMap from =
+        fs::FragmentMap::from_allocation(records, random_fractions());
+    const fs::FragmentMap to =
+        fs::FragmentMap::from_allocation(records, random_fractions());
+    const std::vector<fs::Transfer> plan = fs::plan_migration(from, to);
+    const std::size_t limit = 1 + rng.uniform_index(3);
+    const fs::MigrationSchedule schedule =
+        fs::schedule_waves(plan, nodes, limit);
+    ASSERT_EQ(schedule.wave_of.size(), plan.size());
+    ASSERT_EQ(schedule.wave_volume.size(), schedule.wave_count);
+    std::vector<std::size_t> participation(schedule.wave_count * nodes, 0);
+    std::size_t scheduled = 0;
+    for (std::size_t t = 0; t < plan.size(); ++t) {
+      const std::size_t wave = schedule.wave_of[t];
+      ASSERT_LT(wave, schedule.wave_count);
+      ++participation[wave * nodes + plan[t].source];
+      ++participation[wave * nodes + plan[t].target];
+    }
+    for (const std::size_t count : participation) {
+      EXPECT_LE(count, limit) << "trial " << trial;
+    }
+    for (const std::size_t volume : schedule.wave_volume) {
+      EXPECT_GT(volume, 0u);  // no empty waves
+      scheduled += volume;
+    }
+    EXPECT_EQ(scheduled, fs::migration_volume(plan)) << "trial " << trial;
+  }
+}
+
+// Property: replaying plan_migration(from, to) against `from` lands every
+// record at exactly its `to` home.
+TEST(MigrationPlan, ApplyingPlanReproducesTargetLayout) {
+  fap::util::Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t nodes = 2 + rng.uniform_index(9);
+    auto random_fractions = [&]() {
+      std::vector<double> x(nodes, 0.0);
+      double sum = 0.0;
+      for (double& xi : x) {
+        xi = rng.exponential(1.0);
+        sum += xi;
+      }
+      for (double& xi : x) {
+        xi /= sum;
+      }
+      return x;
+    };
+    const std::size_t records = 50 + rng.uniform_index(950);
+    const fs::FragmentMap from =
+        fs::FragmentMap::from_allocation(records, random_fractions());
+    const fs::FragmentMap to =
+        fs::FragmentMap::from_allocation(records, random_fractions());
+    const std::vector<net::NodeId> homes =
+        fs::apply_migration(from, fs::plan_migration(from, to));
+    ASSERT_EQ(homes.size(), records);
+    for (std::size_t r = 0; r < records; ++r) {
+      ASSERT_EQ(homes[r], to.node_of(r))
+          << "trial " << trial << " record " << r;
+    }
+  }
+}
+
+TEST(MigrationPlan, ApplyRejectsPlanFromForeignLayout) {
+  const fs::FragmentMap from =
+      fs::FragmentMap::from_allocation(100, {0.5, 0.5});
+  // Claims records 0..10 live at node 1; they live at node 0.
+  const std::vector<fs::Transfer> bogus{
+      {fs::RecordRange{0, 10}, 1, 0}};
+  EXPECT_THROW(fs::apply_migration(from, bogus),
                fap::util::PreconditionError);
 }
 

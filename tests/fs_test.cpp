@@ -173,6 +173,52 @@ TEST(Popularity, NodeAccessSharesAggregateUnderLayout) {
   EXPECT_NEAR(shares[1], 0.3, 1e-12);
 }
 
+TEST(PopularitySplit, MatchesTargetSharesByMassNotByRecordCount) {
+  // Zipf head: node 0 should get a SMALL record range carrying half the
+  // access mass, not half the records.
+  const std::vector<double> popularity = fs::zipf_popularity(1000, 1.0);
+  const std::vector<double> shares{0.5, 0.3, 0.2};
+  const fs::FragmentMap layout = fs::popularity_split(popularity, shares);
+  const std::vector<double> achieved =
+      fs::node_access_shares(layout, popularity);
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    // Each boundary lands within one record's mass of its target, and
+    // the head records are the heaviest (p_0 ≈ 0.13 at s=1, R=1000).
+    EXPECT_NEAR(achieved[i], shares[i], 0.14) << "node " << i;
+  }
+  // Under skew, half the mass needs far fewer than half the records.
+  EXPECT_LT(layout.records_at(0), 200u);
+  EXPECT_EQ(layout.record_count(), 1000u);
+}
+
+TEST(PopularitySplit, UniformPopularityReducesToRecordSplit) {
+  const std::vector<double> popularity = fs::uniform_popularity(100);
+  const fs::FragmentMap layout =
+      fs::popularity_split(popularity, {0.25, 0.25, 0.5});
+  EXPECT_EQ(layout.records_at(0), 25u);
+  EXPECT_EQ(layout.records_at(1), 25u);
+  EXPECT_EQ(layout.records_at(2), 50u);
+}
+
+TEST(PopularitySplit, ZeroShareYieldsEmptyRange) {
+  const fs::FragmentMap layout =
+      fs::popularity_split(fs::uniform_popularity(10), {0.0, 1.0, 0.0});
+  EXPECT_EQ(layout.records_at(0), 0u);
+  EXPECT_EQ(layout.records_at(1), 10u);
+  EXPECT_EQ(layout.records_at(2), 0u);
+}
+
+TEST(PopularitySplit, NormalizesSharesAndRejectsBadInput) {
+  // Shares need not sum to 1 — only ratios matter.
+  const fs::FragmentMap layout =
+      fs::popularity_split(fs::uniform_popularity(100), {1.0, 1.0});
+  EXPECT_EQ(layout.records_at(0), 50u);
+  EXPECT_THROW(fs::popularity_split({}, {1.0}), PreconditionError);
+  EXPECT_THROW(fs::popularity_split({1.0}, {}), PreconditionError);
+  EXPECT_THROW(fs::popularity_split({1.0, -0.5}, {1.0}), PreconditionError);
+  EXPECT_THROW(fs::popularity_split({1.0}, {0.0, 0.0}), PreconditionError);
+}
+
 TEST(Popularity, SamplerFollowsTheDistribution) {
   const std::vector<double> popularity{0.6, 0.3, 0.1};
   const fs::RecordSampler sampler(popularity);

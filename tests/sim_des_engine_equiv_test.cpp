@@ -46,6 +46,13 @@ void expect_windows_equal(const WindowStats& a, const WindowStats& b) {
     EXPECT_EQ(a.sojourn_histogram.count(i), b.sojourn_histogram.count(i))
         << "histogram bucket " << i;
   }
+  ASSERT_EQ(a.response_hist.bucket_count(), b.response_hist.bucket_count());
+  EXPECT_EQ(a.response_hist.total(), b.response_hist.total());
+  EXPECT_EQ(a.response_hist.nonfinite(), b.response_hist.nonfinite());
+  for (std::size_t i = 0; i < a.response_hist.bucket_count(); ++i) {
+    EXPECT_EQ(a.response_hist.count(i), b.response_hist.count(i))
+        << "log histogram bucket " << i;
+  }
   ASSERT_EQ(a.node.size(), b.node.size());
   for (std::size_t i = 0; i < a.node.size(); ++i) {
     expect_stats_equal(a.node[i].sojourn, b.node[i].sojourn, "node sojourn");

@@ -51,6 +51,26 @@ TEST(DesSystem, WindowExcludesPreWindowArrivals) {
   EXPECT_GT(system.window().completions, 1500u);
 }
 
+TEST(DesSystem, CompletionAttributedWindowsPartitionAllCompletions) {
+  // With window_by_completion, a reset never loses the in-flight tail:
+  // each completion lands in exactly the window it departs in, so the
+  // window counts sum to the completions advanced — the attribution rule
+  // cumulative trace-serving statistics rely on.
+  sim::DesConfig config = paper_config({0.25, 0.25, 0.25, 0.25});
+  config.window_by_completion = true;
+  sim::DesSystem system(std::move(config));
+  system.reset_window();
+  std::size_t advanced = 0;
+  std::size_t counted = 0;
+  for (int w = 0; w < 4; ++w) {
+    advanced += system.advance_completions(1500);
+    counted += system.window().completions;
+    system.reset_window();
+  }
+  EXPECT_EQ(advanced, 4u * 1500u);
+  EXPECT_EQ(counted, advanced);
+}
+
 TEST(DesSystem, WindowStatsMatchTheory) {
   sim::DesConfig config;
   config.lambda = {0.75};
